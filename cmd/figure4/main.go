@@ -1,0 +1,45 @@
+// Command figure4 regenerates Figure 4: top-32 precision of the
+// succinct-histogram (TreeHist) problem on the AOL-shaped dataset
+// (48-bit strings, 6 rounds of 8 bits) for every method.
+//
+// Usage:
+//
+//	figure4 [-scale k] [-trials t] [-k topk] [-delta d] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/experiment"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide the AOL n by this factor")
+	trials := flag.Int("trials", 3, "trials per (method, budget)")
+	topK := flag.Int("k", 32, "number of frequent strings to find")
+	delta := flag.Float64("delta", 1e-9, "DP failure probability")
+	seed := flag.Uint64("seed", 3, "random seed")
+	flag.Parse()
+
+	n := dataset.AOLN / *scale
+	unique := dataset.AOLUnique / *scale
+	if unique < 2*(*topK) {
+		unique = 2 * (*topK)
+	}
+	ds := dataset.SyntheticStrings("AOL", n, unique, dataset.AOLBits, 1.05, *seed)
+	cfg := experiment.DefaultFigure4Config()
+	cfg.K = *topK
+	cfg.Trials = *trials
+	cfg.Delta = *delta
+	cfg.Seed = *seed
+	points, err := experiment.Figure4(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 4 — top-%d precision on %s (n=%d, 48-bit strings, 6 rounds)\n",
+		*topK, ds.Name, ds.N())
+	fmt.Print(experiment.FormatFigure4(points, cfg.Methods))
+}

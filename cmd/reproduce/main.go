@@ -1,0 +1,95 @@
+// Command reproduce runs the entire evaluation (§VII) in one go at a
+// configurable scale and prints every table and figure. With -quick it
+// finishes in roughly a minute on a laptop; without it, expect the
+// full-scale datasets and 20 trials per cell.
+//
+// Usage:
+//
+//	reproduce [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down datasets and fewer trials")
+	flag.Parse()
+
+	scale, trials, t3n := 1, 20, 20000
+	if *quick {
+		scale, trials, t3n = 50, 5, 500
+	}
+	const delta = 1e-9
+
+	fmt.Println("=== Table I: amplification bounds ===")
+	rows1 := experiment.Table1([]float64{0.1, 0.2, 0.3, 0.4, 0.49, 1, 2, 4}, 1000000, delta)
+	fmt.Print(experiment.FormatTable1(rows1))
+
+	fmt.Println("\n=== Figure 3: MSE vs epsC (IPUMS) ===")
+	ipums := dataset.Scaled(dataset.IPUMS, scale, 1)
+	f3cfg := experiment.DefaultFigure3Config()
+	f3cfg.Trials = trials
+	points, err := experiment.Figure3(ipums, f3cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(n=%d, d=%d, %d trials)\n", ipums.N(), ipums.D, trials)
+	fmt.Print(experiment.FormatCurve(points, experiment.MethodNames))
+
+	fmt.Println("\n=== Table II: SOLH vs RAP_R (Kosarak) ===")
+	kosarak := dataset.Scaled(dataset.Kosarak, scale, 2)
+	t2cfg := experiment.DefaultTable2Config()
+	t2cfg.Trials = trials
+	rows2, err := experiment.Table2(kosarak, t2cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(n=%d, d=%d)\n", kosarak.N(), kosarak.D)
+	fmt.Print(experiment.FormatTable2(rows2, t2cfg.FixedDs))
+
+	fmt.Println("\n=== Figure 4: succinct-histogram precision (AOL) ===")
+	// TreeHist needs enough users per round for the per-round budget
+	// epsC/6; cap the scale-down at 10x so the quick run still shows
+	// the shuffle methods separating from LDP.
+	aolScale := scale
+	if aolScale > 10 {
+		aolScale = 10
+	}
+	unique := dataset.AOLUnique / aolScale
+	if unique < 100 {
+		unique = 100
+	}
+	aol := dataset.SyntheticStrings("AOL", dataset.AOLN/aolScale, unique,
+		dataset.AOLBits, 1.05, 3)
+	f4cfg := experiment.DefaultFigure4Config()
+	if *quick {
+		f4cfg.Trials = 1
+		f4cfg.EpsCs = []float64{0.4, 1.0}
+	}
+	points4, err := experiment.Figure4(aol, f4cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(n=%d, top-%d)\n", aol.N(), f4cfg.K)
+	fmt.Print(experiment.FormatFigure4(points4, f4cfg.Methods))
+
+	fmt.Println("\n=== Table III: SS vs PEOS overhead ===")
+	t3cfg := experiment.DefaultTable3Config()
+	t3cfg.N = t3n
+	t3cfg.NR = t3n / 10
+	if *quick {
+		t3cfg.KeyBits = 768
+	}
+	rows3, err := experiment.Table3(t3cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(n=%d, nr=%d, DGK-%d)\n", t3cfg.N, t3cfg.NR, t3cfg.KeyBits)
+	fmt.Print(experiment.FormatTable3(rows3))
+}

@@ -1,0 +1,38 @@
+// Command table2 regenerates Table II: SOLH's optimal d' and the
+// utility of SOLH (optimal and fixed d') versus RAP_R on the
+// Kosarak-shaped dataset (d = 42,178).
+//
+// Usage:
+//
+//	table2 [-scale k] [-trials t] [-delta d] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/experiment"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide the Kosarak n by this factor")
+	trials := flag.Int("trials", 20, "trials per cell")
+	delta := flag.Float64("delta", 1e-9, "DP failure probability")
+	seed := flag.Uint64("seed", 2, "random seed")
+	flag.Parse()
+
+	ds := dataset.Scaled(dataset.Kosarak, *scale, *seed)
+	cfg := experiment.DefaultTable2Config()
+	cfg.Trials = *trials
+	cfg.Delta = *delta
+	cfg.Seed = *seed
+	rows, err := experiment.Table2(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table II — SOLH vs RAP_R on %s (n=%d, d=%d, %d trials)\n",
+		ds.Name, ds.N(), ds.D, *trials)
+	fmt.Print(experiment.FormatTable2(rows, cfg.FixedDs))
+}

@@ -1,0 +1,72 @@
+package shuffledp_test
+
+import (
+	"fmt"
+
+	"shuffledp"
+)
+
+// The minimal shuffle-model pipeline: one call parameterizes the
+// mechanism for the target central budget, randomizes, shuffles and
+// estimates.
+func ExampleEstimateHistogram() {
+	// d = 500 puts GRR below its amplification threshold at this n and
+	// budget, so the automatic §IV-B3 choice lands on SOLH.
+	values := shuffledp.SyntheticDataset(50000, 500, 1.3, 7)
+	res, err := shuffledp.EstimateHistogram(values, 500, shuffledp.Options{
+		EpsilonCentral: 1,
+		Seed:           7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mechanism:", res.Mechanism)
+	fmt.Printf("local budget exceeds central: %v\n", res.EpsilonLocal > 1)
+	fmt.Printf("estimates cover the domain: %v\n", len(res.Estimates) == 500)
+	// Output:
+	// mechanism: SOLH
+	// local budget exceeds central: true
+	// estimates cover the domain: true
+}
+
+// Inverting Theorem 3: how much local budget do users need for a
+// target central guarantee, and what hashed-domain size should SOLH
+// use?
+func ExampleLocalEpsilonFor() {
+	epsL, dPrime, err := shuffledp.LocalEpsilonFor(1.0, 915, 602325, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("epsL=%.2f d'=%d\n", epsL, dPrime)
+	// The forward direction recovers the central budget.
+	back := shuffledp.AmplifiedEpsilon(epsL, dPrime, 602325, 1e-9)
+	fmt.Printf("round trip: %.3f\n", back)
+	// Output:
+	// epsL=7.20 d'=670
+	// round trip: 1.000
+}
+
+// Planning a hardened PEOS deployment against all three adversaries of
+// the paper's §V.
+func ExamplePlanPEOS() {
+	plan, err := shuffledp.PlanPEOS(
+		0.8, // vs the server
+		3,   // vs the server + every other user
+		6,   // vs the server + a majority of shufflers
+		602325, 915, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	// (At these budgets the eps3 cap on the local budget makes GRR the
+	// utility-optimal oracle; loosen eps3 and SOLH takes over.)
+	fmt.Println("mechanism:", plan.Mechanism)
+	fmt.Printf("budgets respected: %v %v %v\n",
+		plan.EpsilonServer <= 0.8+1e-9,
+		plan.EpsilonColludingUsers <= 3+1e-9,
+		plan.EpsilonLocal <= 6+1e-9)
+	fmt.Printf("fake reports planned: %v\n", plan.FakeReports > 0)
+	// Output:
+	// mechanism: GRR
+	// budgets respected: true true true
+	// fake reports planned: true
+}

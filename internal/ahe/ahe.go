@@ -1,0 +1,71 @@
+// Package ahe implements additively homomorphic encryption (§II-C).
+//
+// Two schemes are provided behind one interface:
+//
+//   - DGK (Damgård–Geisler–Krøigaard), in the full-decryption variant
+//     with plaintext space Z_{2^l} decrypted via Pohlig–Hellman — the
+//     scheme the paper instantiates PEOS with (§VI-A3): "there is a
+//     crucial requirement for the AHE scheme: it should support a
+//     plaintext space of Z_{2^l} ... so that the decrypted result
+//     modulo 2^l looks like other reports."
+//   - Paillier, the classic AHE over Z_n, provided for comparison and
+//     the EOS-overhead ablation benchmark.
+//
+// All arithmetic uses math/big; randomness is crypto/rand. Key
+// generation is probabilistic-prime based, so use small key sizes in
+// tests (512/1024 bits) and 3072 bits to match the paper's Table III.
+package ahe
+
+import "math/big"
+
+// Ciphertext is one encrypted value. Both schemes use a single group
+// element (Z_n for DGK, Z_{n^2} for Paillier).
+type Ciphertext struct {
+	v *big.Int
+}
+
+// Value exposes the raw group element (for serialization).
+func (c *Ciphertext) Value() *big.Int { return new(big.Int).Set(c.v) }
+
+// PublicKey is the encryptor/evaluator side: users encrypt their last
+// share with it, shufflers homomorphically add and rerandomize.
+type PublicKey interface {
+	// Scheme returns the scheme name ("DGK" or "Paillier").
+	Scheme() string
+	// PlaintextBits returns l: plaintext semantics are Z_{2^l}.
+	PlaintextBits() int
+	// Encrypt encrypts m (reduced mod 2^l).
+	Encrypt(m uint64) (*Ciphertext, error)
+	// Add returns a ciphertext of the sum of the two plaintexts.
+	Add(a, b *Ciphertext) *Ciphertext
+	// AddPlain returns a ciphertext of (plaintext of a) + m.
+	AddPlain(a *Ciphertext, m uint64) (*Ciphertext, error)
+	// Rerandomize refreshes the ciphertext so it is unlinkable to its
+	// input (multiplication by a fresh encryption of zero).
+	Rerandomize(a *Ciphertext) (*Ciphertext, error)
+	// CiphertextBytes returns the fixed serialized size, used by the
+	// Table III communication accounting.
+	CiphertextBytes() int
+	// Serialize encodes a ciphertext into exactly CiphertextBytes()
+	// bytes; Deserialize reverses it.
+	Serialize(a *Ciphertext) []byte
+	Deserialize(data []byte) (*Ciphertext, error)
+}
+
+// PrivateKey adds decryption.
+type PrivateKey interface {
+	PublicKey
+	// Decrypt returns the plaintext in [0, 2^l).
+	Decrypt(c *Ciphertext) (uint64, error)
+}
+
+// serializeFixed left-pads v to size bytes.
+func serializeFixed(v *big.Int, size int) []byte {
+	out := make([]byte, size)
+	b := v.Bytes()
+	if len(b) > size {
+		panic("ahe: value exceeds fixed serialization size")
+	}
+	copy(out[size-len(b):], b)
+	return out
+}

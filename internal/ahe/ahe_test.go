@@ -1,0 +1,294 @@
+package ahe
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shuffledp/internal/rng"
+)
+
+// Key generation is the expensive part; share small test keys.
+var (
+	dgkOnce   sync.Once
+	dgkKey    *DGKPrivateKey
+	dgkKeyErr error
+
+	paiOnce sync.Once
+	paiKey  *PaillierPrivateKey
+	paiErr  error
+)
+
+func testDGK(t *testing.T) *DGKPrivateKey {
+	t.Helper()
+	dgkOnce.Do(func() { dgkKey, dgkKeyErr = GenerateDGK(768, 32) })
+	if dgkKeyErr != nil {
+		t.Fatalf("GenerateDGK: %v", dgkKeyErr)
+	}
+	return dgkKey
+}
+
+func testPaillier(t *testing.T) *PaillierPrivateKey {
+	t.Helper()
+	paiOnce.Do(func() { paiKey, paiErr = GeneratePaillier(512, 32) })
+	if paiErr != nil {
+		t.Fatalf("GeneratePaillier: %v", paiErr)
+	}
+	return paiKey
+}
+
+// schemes under test, via the common interface.
+func testKeys(t *testing.T) []PrivateKey {
+	return []PrivateKey{testDGK(t), testPaillier(t)}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for _, key := range testKeys(t) {
+		mask := uint64(1)<<uint(key.PlaintextBits()) - 1
+		for _, m := range []uint64{0, 1, 2, 1000, mask, mask - 1} {
+			c, err := key.Encrypt(m)
+			if err != nil {
+				t.Fatalf("%s Encrypt: %v", key.Scheme(), err)
+			}
+			got, err := key.Decrypt(c)
+			if err != nil {
+				t.Fatalf("%s Decrypt: %v", key.Scheme(), err)
+			}
+			if got != m&mask {
+				t.Fatalf("%s: roundtrip %d -> %d", key.Scheme(), m, got)
+			}
+		}
+	}
+}
+
+func TestHomomorphicAddition(t *testing.T) {
+	for _, key := range testKeys(t) {
+		mask := uint64(1)<<uint(key.PlaintextBits()) - 1
+		cases := [][2]uint64{{1, 2}, {mask, 1}, {mask, mask}, {0, 0}, {123456, 654321}}
+		for _, c := range cases {
+			ca, err := key.Encrypt(c[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := key.Encrypt(c[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := key.Decrypt(key.Add(ca, cb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := (c[0] + c[1]) & mask; sum != want {
+				t.Fatalf("%s: %d + %d = %d, want %d (mod 2^l)",
+					key.Scheme(), c[0], c[1], sum, want)
+			}
+		}
+	}
+}
+
+func TestAddPlain(t *testing.T) {
+	for _, key := range testKeys(t) {
+		mask := uint64(1)<<uint(key.PlaintextBits()) - 1
+		c, err := key.Encrypt(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := key.AddPlain(c, mask) // adds -1 mod 2^l
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := key.Decrypt(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 99 {
+			t.Fatalf("%s: 100 + (2^l - 1) = %d, want 99", key.Scheme(), got)
+		}
+	}
+}
+
+func TestRerandomizePreservesPlaintextChangesCiphertext(t *testing.T) {
+	for _, key := range testKeys(t) {
+		c, err := key.Encrypt(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := key.Rerandomize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Value().Cmp(c2.Value()) == 0 {
+			t.Fatalf("%s: rerandomize did not change the ciphertext", key.Scheme())
+		}
+		got, err := key.Decrypt(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Fatalf("%s: rerandomize changed plaintext to %d", key.Scheme(), got)
+		}
+	}
+}
+
+func TestProbabilisticEncryption(t *testing.T) {
+	for _, key := range testKeys(t) {
+		a, err := key.Encrypt(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := key.Encrypt(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Value().Cmp(b.Value()) == 0 {
+			t.Fatalf("%s: two encryptions of the same value are equal", key.Scheme())
+		}
+	}
+}
+
+func TestSerializeDeserialize(t *testing.T) {
+	for _, key := range testKeys(t) {
+		c, err := key.Encrypt(31337)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := key.Serialize(c)
+		if len(data) != key.CiphertextBytes() {
+			t.Fatalf("%s: serialized to %d bytes, want %d",
+				key.Scheme(), len(data), key.CiphertextBytes())
+		}
+		c2, err := key.Deserialize(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := key.Decrypt(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 31337 {
+			t.Fatalf("%s: deserialize roundtrip gave %d", key.Scheme(), got)
+		}
+	}
+}
+
+func TestDeserializeRejectsBadInput(t *testing.T) {
+	for _, key := range testKeys(t) {
+		if _, err := key.Deserialize([]byte{1, 2, 3}); err == nil {
+			t.Fatalf("%s: accepted short input", key.Scheme())
+		}
+		// All-0xff of the right length exceeds the modulus.
+		bad := make([]byte, key.CiphertextBytes())
+		for i := range bad {
+			bad[i] = 0xff
+		}
+		if _, err := key.Deserialize(bad); err == nil {
+			t.Fatalf("%s: accepted out-of-range ciphertext", key.Scheme())
+		}
+	}
+}
+
+// Property: homomorphic sum of a random share vector decrypts to the
+// plaintext sum mod 2^l — the exact operation EOS performs.
+func TestQuickShareAccumulation(t *testing.T) {
+	key := testDGK(t)
+	mask := uint64(1)<<uint(key.PlaintextBits()) - 1
+	r := rng.New(7)
+	f := func(k uint8) bool {
+		count := 2 + int(k%6)
+		acc, err := key.Encrypt(0)
+		if err != nil {
+			return false
+		}
+		var want uint64
+		for i := 0; i < count; i++ {
+			s := r.Uint64() & mask
+			want = (want + s) & mask
+			c, err := key.Encrypt(s)
+			if err != nil {
+				return false
+			}
+			acc = key.Add(acc, c)
+		}
+		got, err := key.Decrypt(acc)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDGKStructure(t *testing.T) {
+	key := testDGK(t)
+	// g must have order u*vp*vq: g^(u*vp*vq) = 1 mod n but no proper
+	// divisor exponent gives 1 for the u component.
+	n := key.Modulus()
+	u := new(big.Int).Lsh(big.NewInt(1), uint(key.PlaintextBits()))
+	// gamma has order exactly 2^l mod p: gamma^(2^l) = 1, gamma^(2^(l-1)) != 1.
+	full := new(big.Int).Exp(key.gamma, u, key.p)
+	if full.Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("gamma^2^l != 1 mod p")
+	}
+	half := new(big.Int).Exp(key.gamma, new(big.Int).Rsh(u, 1), key.p)
+	if half.Cmp(big.NewInt(1)) == 0 {
+		t.Fatal("gamma has order < 2^l")
+	}
+	if key.CiphertextBytes() != (n.BitLen()+7)/8 {
+		t.Fatal("ciphertext size mismatch")
+	}
+}
+
+func TestGenerateDGKValidation(t *testing.T) {
+	if _, err := GenerateDGK(768, 0); err == nil {
+		t.Error("accepted plaintext bits 0")
+	}
+	if _, err := GenerateDGK(768, 65); err == nil {
+		t.Error("accepted plaintext bits 65")
+	}
+	if _, err := GenerateDGK(128, 32); err == nil {
+		t.Error("accepted tiny key")
+	}
+}
+
+func TestGeneratePaillierValidation(t *testing.T) {
+	if _, err := GeneratePaillier(512, 0); err == nil {
+		t.Error("accepted plaintext bits 0")
+	}
+	if _, err := GeneratePaillier(100, 32); err == nil {
+		t.Error("accepted tiny key")
+	}
+}
+
+func TestDGK64BitPlaintext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-bit plaintext key generation is slow")
+	}
+	key, err := GenerateDGK(768, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uint64(0xdeadbeefcafef00d)
+	c, err := key.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("roundtrip %x -> %x", m, got)
+	}
+	// Wrap-around: m + m must reduce mod 2^64.
+	c2, err := key.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := key.Decrypt(key.Add(c, c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != m+m { // uint64 addition wraps exactly like Z_{2^64}
+		t.Fatalf("wrap sum %x, want %x", sum, m+m)
+	}
+}

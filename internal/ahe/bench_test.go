@@ -1,0 +1,107 @@
+package ahe
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchDGK  *DGKPrivateKey
+	benchPai  *PaillierPrivateKey
+)
+
+func benchKeys(b *testing.B) (*DGKPrivateKey, *PaillierPrivateKey) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		if benchDGK, err = GenerateDGK(1024, 64); err != nil {
+			panic(err)
+		}
+		if benchPai, err = GeneratePaillier(1024, 64); err != nil {
+			panic(err)
+		}
+	})
+	return benchDGK, benchPai
+}
+
+func BenchmarkDGKEncrypt(b *testing.B) {
+	key, _ := benchKeys(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Encrypt(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDGKDecrypt(b *testing.B) {
+	key, _ := benchKeys(b)
+	c, err := key.Encrypt(0xdeadbeef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDGKAdd(b *testing.B) {
+	key, _ := benchKeys(b)
+	c1, _ := key.Encrypt(1)
+	c2, _ := key.Encrypt(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.Add(c1, c2)
+	}
+}
+
+func BenchmarkDGKAddPlain(b *testing.B) {
+	key, _ := benchKeys(b)
+	c, _ := key.Encrypt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.AddPlain(c, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDGKRerandomize(b *testing.B) {
+	key, _ := benchKeys(b)
+	c, _ := key.Encrypt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Rerandomize(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	_, key := benchKeys(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Encrypt(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaillierDecrypt(b *testing.B) {
+	_, key := benchKeys(b)
+	c, err := key.Encrypt(0xdeadbeef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package ahe
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// DGK in the full-decryption variant (§VI-A3, [24] with the
+// Pohlig–Hellman decryption of [49]).
+//
+// Construction. For plaintext space Z_u with u = 2^l:
+//
+//	p = u * vp * fp + 1,   q = u * vq * fq + 1     (vp, vq: t-bit primes)
+//	n = p q
+//	g: order u*vp mod p and u*vq mod q  (so order u*vp*vq mod n)
+//	h: order vp   mod p and vq   mod q  (so order vp*vq mod n)
+//
+//	Enc(m; r) = g^m h^r mod n,  r uniform in [0, 2^{2.5 t})
+//
+// Decryption works mod p only: c^vp = (g^vp)^m (h^vp)^r = gamma^m with
+// gamma = g^vp of order u = 2^l, and the discrete log of gamma^m in the
+// 2-group of order 2^l is recovered bit by bit (Pohlig–Hellman needs
+// only l small exponentiations because 2^l is smooth).
+//
+// The homomorphic sum therefore lives in Z_{2^l} exactly — partial sums
+// of shares wrap just like plaintext shares do, which is the property
+// PEOS needs so fake reports are indistinguishable after decryption.
+
+const dgkSubgroupBits = 160 // t: size of vp, vq
+
+// DGKPrivateKey holds the full key. It implements PrivateKey.
+type DGKPrivateKey struct {
+	DGKPublicKey
+	p     *big.Int // prime factor of n
+	vp    *big.Int // odd prime subgroup order mod p
+	gamma *big.Int // g^vp mod p, order 2^l
+	// gammaP[i] = gamma^(2^i) mod p and gammaInvP[i] its inverse,
+	// precomputed so Pohlig–Hellman decryption needs no ModInverse.
+	gammaP    []*big.Int
+	gammaInvP []*big.Int
+}
+
+// DGKPublicKey implements PublicKey.
+type DGKPublicKey struct {
+	n    *big.Int
+	g, h *big.Int
+	l    int // plaintext bits
+	rnd  int // randomizer bit-length (2.5 t)
+}
+
+// GenerateDGK creates a DGK key pair with an n of about keyBits bits
+// and plaintext space Z_{2^plaintextBits} (1..64). keyBits must be at
+// least enough to fit the subgroups (plaintextBits + 160 + slack).
+func GenerateDGK(keyBits, plaintextBits int) (*DGKPrivateKey, error) {
+	if plaintextBits < 1 || plaintextBits > 64 {
+		return nil, errors.New("ahe: plaintext bits must be in [1, 64]")
+	}
+	half := keyBits / 2
+	minHalf := plaintextBits + dgkSubgroupBits + 32
+	if half < minHalf {
+		return nil, fmt.Errorf("ahe: keyBits %d too small for plaintext 2^%d (need >= %d)",
+			keyBits, plaintextBits, 2*minHalf)
+	}
+	u := new(big.Int).Lsh(big.NewInt(1), uint(plaintextBits))
+
+	vp, err := rand.Prime(rand.Reader, dgkSubgroupBits)
+	if err != nil {
+		return nil, err
+	}
+	vq, err := rand.Prime(rand.Reader, dgkSubgroupBits)
+	if err != nil {
+		return nil, err
+	}
+	p, err := dgkPrime(half, u, vp)
+	if err != nil {
+		return nil, err
+	}
+	q, err := dgkPrime(half, u, vq)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cmp(q) == 0 {
+		return nil, errors.New("ahe: degenerate key (p == q)")
+	}
+	n := new(big.Int).Mul(p, q)
+
+	gp, err := elementOfOrder(p, new(big.Int).Mul(u, vp), []*big.Int{big.NewInt(2), vp})
+	if err != nil {
+		return nil, err
+	}
+	gq, err := elementOfOrder(q, new(big.Int).Mul(u, vq), []*big.Int{big.NewInt(2), vq})
+	if err != nil {
+		return nil, err
+	}
+	hp, err := elementOfOrder(p, vp, []*big.Int{vp})
+	if err != nil {
+		return nil, err
+	}
+	hq, err := elementOfOrder(q, vq, []*big.Int{vq})
+	if err != nil {
+		return nil, err
+	}
+	g, err := crt(gp, gq, p, q)
+	if err != nil {
+		return nil, err
+	}
+	h, err := crt(hp, hq, p, q)
+	if err != nil {
+		return nil, err
+	}
+
+	pub := DGKPublicKey{
+		n:   n,
+		g:   g,
+		h:   h,
+		l:   plaintextBits,
+		rnd: dgkSubgroupBits * 5 / 2,
+	}
+	gamma := new(big.Int).Exp(new(big.Int).Mod(g, p), vp, p)
+	gammaInv := new(big.Int).ModInverse(gamma, p)
+	if gammaInv == nil {
+		return nil, errors.New("ahe: gamma not invertible")
+	}
+	priv := &DGKPrivateKey{
+		DGKPublicKey: pub,
+		p:            p,
+		vp:           vp,
+		gamma:        gamma,
+	}
+	// Precompute gamma^(2^i) and gamma^(-2^i) for the bitwise discrete
+	// log (one ModInverse at keygen instead of one per decrypted bit).
+	priv.gammaP = make([]*big.Int, plaintextBits)
+	priv.gammaInvP = make([]*big.Int, plaintextBits)
+	cur := new(big.Int).Set(gamma)
+	curInv := new(big.Int).Set(gammaInv)
+	for i := 0; i < plaintextBits; i++ {
+		priv.gammaP[i] = new(big.Int).Set(cur)
+		priv.gammaInvP[i] = new(big.Int).Set(curInv)
+		cur = new(big.Int).Mod(new(big.Int).Mul(cur, cur), p)
+		curInv = new(big.Int).Mod(new(big.Int).Mul(curInv, curInv), p)
+	}
+	return priv, nil
+}
+
+// dgkPrime finds a prime p = u*v*f + 1 of exactly `bits` bits.
+func dgkPrime(bits int, u, v *big.Int) (*big.Int, error) {
+	uv := new(big.Int).Mul(u, v)
+	fBits := bits - uv.BitLen()
+	if fBits < 16 {
+		return nil, errors.New("ahe: key half too small for subgroup structure")
+	}
+	one := big.NewInt(1)
+	for attempts := 0; attempts < 100000; attempts++ {
+		f, err := rand.Int(rand.Reader, new(big.Int).Lsh(one, uint(fBits)))
+		if err != nil {
+			return nil, err
+		}
+		f.SetBit(f, fBits-1, 1) // force the top bit so p has full size
+		p := new(big.Int).Mul(uv, f)
+		p.Add(p, one)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("ahe: failed to find DGK prime")
+}
+
+// elementOfOrder returns an element of exact multiplicative order
+// `order` mod prime p, where order | p-1 and primeFactors lists the
+// distinct primes dividing order.
+func elementOfOrder(p, order *big.Int, primeFactors []*big.Int) (*big.Int, error) {
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	exp := new(big.Int).Div(pm1, order)
+	one := big.NewInt(1)
+	for attempts := 0; attempts < 1000; attempts++ {
+		x, err := rand.Int(rand.Reader, p)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sign() == 0 {
+			continue
+		}
+		g := new(big.Int).Exp(x, exp, p)
+		if g.Cmp(one) == 0 {
+			continue
+		}
+		// Exact order check: g^(order/r) != 1 for every prime r | order.
+		ok := true
+		for _, r := range primeFactors {
+			e := new(big.Int).Div(order, r)
+			if new(big.Int).Exp(g, e, p).Cmp(one) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, errors.New("ahe: failed to find element of required order")
+}
+
+// crt combines x = a mod p, x = b mod q into x mod pq.
+func crt(a, b, p, q *big.Int) (*big.Int, error) {
+	qInv := new(big.Int).ModInverse(q, p)
+	if qInv == nil {
+		return nil, errors.New("ahe: p and q not coprime")
+	}
+	// x = b + q * ((a - b) * qInv mod p)
+	diff := new(big.Int).Sub(a, b)
+	diff.Mod(diff, p)
+	diff.Mul(diff, qInv)
+	diff.Mod(diff, p)
+	x := new(big.Int).Mul(q, diff)
+	x.Add(x, b)
+	return x, nil
+}
+
+// Scheme implements PublicKey.
+func (k DGKPublicKey) Scheme() string { return "DGK" }
+
+// PlaintextBits implements PublicKey.
+func (k DGKPublicKey) PlaintextBits() int { return k.l }
+
+// Modulus returns n (for tests and serialization checks).
+func (k DGKPublicKey) Modulus() *big.Int { return new(big.Int).Set(k.n) }
+
+func (k DGKPublicKey) reduce(m uint64) *big.Int {
+	if k.l == 64 {
+		return new(big.Int).SetUint64(m)
+	}
+	return new(big.Int).SetUint64(m & ((1 << uint(k.l)) - 1))
+}
+
+func (k DGKPublicKey) randomizer() (*big.Int, error) {
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(k.rnd))
+	return rand.Int(rand.Reader, bound)
+}
+
+// Encrypt implements PublicKey: g^m h^r mod n.
+func (k DGKPublicKey) Encrypt(m uint64) (*Ciphertext, error) {
+	r, err := k.randomizer()
+	if err != nil {
+		return nil, err
+	}
+	gm := new(big.Int).Exp(k.g, k.reduce(m), k.n)
+	hr := new(big.Int).Exp(k.h, r, k.n)
+	return &Ciphertext{v: gm.Mul(gm, hr).Mod(gm, k.n)}, nil
+}
+
+// Add implements PublicKey: ciphertext multiplication adds plaintexts.
+func (k DGKPublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	v := new(big.Int).Mul(a.v, b.v)
+	return &Ciphertext{v: v.Mod(v, k.n)}
+}
+
+// AddPlain implements PublicKey: multiply by g^m (no fresh randomness;
+// call Rerandomize if unlinkability is needed).
+func (k DGKPublicKey) AddPlain(a *Ciphertext, m uint64) (*Ciphertext, error) {
+	gm := new(big.Int).Exp(k.g, k.reduce(m), k.n)
+	v := new(big.Int).Mul(a.v, gm)
+	return &Ciphertext{v: v.Mod(v, k.n)}, nil
+}
+
+// Rerandomize implements PublicKey: multiply by h^r.
+func (k DGKPublicKey) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
+	r, err := k.randomizer()
+	if err != nil {
+		return nil, err
+	}
+	hr := new(big.Int).Exp(k.h, r, k.n)
+	v := new(big.Int).Mul(a.v, hr)
+	return &Ciphertext{v: v.Mod(v, k.n)}, nil
+}
+
+// CiphertextBytes implements PublicKey.
+func (k DGKPublicKey) CiphertextBytes() int { return (k.n.BitLen() + 7) / 8 }
+
+// Serialize implements PublicKey.
+func (k DGKPublicKey) Serialize(a *Ciphertext) []byte {
+	return serializeFixed(a.v, k.CiphertextBytes())
+}
+
+// Deserialize implements PublicKey.
+func (k DGKPublicKey) Deserialize(data []byte) (*Ciphertext, error) {
+	if len(data) != k.CiphertextBytes() {
+		return nil, fmt.Errorf("ahe: DGK ciphertext must be %d bytes, got %d",
+			k.CiphertextBytes(), len(data))
+	}
+	v := new(big.Int).SetBytes(data)
+	if v.Cmp(k.n) >= 0 {
+		return nil, errors.New("ahe: ciphertext out of range")
+	}
+	return &Ciphertext{v: v}, nil
+}
+
+// Decrypt implements PrivateKey via Pohlig–Hellman in the 2^l-order
+// subgroup: recover m bit by bit from c^vp = gamma^m mod p.
+func (k *DGKPrivateKey) Decrypt(c *Ciphertext) (uint64, error) {
+	cm := new(big.Int).Exp(new(big.Int).Mod(c.v, k.p), k.vp, k.p) // gamma^m
+	var m uint64
+	one := big.NewInt(1)
+	// acc = gamma^(-m_partial) * gamma^m; peel one bit per round.
+	acc := new(big.Int).Set(cm)
+	for i := 0; i < k.l; i++ {
+		// z = acc^(2^(l-1-i)); z == 1 iff bit i of the remaining
+		// exponent is 0.
+		z := new(big.Int).Set(acc)
+		for j := 0; j < k.l-1-i; j++ {
+			z.Mul(z, z).Mod(z, k.p)
+		}
+		if z.Cmp(one) != 0 {
+			m |= 1 << uint(i)
+			// Divide acc by gamma^(2^i) via the precomputed inverse.
+			acc.Mul(acc, k.gammaInvP[i]).Mod(acc, k.p)
+		}
+	}
+	return m, nil
+}

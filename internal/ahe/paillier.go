@@ -1,0 +1,174 @@
+package ahe
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Paillier encryption [48] with the usual g = n+1 simplification:
+//
+//	Enc(m; r) = (1 + m n) r^n mod n^2
+//	Dec(c)    = L(c^lambda mod n^2) * mu mod n,  L(x) = (x-1)/n
+//
+// The native plaintext space is Z_n. To present the package's Z_{2^l}
+// interface we reduce decryptions mod 2^l; this matches the Z_{2^l}
+// share semantics as long as fewer than n / 2^l additions accumulate
+// (astronomically many for 2048-bit keys), but unlike DGK the full
+// decryption in Z_n reveals how many wrap-arounds occurred — exactly
+// the leak §VI-A3 motivates DGK with. Paillier is kept for the
+// EOS-overhead ablation and as an independent correctness oracle.
+type PaillierPublicKey struct {
+	n  *big.Int
+	n2 *big.Int // n^2
+	l  int
+}
+
+// PaillierPrivateKey implements PrivateKey.
+type PaillierPrivateKey struct {
+	PaillierPublicKey
+	lambda *big.Int
+	mu     *big.Int
+}
+
+// GeneratePaillier creates a Paillier key pair with modulus about
+// keyBits bits and Z_{2^plaintextBits} plaintext semantics.
+func GeneratePaillier(keyBits, plaintextBits int) (*PaillierPrivateKey, error) {
+	if plaintextBits < 1 || plaintextBits > 64 {
+		return nil, errors.New("ahe: plaintext bits must be in [1, 64]")
+	}
+	if keyBits < 256 {
+		return nil, errors.New("ahe: Paillier key must be >= 256 bits")
+	}
+	p, err := rand.Prime(rand.Reader, keyBits/2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := rand.Prime(rand.Reader, keyBits/2)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cmp(q) == 0 {
+		return nil, errors.New("ahe: degenerate key (p == q)")
+	}
+	n := new(big.Int).Mul(p, q)
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	lambda := new(big.Int).Mul(pm1, qm1) // lcm works, (p-1)(q-1) is fine for g=n+1
+	mu := new(big.Int).ModInverse(lambda, n)
+	if mu == nil {
+		return nil, errors.New("ahe: lambda not invertible")
+	}
+	pub := PaillierPublicKey{n: n, n2: new(big.Int).Mul(n, n), l: plaintextBits}
+	return &PaillierPrivateKey{PaillierPublicKey: pub, lambda: lambda, mu: mu}, nil
+}
+
+// Scheme implements PublicKey.
+func (k PaillierPublicKey) Scheme() string { return "Paillier" }
+
+// PlaintextBits implements PublicKey.
+func (k PaillierPublicKey) PlaintextBits() int { return k.l }
+
+// Modulus returns n.
+func (k PaillierPublicKey) Modulus() *big.Int { return new(big.Int).Set(k.n) }
+
+func (k PaillierPublicKey) reduce(m uint64) *big.Int {
+	if k.l == 64 {
+		return new(big.Int).SetUint64(m)
+	}
+	return new(big.Int).SetUint64(m & ((1 << uint(k.l)) - 1))
+}
+
+// Encrypt implements PublicKey.
+func (k PaillierPublicKey) Encrypt(m uint64) (*Ciphertext, error) {
+	r, err := k.unit()
+	if err != nil {
+		return nil, err
+	}
+	// (1 + m n) r^n mod n^2
+	c := new(big.Int).Mul(k.reduce(m), k.n)
+	c.Add(c, big.NewInt(1))
+	rn := new(big.Int).Exp(r, k.n, k.n2)
+	c.Mul(c, rn).Mod(c, k.n2)
+	return &Ciphertext{v: c}, nil
+}
+
+// unit draws r in Z_n* (gcd check).
+func (k PaillierPublicKey) unit() (*big.Int, error) {
+	for i := 0; i < 100; i++ {
+		r, err := rand.Int(rand.Reader, k.n)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, k.n).Cmp(big.NewInt(1)) == 0 {
+			return r, nil
+		}
+	}
+	return nil, errors.New("ahe: failed to sample unit")
+}
+
+// Add implements PublicKey.
+func (k PaillierPublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	v := new(big.Int).Mul(a.v, b.v)
+	return &Ciphertext{v: v.Mod(v, k.n2)}
+}
+
+// AddPlain implements PublicKey: multiply by (1 + m n).
+func (k PaillierPublicKey) AddPlain(a *Ciphertext, m uint64) (*Ciphertext, error) {
+	gm := new(big.Int).Mul(k.reduce(m), k.n)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, k.n2)
+	v := new(big.Int).Mul(a.v, gm)
+	return &Ciphertext{v: v.Mod(v, k.n2)}, nil
+}
+
+// Rerandomize implements PublicKey: multiply by r^n.
+func (k PaillierPublicKey) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
+	r, err := k.unit()
+	if err != nil {
+		return nil, err
+	}
+	rn := new(big.Int).Exp(r, k.n, k.n2)
+	v := new(big.Int).Mul(a.v, rn)
+	return &Ciphertext{v: v.Mod(v, k.n2)}, nil
+}
+
+// CiphertextBytes implements PublicKey.
+func (k PaillierPublicKey) CiphertextBytes() int { return (k.n2.BitLen() + 7) / 8 }
+
+// Serialize implements PublicKey.
+func (k PaillierPublicKey) Serialize(a *Ciphertext) []byte {
+	return serializeFixed(a.v, k.CiphertextBytes())
+}
+
+// Deserialize implements PublicKey.
+func (k PaillierPublicKey) Deserialize(data []byte) (*Ciphertext, error) {
+	if len(data) != k.CiphertextBytes() {
+		return nil, fmt.Errorf("ahe: Paillier ciphertext must be %d bytes, got %d",
+			k.CiphertextBytes(), len(data))
+	}
+	v := new(big.Int).SetBytes(data)
+	if v.Cmp(k.n2) >= 0 {
+		return nil, errors.New("ahe: ciphertext out of range")
+	}
+	return &Ciphertext{v: v}, nil
+}
+
+// Decrypt implements PrivateKey; the Z_n plaintext is reduced to Z_{2^l}.
+func (k *PaillierPrivateKey) Decrypt(c *Ciphertext) (uint64, error) {
+	x := new(big.Int).Exp(c.v, k.lambda, k.n2)
+	x.Sub(x, big.NewInt(1))
+	x.Div(x, k.n)
+	x.Mul(x, k.mu)
+	x.Mod(x, k.n)
+	if k.l == 64 {
+		return x.Uint64(), nil
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(k.l))
+	return x.Mod(x, mask).Uint64(), nil
+}

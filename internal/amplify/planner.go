@@ -1,0 +1,185 @@
+package amplify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The §VI-D deployment planner: "Given the desired privacy level
+// eps1, eps2, eps3 against the three adversaries Adv, Adv_u, Adv_a ...
+// we can numerically search the optimal configuration of n_r and eps_l.
+// Finally, given eps_l, we can choose to use either GRR or SOLH."
+
+// Requirements captures a deployment's inputs.
+type Requirements struct {
+	// Eps1 bounds the server's view (Adv).
+	Eps1 float64
+	// Eps2 bounds the server + colluding-users view (Adv_u).
+	Eps2 float64
+	// Eps3 bounds the server + majority-of-shufflers view (Adv_a);
+	// this is the pure LDP fallback, so EpsL <= Eps3.
+	Eps3 float64
+	// D is the value-domain size, N the number of users.
+	D, N int
+	// Delta is the (shared) failure probability.
+	Delta float64
+}
+
+func (rq Requirements) validate() error {
+	if rq.Eps1 <= 0 || rq.Eps2 <= 0 || rq.Eps3 <= 0 {
+		return errors.New("amplify: all three epsilon targets must be > 0")
+	}
+	if rq.D < 2 {
+		return errors.New("amplify: domain size must be >= 2")
+	}
+	if rq.N < 2 {
+		return errors.New("amplify: need at least 2 users")
+	}
+	if rq.Delta <= 0 || rq.Delta >= 1 {
+		return errors.New("amplify: delta must be in (0, 1)")
+	}
+	return nil
+}
+
+// Plan is a concrete PEOS configuration.
+type Plan struct {
+	// UseGRR selects the frequency oracle: GRR when true, SOLH when
+	// false.
+	UseGRR bool
+	// DPrime is the hashed-domain size (equals D when UseGRR).
+	DPrime int
+	// EpsL is the local budget each user spends.
+	EpsL float64
+	// NR is the number of fake reports the shufflers contribute in
+	// total.
+	NR int
+	// Achieved are the resulting guarantees against the three
+	// adversaries.
+	Achieved PEOSGuarantees
+	// Variance is the predicted per-value estimation variance.
+	Variance float64
+}
+
+// String renders the plan the way the paper discusses configurations.
+func (p Plan) String() string {
+	fo := "SOLH"
+	if p.UseGRR {
+		fo = "GRR"
+	}
+	return fmt.Sprintf("%s(d'=%d, epsL=%.4f) + nr=%d fakes -> epsC=%.4f epsS=%.4f var=%.3e",
+		fo, p.DPrime, p.EpsL, p.NR, p.Achieved.EpsC, p.Achieved.EpsS, p.Variance)
+}
+
+// PlanPEOS searches nr, epsL, the oracle choice and (for SOLH) d' to
+// minimize estimation variance subject to the three adversary budgets.
+// The search is the numeric optimization §VI-D prescribes: for each
+// candidate output-space size the minimal feasible nr is derived in
+// closed form, epsL is capped at Eps3, and the variance is evaluated
+// exactly.
+func PlanPEOS(rq Requirements) (Plan, error) {
+	if err := rq.validate(); err != nil {
+		return Plan{}, err
+	}
+	best := Plan{Variance: math.Inf(1)}
+	L := 14 * math.Log(2/rq.Delta)
+
+	consider := func(outputSpace int, grr bool) {
+		p, err := planAt(rq, outputSpace, grr, L)
+		if err != nil {
+			return
+		}
+		if p.Variance < best.Variance {
+			best = p
+		}
+	}
+
+	// GRR: output space fixed at d.
+	consider(rq.D, true)
+	// SOLH: sweep d' over a geometric grid plus the unconstrained
+	// optimum's neighborhood.
+	maxDPrime := rq.D
+	seen := map[int]bool{}
+	for dp := 2; dp <= maxDPrime; dp = dp*5/4 + 1 {
+		seen[dp] = true
+		consider(dp, false)
+	}
+	// Refine around the analytically optimal d' at the minimal nr.
+	a := L / (rq.Eps1 * rq.Eps1)
+	for _, guess := range []int{
+		PEOSOptimalDPrime(rq.Eps1, rq.N, int(math.Ceil(L*2/(rq.Eps2*rq.Eps2))), rq.D, rq.Delta),
+		int(((float64(rq.N-1))/a + 2) / 3),
+	} {
+		for dp := guess - 2; dp <= guess+2; dp++ {
+			if dp >= 2 && dp <= maxDPrime && !seen[dp] {
+				seen[dp] = true
+				consider(dp, false)
+			}
+		}
+	}
+	if math.IsInf(best.Variance, 1) {
+		return Plan{}, errors.New("amplify: no feasible PEOS configuration found")
+	}
+	return best, nil
+}
+
+// planAt finds the minimal-variance configuration at a fixed output
+// space (d' for SOLH, d for GRR).
+func planAt(rq Requirements, outputSpace int, grr bool, L float64) (Plan, error) {
+	if outputSpace < 2 {
+		return Plan{}, errors.New("amplify: output space must be >= 2")
+	}
+	os := float64(outputSpace)
+	// Constraint from Adv_u (Corollaries 8/9): nr >= 14 ln(2/delta) *
+	// outputSpace / eps2^2.
+	nrUsers := int(math.Ceil(L * os / (rq.Eps2 * rq.Eps2)))
+	if nrUsers < 1 {
+		nrUsers = 1
+	}
+	// Constraint from Adv with epsL capped at Eps3: the blanket
+	// (n-1)/(e^epsL+os-1) + nr/os must reach a = L/eps1^2. With the
+	// largest allowed epsL, the users contribute the least, so this
+	// lower-bounds nr.
+	a := L / (rq.Eps1 * rq.Eps1)
+	usersBlanket := float64(rq.N-1) / (math.Exp(rq.Eps3) + os - 1)
+	nrServer := 0
+	if usersBlanket < a {
+		nrServer = int(math.Ceil(os * (a - usersBlanket)))
+	}
+	nr := nrUsers
+	if nrServer > nr {
+		nr = nrServer
+	}
+	// With nr fixed, spend as much local budget as epsC allows (utility
+	// increases with epsL), capped at Eps3. When the inversion fails
+	// because the fakes alone already blanket past the Eps1 target
+	// (overblanketed / no-amplification errors), ANY local budget
+	// satisfies Adv, so spend the full Eps3; the feasibility re-check
+	// below still validates the achieved guarantees.
+	epsL, m, err := PEOSLocalEpsilon(rq.Eps1, outputSpace, rq.N, nr, rq.Delta)
+	if err != nil {
+		epsL = rq.Eps3
+		m = math.Exp(epsL) + os - 1
+	}
+	if epsL > rq.Eps3 {
+		epsL = rq.Eps3
+		m = math.Exp(epsL) + os - 1
+	}
+	variance, err := PEOSVariance(m, outputSpace, rq.N, nr, grr)
+	if err != nil {
+		return Plan{}, err
+	}
+	g := PEOSEpsilons(epsL, outputSpace, rq.N, nr, rq.Delta)
+	// Feasibility re-check (guards rounding).
+	if g.EpsC > rq.Eps1*(1+1e-9) || g.EpsS > rq.Eps2*(1+1e-9) || epsL > rq.Eps3*(1+1e-9) {
+		return Plan{}, fmt.Errorf("amplify: configuration infeasible at outputSpace=%d", outputSpace)
+	}
+	return Plan{
+		UseGRR:   grr,
+		DPrime:   outputSpace,
+		EpsL:     epsL,
+		NR:       nr,
+		Achieved: g,
+		Variance: variance,
+	}, nil
+}

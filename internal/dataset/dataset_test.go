@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	ds := Synthetic("test", 10000, 100, 1.2, 1)
+	if ds.N() != 10000 || ds.D != 100 {
+		t.Fatalf("n=%d d=%d", ds.N(), ds.D)
+	}
+	for _, v := range ds.Values {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+	f := ds.TrueFrequencies()
+	sum := 0.0
+	for _, x := range f {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	// Zipf skew: rank 0 must dominate rank 50.
+	if f[0] <= f[50] {
+		t.Fatal("no skew in synthetic Zipf data")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("a", 1000, 50, 1.1, 7)
+	b := Synthetic("b", 1000, 50, 1.1, 7)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := Synthetic("c", 1000, 50, 1.1, 8)
+	same := 0
+	for i := range a.Values {
+		if a.Values[i] == c.Values[i] {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSyntheticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthetic("x", 0, 10, 1, 1)
+}
+
+func TestScaled(t *testing.T) {
+	ds := Scaled(IPUMS, 100, 1)
+	if ds.N() != IPUMSN/100 {
+		t.Fatalf("scaled n = %d", ds.N())
+	}
+	if ds.D != IPUMSD {
+		t.Fatalf("scaled d = %d", ds.D)
+	}
+}
+
+func TestScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scaled(IPUMS, 0, 1)
+}
+
+// Full-scale generators are exercised once here; they are the exact
+// configurations of §VII-A.
+func TestPaperScaleGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation")
+	}
+	ipums := IPUMS(1)
+	if ipums.N() != 602325 || ipums.D != 915 {
+		t.Fatalf("IPUMS %d x %d", ipums.N(), ipums.D)
+	}
+	kosarak := Scaled(Kosarak, 10, 1)
+	if kosarak.D != 42178 {
+		t.Fatalf("Kosarak d = %d", kosarak.D)
+	}
+}
+
+func TestAOLStrings(t *testing.T) {
+	ds := SyntheticStrings("aol-small", 20000, 500, 48, 1.05, 2)
+	if ds.N() != 20000 || ds.Bits != 48 {
+		t.Fatalf("n=%d bits=%d", ds.N(), ds.Bits)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range ds.Values {
+		if v >= 1<<48 {
+			t.Fatalf("value %x exceeds 48 bits", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 300 || len(seen) > 500 {
+		t.Fatalf("unique strings: %d, want close to 500", len(seen))
+	}
+}
+
+func TestTopStrings(t *testing.T) {
+	ds := &StringDataset{
+		Name:   "tiny",
+		Values: []uint64{5, 5, 5, 9, 9, 1},
+		Bits:   8,
+	}
+	top := ds.TopStrings(2)
+	if len(top) != 2 || top[0] != 5 || top[1] != 9 {
+		t.Fatalf("TopStrings = %v", top)
+	}
+	// k beyond the distinct count clamps.
+	if got := ds.TopStrings(10); len(got) != 3 {
+		t.Fatalf("clamped TopStrings = %v", got)
+	}
+}
+
+func TestStringPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bits": func() { SyntheticStrings("x", 10, 5, 4, 1, 1) },
+		"uniq": func() { SyntheticStrings("x", 10, 1, 48, 1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

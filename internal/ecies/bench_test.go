@@ -1,0 +1,54 @@
+package ecies
+
+import "testing"
+
+func BenchmarkEncrypt32B(b *testing.B) {
+	priv, err := GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := priv.Public()
+	msg := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encrypt(pub, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt32B(b *testing.B) {
+	priv, err := GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := Encrypt(priv.Public(), make([]byte, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decrypt(priv, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The SS user cost: one onion with r+1 layers.
+func BenchmarkOnionEncrypt4Hops(b *testing.B) {
+	var pubs []*PublicKey
+	for i := 0; i < 4; i++ {
+		k, err := GenerateKey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pubs = append(pubs, k.Public())
+	}
+	msg := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OnionEncrypt(pubs, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/rng"
+)
+
+const testDelta = 1e-9
+
+// smallIPUMS is a scaled IPUMS stand-in for fast tests: same d, n/20.
+func smallIPUMS() *dataset.Dataset {
+	return dataset.Scaled(dataset.IPUMS, 20, 1)
+}
+
+func TestNewMethodAllNamesConstruct(t *testing.T) {
+	ds := smallIPUMS()
+	for _, name := range MethodNames {
+		m, err := NewMethod(name, 0.8, testDelta, ds.N(), ds.D)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("name %q != %q", m.Name, name)
+		}
+		est := m.Simulate(ds.Histogram(), rng.New(1))
+		if len(est) != ds.D {
+			t.Errorf("%s: estimate length %d", name, len(est))
+		}
+	}
+}
+
+func TestNewMethodUnknown(t *testing.T) {
+	if _, err := NewMethod("nope", 1, testDelta, 1000, 10); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := NewMethod("SOLH", 0, testDelta, 1000, 10); err == nil {
+		t.Fatal("epsC=0 accepted")
+	}
+}
+
+func TestSHFallsBackBelowThreshold(t *testing.T) {
+	// IPUMS at epsC=0.1 is below the GRR amplification threshold
+	// (~0.675): SH must fall back to epsL = epsC.
+	ds := smallIPUMS()
+	m, err := NewMethod("SH", 0.1, testDelta, dataset.IPUMSN, ds.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.EpsL-0.1) > 1e-12 {
+		t.Fatalf("SH epsL = %v, want fallback to 0.1", m.EpsL)
+	}
+	// Above the threshold it must amplify (epsL > epsC).
+	m2, err := NewMethod("SH", 1.0, testDelta, dataset.IPUMSN, ds.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.EpsL <= 1.0 {
+		t.Fatalf("SH epsL = %v, want amplification above threshold", m2.EpsL)
+	}
+}
+
+func TestSOLHAlwaysAmplifies(t *testing.T) {
+	// §VII-B: "our improved SOLH method can always enjoy the privacy
+	// amplification advantage" — across the whole Figure 3 range.
+	for _, epsC := range []float64{0.1, 0.3, 0.5, 1.0} {
+		m, err := NewMethod("SOLH", epsC, testDelta, dataset.IPUMSN, dataset.IPUMSD)
+		if err != nil {
+			t.Fatalf("epsC=%v: %v", epsC, err)
+		}
+		if m.EpsL <= epsC {
+			t.Fatalf("epsC=%v: epsL=%v, no amplification", epsC, m.EpsL)
+		}
+	}
+}
+
+func TestFigure3ShapeMatchesPaper(t *testing.T) {
+	// The qualitative claims of §VII-B at epsC = 0.4 (IPUMS scale):
+	//  (1) SH is worse than Base (below amplification threshold);
+	//  (2) SOLH beats the LDP methods by ~3 orders of magnitude;
+	//  (3) Lap beats SOLH by ~2 orders of magnitude;
+	//  (4) AUE/RAP/RAP_R are within ~one order of SOLH.
+	ds := smallIPUMS()
+	cfg := Figure3Config{
+		EpsCs:  []float64{0.4},
+		Trials: 10,
+		Delta:  testDelta,
+		Seed:   7,
+	}
+	// Use the full-scale n for parameterization by running on the
+	// full-size dataset statistics: scaled data keeps d and skew; MSE
+	// levels shift with n but the ordering is preserved.
+	points, err := Figure3(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.MSE["SH"] < pt.MSE["Base"] {
+		t.Errorf("SH (%.3e) should be worse than Base (%.3e) below threshold",
+			pt.MSE["SH"], pt.MSE["Base"])
+	}
+	// At n/20 scale the amplification gap shrinks (it grows with n);
+	// ~20x here corresponds to the ~3 orders of magnitude at the full
+	// n = 602,325 asserted analytically in internal/amplify's tests.
+	if pt.MSE["SOLH"]*20 > pt.MSE["OLH"] {
+		t.Errorf("SOLH (%.3e) should be orders of magnitude better than OLH (%.3e)",
+			pt.MSE["SOLH"], pt.MSE["OLH"])
+	}
+	if pt.MSE["Lap"]*10 > pt.MSE["SOLH"] {
+		t.Errorf("Lap (%.3e) should be well below SOLH (%.3e)",
+			pt.MSE["Lap"], pt.MSE["SOLH"])
+	}
+	ratio := pt.MSE["RAP"] / pt.MSE["SOLH"]
+	if ratio > 30 || ratio < 1.0/30 {
+		t.Errorf("RAP (%.3e) and SOLH (%.3e) should be comparable",
+			pt.MSE["RAP"], pt.MSE["SOLH"])
+	}
+	// RAP_R is the best performer in the paper's figure.
+	if pt.MSE["RAP_R"] > pt.MSE["RAP"] {
+		t.Errorf("RAP_R (%.3e) should beat RAP (%.3e)", pt.MSE["RAP_R"], pt.MSE["RAP"])
+	}
+}
+
+func TestFigure3SimulatedTracksAnalytic(t *testing.T) {
+	ds := smallIPUMS()
+	cfg := Figure3Config{
+		EpsCs:   []float64{0.8},
+		Trials:  30,
+		Delta:   testDelta,
+		Methods: []string{"SOLH", "RAP"},
+		Seed:    8,
+	}
+	points, err := Figure3(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cfg.Methods {
+		sim := points[0].MSE[name]
+		ana := points[0].AnalyticMSE[name]
+		if ratio := sim / ana; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: simulated %.3e vs analytic %.3e", name, sim, ana)
+		}
+	}
+}
+
+func TestFormatCurve(t *testing.T) {
+	ds := smallIPUMS()
+	cfg := Figure3Config{EpsCs: []float64{0.5}, Trials: 2, Delta: testDelta,
+		Methods: []string{"Base", "SOLH"}, Seed: 9}
+	points, err := Figure3(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCurve(points, cfg.Methods)
+	if !strings.Contains(out, "SOLH") || !strings.Contains(out, "0.50") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	if FormatCurve(nil, nil) != "" {
+		t.Fatal("empty points should render empty")
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	// Kosarak shape at n/50: the optimal d' beats badly-fixed d'
+	// choices, and d' grows with epsC.
+	ds := dataset.Scaled(dataset.Kosarak, 50, 2)
+	cfg := Table2Config{
+		EpsCs:   []float64{0.4, 0.8},
+		FixedDs: []int{10, 1000},
+		Trials:  8,
+		Delta:   testDelta,
+		Seed:    10,
+	}
+	rows, err := Table2(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].DPrime >= rows[1].DPrime {
+		t.Errorf("d' should grow with epsC: %d vs %d", rows[0].DPrime, rows[1].DPrime)
+	}
+	for _, row := range rows {
+		for dp, mse := range row.SOLHFixed {
+			if math.IsNaN(mse) {
+				continue // infeasible fixed d' at this budget
+			}
+			if mse < row.SOLH*0.8 {
+				t.Errorf("epsC=%v: fixed d'=%d (%.3e) beats optimal (%.3e)",
+					row.EpsC, dp, mse, row.SOLH)
+			}
+		}
+	}
+	out := FormatTable2(rows, cfg.FixedDs)
+	if !strings.Contains(out, "RAP_R") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1([]float64{0.25, 0.45, 1, 2}, 1000000, testDelta)
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// EFMRTT valid only below 1/2.
+	if math.IsNaN(rows[0].EFMRTT) || !math.IsNaN(rows[2].EFMRTT) {
+		t.Error("EFMRTT validity window wrong")
+	}
+	// BBGN beats CSUZZ everywhere.
+	for _, r := range rows {
+		if !math.IsNaN(r.CSUZZ) && r.BBGN >= r.CSUZZ {
+			t.Errorf("epsL=%v: BBGN %v >= CSUZZ %v", r.EpsL, r.BBGN, r.CSUZZ)
+		}
+	}
+	if !strings.Contains(FormatTable1(rows), "BBGN") {
+		t.Error("bad format")
+	}
+}
+
+func TestFigure4SmallScale(t *testing.T) {
+	// A scaled-down AOL: 16-bit strings, 2 rounds. Exact shape checks
+	// are statistical; assert ordering between a strong (SOLH) and a
+	// deliberately weak (SH at low eps) method.
+	ds := dataset.SyntheticStrings("aol-mini", 40000, 300, 16, 1.3, 11)
+	cfg := Figure4Config{
+		EpsCs:   []float64{0.5},
+		K:       16,
+		Bits:    16,
+		Round:   8,
+		Trials:  2,
+		Delta:   testDelta,
+		Methods: []string{"SOLH", "SH", "Lap"},
+		Seed:    12,
+	}
+	points, err := Figure4(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.Precision["Lap"] < pt.Precision["SH"] {
+		t.Errorf("Lap (%.2f) should dominate SH (%.2f)",
+			pt.Precision["Lap"], pt.Precision["SH"])
+	}
+	if pt.Precision["SOLH"] < pt.Precision["SH"] {
+		t.Errorf("SOLH (%.2f) should dominate SH (%.2f)",
+			pt.Precision["SOLH"], pt.Precision["SH"])
+	}
+	out := FormatFigure4(points, cfg.Methods)
+	if !strings.Contains(out, "SOLH") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+func TestFigure4BitsMismatch(t *testing.T) {
+	ds := dataset.SyntheticStrings("x", 100, 10, 16, 1.3, 1)
+	cfg := DefaultFigure4Config() // 48 bits
+	if _, err := Figure4(ds, cfg); err == nil {
+		t.Fatal("bits mismatch accepted")
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol runs are slow")
+	}
+	cfg := Table3Config{
+		N:       300,
+		NR:      30,
+		Rs:      []int{3},
+		KeyBits: 768,
+		DPrime:  8,
+		EpsL:    2,
+		Seed:    13,
+	}
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	ss, peos := rows[0], rows[1]
+	if ss.Protocol != "SS" || peos.Protocol != "PEOS" {
+		t.Fatalf("order: %s, %s", ss.Protocol, peos.Protocol)
+	}
+	// Structural truths from §VII-D:
+	// SS user communication = 32 + 97(r+1) bytes per user.
+	if ss.UserCommBytes != 32+97*4 {
+		t.Errorf("SS user comm %d, want %d", ss.UserCommBytes, 32+97*4)
+	}
+	// PEOS user communication = 8(r-1) + ciphertext bytes.
+	if peos.UserCommBytes != int64(8*2+768/8) {
+		t.Errorf("PEOS user comm %d, want %d", peos.UserCommBytes, 8*2+768/8)
+	}
+	// PEOS aux communication exceeds SS aux communication (the paper's
+	// observed trade-off), and both are positive.
+	if ss.AuxCommBytes <= 0 || peos.AuxCommBytes <= 0 {
+		t.Error("aux comm not accounted")
+	}
+	if fmtd := FormatTable3(rows); !strings.Contains(fmtd, "PEOS") {
+		t.Fatalf("bad table:\n%s", fmtd)
+	}
+}
+
+func TestMeanMSEPanicsOnZeroTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanMSE(Method{}, nil, nil, 0, rng.New(1))
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"shuffledp/internal/amplify"
+)
+
+// Table1Row compares the three amplification bounds of Table I at one
+// local budget: the central epsilon each proves (NaN where the bound's
+// validity condition fails).
+type Table1Row struct {
+	EpsL   float64
+	EFMRTT float64 // Erlingsson et al. (SODA'19)
+	CSUZZ  float64 // Cheu et al. (EUROCRYPT'19), binary
+	BBGN   float64 // Balle et al. (CRYPTO'19) — the bound this paper builds on
+}
+
+// Table1 evaluates the bounds over a grid of local budgets for n users
+// on a binary domain (the only domain all three support).
+func Table1(epsLs []float64, n int, delta float64) []Table1Row {
+	rows := make([]Table1Row, 0, len(epsLs))
+	for _, epsL := range epsLs {
+		row := Table1Row{EpsL: epsL}
+		if e, ok := amplify.CentralEpsilonEFMRTT(epsL, n, delta); ok {
+			row.EFMRTT = e
+		} else {
+			row.EFMRTT = math.NaN()
+		}
+		if e, ok := amplify.CentralEpsilonCSUZZ(epsL, n, delta); ok {
+			row.CSUZZ = e
+		} else {
+			row.CSUZZ = math.NaN()
+		}
+		row.BBGN = amplify.CentralEpsilonGRR(epsL, 2, n, delta)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable1 renders the comparison.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s\n", "epsL", "EFMRTT'19", "CSUZZ'19", "BBGN'19")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.2f %12.4f %12.4f %12.4f\n", r.EpsL, r.EFMRTT, r.CSUZZ, r.BBGN)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/rng"
+)
+
+// Table2Row is one epsC column of Table II: the optimal d' of SOLH and
+// the utilities of SOLH (optimal and fixed d'), and RAP_R on Kosarak.
+type Table2Row struct {
+	EpsC float64
+	// DPrime is SOLH's optimal hashed-domain size at this budget.
+	DPrime int
+	// SOLH is the mean MSE with the optimal d'.
+	SOLH float64
+	// SOLHFixed maps the ablated fixed d' (10/100/1000) to its MSE;
+	// budgets where the fixed d' is infeasible (m <= d') hold NaN.
+	SOLHFixed map[int]float64
+	// RAPR is the removal-LDP unary-encoding competitor's MSE.
+	RAPR float64
+}
+
+// Table2Config parameterizes the Table II reproduction.
+type Table2Config struct {
+	EpsCs   []float64
+	FixedDs []int
+	Trials  int
+	Delta   float64
+	Seed    uint64
+}
+
+// DefaultTable2Config returns the paper's settings.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		EpsCs:   []float64{0.2, 0.4, 0.6, 0.8},
+		FixedDs: []int{10, 100, 1000},
+		Trials:  20,
+		Delta:   1e-9,
+		Seed:    2,
+	}
+}
+
+// Table2 reproduces Table II on a (Kosarak-shaped) dataset.
+func Table2(ds *dataset.Dataset, cfg Table2Config) ([]Table2Row, error) {
+	trueCounts := ds.Histogram()
+	truth := ds.TrueFrequencies()
+	n := ds.N()
+	r := rng.New(cfg.Seed)
+
+	rows := make([]Table2Row, 0, len(cfg.EpsCs))
+	for _, epsC := range cfg.EpsCs {
+		row := Table2Row{EpsC: epsC, SOLHFixed: make(map[int]float64)}
+
+		solh, err := NewMethod("SOLH", epsC, cfg.Delta, n, ds.D)
+		if err != nil {
+			return nil, err
+		}
+		row.DPrime = solh.DPrime
+		row.SOLH = MeanMSE(solh, trueCounts, truth, cfg.Trials, r)
+
+		for _, dp := range cfg.FixedDs {
+			m, err := NewSOLHFixed(epsC, cfg.Delta, n, ds.D, dp)
+			if err != nil {
+				// Infeasible (m <= d'): record NaN like the paper's
+				// blank-by-degradation entries.
+				row.SOLHFixed[dp] = math.NaN()
+				continue
+			}
+			row.SOLHFixed[dp] = MeanMSE(m, trueCounts, truth, cfg.Trials, r)
+		}
+
+		rapr, err := NewMethod("RAP_R", epsC, cfg.Delta, n, ds.D)
+		if err != nil {
+			return nil, err
+		}
+		row.RAPR = MeanMSE(rapr, trueCounts, truth, cfg.Trials, r)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows the way the paper lays out Table II.
+func FormatTable2(rows []Table2Row, fixedDs []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "epsC")
+	for _, row := range rows {
+		fmt.Fprintf(&b, " %12.1f", row.EpsC)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "d' (SOLH)")
+	for _, row := range rows {
+		fmt.Fprintf(&b, " %12d", row.DPrime)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "SOLH")
+	for _, row := range rows {
+		fmt.Fprintf(&b, " %12.3e", row.SOLH)
+	}
+	b.WriteByte('\n')
+	for _, dp := range fixedDs {
+		fmt.Fprintf(&b, "%-18s", fmt.Sprintf("SOLH (d'=%d)", dp))
+		for _, row := range rows {
+			fmt.Fprintf(&b, " %12.3e", row.SOLHFixed[dp])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-18s", "RAP_R")
+	for _, row := range rows {
+		fmt.Fprintf(&b, " %12.3e", row.RAPR)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package hash
+
+import "testing"
+
+func BenchmarkSum64Uint64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum64Uint64(uint64(i), 0xdeadbeef)
+	}
+}
+
+func BenchmarkSum64Bytes64(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum64(uint64(i), data)
+	}
+}
+
+func BenchmarkFamilyHash(b *testing.B) {
+	fam := NewFamily(705)
+	for i := 0; i < b.N; i++ {
+		fam.Hash(uint64(i), uint64(i*7))
+	}
+}
+
+func BenchmarkFWHT64K(b *testing.B) {
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FWHT(data)
+	}
+}

@@ -1,0 +1,32 @@
+package hash
+
+// Family is the seeded universal hash family H_seed : [d] -> [d'] used by
+// the local-hashing frequency oracles. A user's LDP report carries the
+// seed (the "chosen hash function"); the server re-evaluates H_seed on
+// every candidate value during estimation.
+//
+// Family is stateless and safe for concurrent use.
+type Family struct {
+	// OutputSize is d', the size of the hashed domain (>= 2).
+	OutputSize int
+}
+
+// NewFamily returns the hash family with output domain [0, outputSize).
+// It panics if outputSize < 2 (a 1-bucket hash carries no information).
+func NewFamily(outputSize int) Family {
+	if outputSize < 2 {
+		panic("hash: family output size must be >= 2")
+	}
+	return Family{OutputSize: outputSize}
+}
+
+// Hash maps value into [0, OutputSize) under the function named by seed.
+func (f Family) Hash(seed uint64, value uint64) int {
+	return int(Sum64Uint64(seed, value) % uint64(f.OutputSize))
+}
+
+// HashBytes is Hash for byte-string values (used by TreeHist, whose
+// domain is prefixes rather than integer indices).
+func (f Family) HashBytes(seed uint64, value []byte) int {
+	return int(Sum64(seed, value) % uint64(f.OutputSize))
+}

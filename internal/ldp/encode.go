@@ -1,0 +1,78 @@
+package ldp
+
+import "fmt"
+
+// Report packing for the PEOS protocol (§VI-A2): "for both GRR and SOLH,
+// the domain of the report can be mapped to an ordinal group
+// {0, 1, ..., x}, where each index represents one different LDP report.
+// Thus the LDP reports can be treated as numbers and shared with
+// additive secret sharing."
+//
+// We pack a GRR report as the bare value, and a SOLH/OLH/Hadamard report
+// as seed*outputSize + value, exactly the ordinal-group mapping the
+// paper describes. Both fit a 64-bit word (seed is 32 bits, outputSize
+// <= 2^31), which matches the paper's fixed 64-bit report size in
+// Table III.
+
+// WordEncoder maps reports of a given oracle to/from 64-bit words.
+type WordEncoder struct {
+	outputSize uint64 // size of the Value component's domain
+	hashed     bool   // whether Seed participates
+}
+
+// NewWordEncoder returns the encoder for the given oracle. Only GRR and
+// the hashing oracles (OLH/SOLH/Hadamard) have word encodings; the
+// unary-encoding oracles report whole vectors and return an error.
+func NewWordEncoder(fo FrequencyOracle) (*WordEncoder, error) {
+	switch o := fo.(type) {
+	case *GRR:
+		return &WordEncoder{outputSize: uint64(o.Domain())}, nil
+	case *LocalHash:
+		return &WordEncoder{outputSize: uint64(o.DPrime()), hashed: true}, nil
+	case *Hadamard:
+		return &WordEncoder{outputSize: 2, hashed: true}, nil
+	default:
+		return nil, fmt.Errorf("ldp: oracle %s has no word encoding", fo.Name())
+	}
+}
+
+// GroupOrder returns the size x+1 of the ordinal group the reports live
+// in. All words returned by Encode are < GroupOrder.
+func (e *WordEncoder) GroupOrder() uint64 {
+	if e.hashed {
+		return (1 << 32) * e.outputSize
+	}
+	return e.outputSize
+}
+
+// Encode packs a report into a word in [0, GroupOrder()).
+func (e *WordEncoder) Encode(rep Report) uint64 {
+	if uint64(rep.Value) >= e.outputSize {
+		panic("ldp: report value out of range for encoder")
+	}
+	if !e.hashed {
+		return uint64(rep.Value)
+	}
+	return uint64(rep.Seed)*e.outputSize + uint64(rep.Value)
+}
+
+// Decode unpacks a word produced by Encode. Words >= GroupOrder()
+// (possible only through protocol corruption) are reduced modulo the
+// group order, mirroring the wrap-around semantics of Z_{2^l} shares.
+func (e *WordEncoder) Decode(word uint64) Report {
+	word %= e.GroupOrder()
+	if !e.hashed {
+		return Report{Value: int(word)}
+	}
+	return Report{
+		Seed:  uint32(word / e.outputSize),
+		Value: int(word % e.outputSize),
+	}
+}
+
+// UniformWord samples a uniformly random word, i.e. a uniform fake
+// report in the oracle's output space — what each PEOS shuffler draws
+// (Algorithm 1, "Sample Y' uniformly from output space of FO").
+func (e *WordEncoder) UniformWord(random func(n uint64) uint64) uint64 {
+	return random(e.GroupOrder())
+}

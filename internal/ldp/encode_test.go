@@ -1,0 +1,102 @@
+package ldp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shuffledp/internal/rng"
+)
+
+func TestWordEncoderGRRRoundTrip(t *testing.T) {
+	g := NewGRR(915, 1)
+	enc, err := NewWordEncoder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.GroupOrder() != 915 {
+		t.Fatalf("group order %d", enc.GroupOrder())
+	}
+	for v := 0; v < 915; v++ {
+		w := enc.Encode(Report{Value: v})
+		if got := enc.Decode(w); got.Value != v {
+			t.Fatalf("roundtrip %d -> %d", v, got.Value)
+		}
+	}
+}
+
+func TestWordEncoderSOLHRoundTrip(t *testing.T) {
+	s := NewSOLH(42178, 45, 1)
+	enc, err := NewWordEncoder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.GroupOrder() != uint64(45)<<32 {
+		t.Fatalf("group order %d", enc.GroupOrder())
+	}
+	f := func(seed uint32, vRaw uint16) bool {
+		v := int(vRaw) % 45
+		rep := Report{Seed: seed, Value: v}
+		got := enc.Decode(enc.Encode(rep))
+		return got.Seed == seed && got.Value == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordEncoderHadamard(t *testing.T) {
+	h := NewHadamard(100, 1)
+	enc, err := NewWordEncoder(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{Seed: 77, Value: 1}
+	if got := enc.Decode(enc.Encode(rep)); got.Seed != 77 || got.Value != 1 {
+		t.Fatalf("roundtrip failed: %+v", got)
+	}
+}
+
+func TestWordEncoderRejectsUnary(t *testing.T) {
+	if _, err := NewWordEncoder(NewRAP(10, 1)); err == nil {
+		t.Fatal("expected error for unary oracle")
+	}
+	if _, err := NewWordEncoder(NewAUE(10, 1, 1e-9, 100)); err == nil {
+		t.Fatal("expected error for AUE")
+	}
+}
+
+func TestWordEncoderDecodeWraps(t *testing.T) {
+	g := NewGRR(10, 1)
+	enc, _ := NewWordEncoder(g)
+	// A corrupted word beyond the group order must reduce, not panic.
+	if got := enc.Decode(25); got.Value != 5 {
+		t.Fatalf("Decode(25) = %d, want 5", got.Value)
+	}
+}
+
+func TestWordEncoderEncodePanicsOutOfRange(t *testing.T) {
+	g := NewGRR(10, 1)
+	enc, _ := NewWordEncoder(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	enc.Encode(Report{Value: 10})
+}
+
+func TestUniformWordInRange(t *testing.T) {
+	s := NewSOLH(100, 7, 1)
+	enc, _ := NewWordEncoder(s)
+	r := rng.New(20)
+	for i := 0; i < 1000; i++ {
+		w := enc.UniformWord(r.Uint64n)
+		if w >= enc.GroupOrder() {
+			t.Fatalf("uniform word %d >= group order", w)
+		}
+		rep := enc.Decode(w)
+		if rep.Value < 0 || rep.Value >= 7 {
+			t.Fatalf("decoded value %d out of range", rep.Value)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package ldp
+
+import (
+	"math"
+
+	"shuffledp/internal/hash"
+	"shuffledp/internal/rng"
+)
+
+// LocalHash is the local-hashing mechanism family (§II-B "Local
+// Hashing", §IV-B2): each user samples a hash function H (a 32-bit
+// seed into the xxHash64 family), computes H(v) in [0, d'), and reports
+// GRR_{d'}(H(v)) together with the seed.
+//
+// Two named instantiations differ only in how d' is chosen:
+//
+//   - OLH (Wang et al. 2017): d' = round(e^eps) + 1 minimizes the LDP
+//     variance. Use NewOLH.
+//   - SOLH (this paper, §IV-B): d' is chosen by the shuffle-model
+//     analysis (internal/amplify.OptimalDPrime). Use NewSOLH with an
+//     explicit d'.
+type LocalHash struct {
+	name   string
+	d      int
+	dPrime int
+	eps    float64
+	p      float64 // GRR_{d'} truthful probability
+	family hash.Family
+}
+
+// NewOLH returns the LDP-optimal local-hashing oracle: d' = e^eps + 1
+// rounded to the nearest integer, but never below 2.
+func NewOLH(d int, eps float64) *LocalHash {
+	validateDomain(d)
+	validateEpsilon(eps)
+	dPrime := int(math.Round(math.Exp(eps))) + 1
+	if dPrime < 2 {
+		dPrime = 2
+	}
+	lh := newLocalHash(d, dPrime, eps)
+	lh.name = "OLH"
+	return lh
+}
+
+// NewSOLH returns the paper's Shuffler-Optimal Local Hash with an
+// explicitly chosen hashed-domain size dPrime (computed from the target
+// central epsilon by internal/amplify).
+func NewSOLH(d, dPrime int, eps float64) *LocalHash {
+	validateDomain(d)
+	validateEpsilon(eps)
+	lh := newLocalHash(d, dPrime, eps)
+	lh.name = "SOLH"
+	return lh
+}
+
+func newLocalHash(d, dPrime int, eps float64) *LocalHash {
+	if dPrime < 2 {
+		panic("ldp: local hashing requires d' >= 2")
+	}
+	if dPrime > d {
+		// Hashing into a domain larger than d wastes budget; clamp as
+		// in the reference implementations.
+		dPrime = d
+	}
+	e := math.Exp(eps)
+	return &LocalHash{
+		d:      d,
+		dPrime: dPrime,
+		eps:    eps,
+		p:      e / (e + float64(dPrime) - 1),
+		family: hash.NewFamily(dPrime),
+	}
+}
+
+// Name implements FrequencyOracle.
+func (l *LocalHash) Name() string { return l.name }
+
+// Domain implements FrequencyOracle.
+func (l *LocalHash) Domain() int { return l.d }
+
+// DPrime returns the hashed-domain size d'.
+func (l *LocalHash) DPrime() int { return l.dPrime }
+
+// EpsilonLocal implements FrequencyOracle.
+func (l *LocalHash) EpsilonLocal() float64 { return l.eps }
+
+// P returns the GRR_{d'} truthful-report probability.
+func (l *LocalHash) P() float64 { return l.p }
+
+// Randomize implements FrequencyOracle: report <H, GRR_{d'}(H(v))>.
+func (l *LocalHash) Randomize(v int, r *rng.Rand) Report {
+	validateValue(v, l.d)
+	seed := uint32(r.Uint64())
+	hv := l.family.Hash(uint64(seed), uint64(v))
+	y := hv
+	if !r.Bernoulli(l.p) {
+		y = r.Intn(l.dPrime - 1)
+		if y >= hv {
+			y++
+		}
+	}
+	return Report{Seed: seed, Value: y}
+}
+
+// NewAggregator implements FrequencyOracle. The aggregator retains the
+// reports and evaluates every candidate value's hash at Estimates time
+// (O(n*d) hash evaluations, as in the paper's server-side cost
+// discussion under Table II).
+func (l *LocalHash) NewAggregator() Aggregator {
+	return &localHashAggregator{l: l}
+}
+
+// Variance implements FrequencyOracle: Equation (4),
+// Var = (e^eps + d' - 1)^2 / (n (e^eps - 1)^2 (d' - 1)).
+func (l *LocalHash) Variance(n int) float64 {
+	e := math.Exp(l.eps)
+	dp := float64(l.dPrime)
+	return (e + dp - 1) * (e + dp - 1) /
+		(float64(n) * (e - 1) * (e - 1) * (dp - 1))
+}
+
+type localHashAggregator struct {
+	l       *LocalHash
+	reports []Report
+}
+
+func (a *localHashAggregator) Add(rep Report) {
+	if rep.Value < 0 || rep.Value >= a.l.dPrime {
+		panic("ldp: local hash report outside [0, d')")
+	}
+	a.reports = append(a.reports, rep)
+}
+
+func (a *localHashAggregator) Count() int { return len(a.reports) }
+
+// Estimates implements Equation (3): the support count of v is
+// |{i : H_i(v) = y_i}|; calibration uses p and q = 1/d'.
+func (a *localHashAggregator) Estimates() []float64 {
+	counts := make([]int, a.l.d)
+	for _, rep := range a.reports {
+		seed := uint64(rep.Seed)
+		for v := 0; v < a.l.d; v++ {
+			if a.l.family.Hash(seed, uint64(v)) == rep.Value {
+				counts[v]++
+			}
+		}
+	}
+	return CalibrateCounts(counts, len(a.reports), a.l.p, 1/float64(a.l.dPrime))
+}

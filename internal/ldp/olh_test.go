@@ -1,0 +1,173 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"shuffledp/internal/rng"
+)
+
+func TestOLHChoosesOptimalDPrime(t *testing.T) {
+	// d' = round(e^eps) + 1 per Wang et al. 2017.
+	cases := map[float64]int{
+		1: 4,  // e ~ 2.72 -> 3 + 1
+		2: 8,  // e^2 ~ 7.39 -> 7+1
+		3: 21, // e^3 ~ 20.1 -> 20+1
+	}
+	for eps, want := range cases {
+		o := NewOLH(10000, eps)
+		if o.DPrime() != want {
+			t.Errorf("eps=%v: d'=%d, want %d", eps, o.DPrime(), want)
+		}
+	}
+}
+
+func TestOLHDPrimeClampedToDomain(t *testing.T) {
+	o := NewOLH(3, 4) // e^4+1 ~ 55 > d
+	if o.DPrime() != 3 {
+		t.Errorf("d' = %d, want clamp to 3", o.DPrime())
+	}
+}
+
+func TestSOLHExplicitDPrime(t *testing.T) {
+	s := NewSOLH(1000, 45, 1.2)
+	if s.Name() != "SOLH" || s.DPrime() != 45 || s.Domain() != 1000 {
+		t.Fatalf("unexpected SOLH config: %s d'=%d d=%d", s.Name(), s.DPrime(), s.Domain())
+	}
+	if s.EpsilonLocal() != 1.2 {
+		t.Fatalf("eps = %v", s.EpsilonLocal())
+	}
+}
+
+func TestLocalHashPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dprime": func() { NewSOLH(10, 1, 1) },
+		"eps":    func() { NewSOLH(10, 4, 0) },
+		"domain": func() { NewSOLH(1, 4, 1) },
+		"value":  func() { NewSOLH(10, 4, 1).Randomize(-1, rng.New(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestLocalHashReportInRange(t *testing.T) {
+	s := NewSOLH(100, 7, 1)
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		rep := s.Randomize(i%100, r)
+		if rep.Value < 0 || rep.Value >= 7 {
+			t.Fatalf("report value %d outside [0,7)", rep.Value)
+		}
+	}
+}
+
+// The core LDP property exercised empirically: conditioned on the chosen
+// hash seed, the report equals H(v) with probability p and any other
+// bucket with probability (1-p)/(d'-1).
+func TestLocalHashTruthfulProbability(t *testing.T) {
+	s := NewSOLH(50, 4, 1)
+	r := rng.New(6)
+	const trials = 200000
+	match := 0
+	for i := 0; i < trials; i++ {
+		rep := s.Randomize(17, r)
+		if s.family.Hash(uint64(rep.Seed), 17) == rep.Value {
+			match++
+		}
+	}
+	got := float64(match) / trials
+	if math.Abs(got-s.P()) > 0.005 {
+		t.Errorf("truthful rate %v, want %v", got, s.P())
+	}
+}
+
+func TestLocalHashEstimatesUnbiased(t *testing.T) {
+	const d = 20
+	s := NewSOLH(d, 6, 2)
+	r := rng.New(7)
+	values := make([]int, 0, 30000)
+	for i := 0; i < 15000; i++ {
+		values = append(values, 0)
+	}
+	for i := 0; i < 15000; i++ {
+		values = append(values, 1+i%(d-1))
+	}
+	truth := TrueFrequencies(values, d)
+	est := EstimateAll(s, values, r)
+	tol := 5 * math.Sqrt(s.Variance(len(values)))
+	for v := 0; v < d; v++ {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("value %d: est %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestLocalHashVarianceFormula(t *testing.T) {
+	// Equation (4) at eps=ln(3), d'=3: (3+2)^2/(n*4*2) = 25/(8n).
+	s := NewSOLH(100, 3, math.Log(3))
+	want := 25.0 / (8 * 1000)
+	if got := s.Variance(1000); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestOLHVarianceBeatsGRRLargeDomain(t *testing.T) {
+	// §IV-B3: GRR degrades with d; OLH should win for large d.
+	const d, n = 1000, 100000
+	eps := 1.0
+	if NewOLH(d, eps).Variance(n) >= NewGRR(d, eps).Variance(n) {
+		t.Error("OLH variance should beat GRR at d=1000")
+	}
+}
+
+func TestHadamardReportAggregation(t *testing.T) {
+	const d = 10
+	h := NewHadamard(d, 2)
+	if h.Order() != 16 {
+		t.Fatalf("Order = %d, want 16", h.Order())
+	}
+	r := rng.New(8)
+	values := make([]int, 0, 40000)
+	for i := 0; i < 20000; i++ {
+		values = append(values, 4)
+	}
+	for i := 0; i < 20000; i++ {
+		values = append(values, i%d)
+	}
+	truth := TrueFrequencies(values, d)
+	est := EstimateAll(h, values, r)
+	tol := 5 * math.Sqrt(h.Variance(len(values)))
+	for v := 0; v < d; v++ {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("value %d: est %v, truth %v (tol %v)", v, est[v], truth[v], tol)
+		}
+	}
+}
+
+func TestHadamardVarianceMatchesLocalHashD2(t *testing.T) {
+	// Had is local hashing with d' = 2 (§VII-A): variances must agree.
+	h := NewHadamard(100, 1.3)
+	lh := NewSOLH(100, 2, 1.3)
+	if math.Abs(h.Variance(5000)-lh.Variance(5000)) > 1e-12 {
+		t.Errorf("Had %v vs LH(d'=2) %v", h.Variance(5000), lh.Variance(5000))
+	}
+}
+
+func TestHadamardEmptyAggregator(t *testing.T) {
+	agg := NewHadamard(4, 1).NewAggregator()
+	for _, e := range agg.Estimates() {
+		if e != 0 {
+			t.Fatal("empty aggregator should estimate zeros")
+		}
+	}
+	if agg.Count() != 0 {
+		t.Fatal("empty aggregator count != 0")
+	}
+}

@@ -1,0 +1,263 @@
+package ldp
+
+import (
+	"math"
+
+	"shuffledp/internal/rng"
+)
+
+// Fast-path simulators.
+//
+// Reproducing Figure 3 takes ~100 trials x 10 budgets x 9 methods at
+// n ~ 6*10^5 users; materializing every report would make the harness
+// O(trials * budgets * methods * n * d). Instead these helpers sample the
+// server's *observed support counts* directly from their exact per-value
+// sampling distribution:
+//
+//	C_v = Bin(n_v, p) + Bin(n - n_v, q)
+//
+// where p is the probability a report supports the reporter's own value
+// and q the probability it supports any other fixed value. The counts
+// are sampled independently across v; the true joint distribution has
+// (mild, negative) cross-value correlation, but the expected MSE —
+// the metric in every figure — depends only on the per-value marginals,
+// which are exact.
+//
+// Each oracle's (p, q) pair:
+//
+//	GRR      p = e^eps/(e^eps+d-1)        q = 1/(e^eps+d-1)
+//	OLH/SOLH p = e^eps/(e^eps+d'-1)       q = 1/d'
+//	Had      handled via signed counts (see SimulateHadamard)
+//	RAP(_R)  p = 1-flip                   q = flip
+//	AUE      handled additively (SimulateAUE)
+
+// SupportProbabilities returns (p, q) for a counts-based oracle, or
+// ok=false for oracles without the two-probability structure (AUE).
+func SupportProbabilities(fo FrequencyOracle) (p, q float64, ok bool) {
+	switch o := fo.(type) {
+	case *GRR:
+		return o.p, o.q, true
+	case *LocalHash:
+		return o.p, 1 / float64(o.dPrime), true
+	case *Hadamard:
+		// Signed reports; mapped to a support-count view where
+		// "support" means the report sign matches H[a, v+1]:
+		// own value p, other values 1/2 by row uniformity.
+		return o.p, 0.5, true
+	case *UnaryEncoding:
+		return 1 - o.flip, o.flip, true
+	case *OUE:
+		return o.p, o.q, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// SimulateEstimates draws one sample of the frequency-estimate vector a
+// server would compute from n randomized reports whose true histogram is
+// trueCounts (length d, summing to n). It is exact in each per-value
+// marginal. Works for every oracle in this package.
+func SimulateEstimates(fo FrequencyOracle, trueCounts []int, r *rng.Rand) []float64 {
+	if aue, isAUE := fo.(*AUE); isAUE {
+		return SimulateAUE(aue, trueCounts, r)
+	}
+	p, q, ok := SupportProbabilities(fo)
+	if !ok {
+		panic("ldp: no simulator for oracle " + fo.Name())
+	}
+	n := 0
+	for _, c := range trueCounts {
+		n += c
+	}
+	est := make([]float64, len(trueCounts))
+	if n == 0 {
+		return est
+	}
+	nf := float64(n)
+	for v, nv := range trueCounts {
+		support := r.Binomial(nv, p) + r.Binomial(n-nv, q)
+		est[v] = (float64(support)/nf - q) / (p - q)
+	}
+	return est
+}
+
+// SimulateAUE draws one estimate vector under the Balcer–Cheu mechanism:
+// C_v = n_v + Bin(n*rounds, prob); f~_v = C_v/n - gamma.
+func SimulateAUE(a *AUE, trueCounts []int, r *rng.Rand) []float64 {
+	n := 0
+	for _, c := range trueCounts {
+		n += c
+	}
+	est := make([]float64, len(trueCounts))
+	if n == 0 {
+		return est
+	}
+	nf := float64(n)
+	for v, nv := range trueCounts {
+		c := nv + r.Binomial(n*a.rounds, a.prob)
+		est[v] = float64(c)/nf - a.gamma
+	}
+	return est
+}
+
+// SimulateLaplace draws the central-DP Laplace baseline: the curator
+// publishes the exact histogram plus Lap(sensitivity/eps) noise on each
+// count. Under the paper's replacement neighboring (Definition 1) the
+// L1 sensitivity of a histogram is 2.
+func SimulateLaplace(trueCounts []int, eps float64, r *rng.Rand) []float64 {
+	validateEpsilon(eps)
+	n := 0
+	for _, c := range trueCounts {
+		n += c
+	}
+	est := make([]float64, len(trueCounts))
+	if n == 0 {
+		return est
+	}
+	scale := 2 / eps
+	nf := float64(n)
+	for v, nv := range trueCounts {
+		est[v] = (float64(nv) + r.Laplace(scale)) / nf
+	}
+	return est
+}
+
+// BaseEstimates is the "Base" baseline of Figure 3: output the uniform
+// distribution regardless of the data.
+func BaseEstimates(d int) []float64 {
+	est := make([]float64, d)
+	for v := range est {
+		est[v] = 1 / float64(d)
+	}
+	return est
+}
+
+// MSE returns the mean squared error (the paper's metric, §VII-A):
+// (1/d) * sum_v (f_v - f~_v)^2.
+func MSE(truth, est []float64) float64 {
+	if len(truth) != len(est) {
+		panic("ldp: MSE length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for v := range truth {
+		dlt := truth[v] - est[v]
+		sum += dlt * dlt
+	}
+	return sum / float64(len(truth))
+}
+
+// FakeSupport returns, for a PEOS-compatible oracle (GRR or local
+// hashing), the probability u that one fake report drawn uniformly from
+// the oracle's *report space* (Algorithm 1) supports a fixed value v,
+// and the expected calibrated mass beta = (u-q)/(p-q) that one fake
+// contributes to f~_v:
+//
+//   - GRR: the report space is [d], so u = 1/d and — because
+//     p + (d-1)q = 1 — beta = 1/d exactly, which is the nr/(n*d)
+//     correction of Equation (6).
+//   - OLH/SOLH: the report space is (seed, y) with y uniform on [d'],
+//     so u = 1/d' = q and beta = 0: uniform fakes are already absorbed
+//     by the estimator's q subtraction and Equation (6)'s correction
+//     term vanishes. (The paper states Eq (6) for the GRR view where
+//     "n_r/d of the fakes have original value v"; for local hashing the
+//     same derivation with u = q yields the beta = 0 form. See
+//     DESIGN.md §3.)
+func FakeSupport(fo FrequencyOracle) (u, beta float64) {
+	p, q, ok := SupportProbabilities(fo)
+	if !ok {
+		panic("ldp: oracle " + fo.Name() + " is not PEOS-compatible")
+	}
+	switch o := fo.(type) {
+	case *GRR:
+		u = 1 / float64(o.Domain())
+	case *LocalHash:
+		u = q
+	default:
+		panic("ldp: oracle " + fo.Name() + " is not PEOS-compatible")
+	}
+	return u, (u - q) / (p - q)
+}
+
+// CalibrateWithFakes converts raw support counts over n user reports
+// plus nr uniform fake reports into unbiased estimates of the users'
+// frequencies (the generalized Equation (6)):
+//
+//	f'_v = (n+nr)/n * f~_v - (nr/n) * beta
+func CalibrateWithFakes(counts []int, n, nr int, p, q, beta float64) []float64 {
+	est := make([]float64, len(counts))
+	if n == 0 {
+		return est
+	}
+	tf := float64(n + nr)
+	nf := float64(n)
+	for v, c := range counts {
+		fTilde := (float64(c)/tf - q) / (p - q)
+		est[v] = tf/nf*fTilde - float64(nr)/nf*beta
+	}
+	return est
+}
+
+// SimulateWithFakes mirrors SimulateEstimates for the PEOS setting
+// (§VI-C): nr fake reports drawn uniformly from the report space are
+// mixed with the n user reports and the server post-processes with the
+// generalized Equation (6) (see FakeSupport). Only GRR and local
+// hashing are PEOS-compatible (Algorithm 1).
+func SimulateWithFakes(fo FrequencyOracle, trueCounts []int, nr int, r *rng.Rand) []float64 {
+	if nr < 0 {
+		panic("ldp: negative fake-report count")
+	}
+	p, q, _ := SupportProbabilities(fo)
+	u, beta := FakeSupport(fo)
+	n := 0
+	for _, c := range trueCounts {
+		n += c
+	}
+	if n == 0 {
+		return make([]float64, len(trueCounts))
+	}
+	counts := make([]int, len(trueCounts))
+	for v, nv := range trueCounts {
+		counts[v] = r.Binomial(nv, p) + r.Binomial(n-nv, q) + r.Binomial(nr, u)
+	}
+	return CalibrateWithFakes(counts, n, nr, p, q, beta)
+}
+
+// TopK returns the indices of the k largest entries of xs (ties broken
+// by lower index), used by the succinct-histogram experiments.
+func TopK(xs []float64, k int) []int {
+	if k < 0 {
+		panic("ldp: TopK with k < 0")
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine for the k ~ 32 used here.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if xs[idx[j]] > xs[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// ExpectedMSE returns the analytic expected MSE of a mechanism at n
+// users assuming rare values: simply Variance(n) (bias is zero). Kept
+// as a named helper so harness code reads like the paper.
+func ExpectedMSE(fo FrequencyOracle, n int) float64 {
+	v := fo.Variance(n)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic("ldp: non-finite analytic variance")
+	}
+	return v
+}

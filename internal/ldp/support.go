@@ -1,0 +1,39 @@
+package ldp
+
+import "shuffledp/internal/hash"
+
+// SupportCounts computes, for every value v in [0, d), how many of the
+// given reports "support" v — the raw statistic behind Equations (2)
+// and (3). It is the server-side aggregation used when reports arrive
+// through a protocol (shuffled words) rather than an Aggregator:
+//
+//   - GRR: a report supports its value.
+//   - OLH/SOLH: report (seed, y) supports v iff H_seed(v) = y.
+//
+// Only PEOS-compatible oracles are supported; others panic.
+func SupportCounts(fo FrequencyOracle, reports []Report) []int {
+	counts := make([]int, fo.Domain())
+	switch o := fo.(type) {
+	case *GRR:
+		for _, rep := range reports {
+			validateValue(rep.Value, o.d)
+			counts[rep.Value]++
+		}
+	case *LocalHash:
+		fam := hash.NewFamily(o.dPrime)
+		for _, rep := range reports {
+			if rep.Value < 0 || rep.Value >= o.dPrime {
+				panic("ldp: report value outside [0, d')")
+			}
+			seed := uint64(rep.Seed)
+			for v := 0; v < o.d; v++ {
+				if fam.Hash(seed, uint64(v)) == rep.Value {
+					counts[v]++
+				}
+			}
+		}
+	default:
+		panic("ldp: SupportCounts does not support oracle " + fo.Name())
+	}
+	return counts
+}

@@ -1,0 +1,174 @@
+package netproto
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+)
+
+func TestRunPipelineEndToEnd(t *testing.T) {
+	const n, d = 4000, 16
+	values := make([]int, n)
+	for i := range values {
+		values[i] = i % 4 // mass on values 0..3
+	}
+	fo := ldp.NewSOLH(d, 6, 3)
+	est, err := RunPipeline(fo, values, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ldp.TrueFrequencies(values, d)
+	tol := 6 * math.Sqrt(fo.Variance(n))
+	for v := 0; v < d; v++ {
+		if math.Abs(est[v]-truth[v]) > tol {
+			t.Errorf("value %d: est %v truth %v", v, est[v], truth[v])
+		}
+	}
+}
+
+func TestRunPipelineGRR(t *testing.T) {
+	const n, d = 3000, 8
+	values := make([]int, n)
+	for i := range values {
+		values[i] = i % d
+	}
+	fo := ldp.NewGRR(d, 4)
+	est, err := RunPipeline(fo, values, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d; v++ {
+		if math.Abs(est[v]-1.0/d) > 0.05 {
+			t.Errorf("value %d: est %v, want ~%v", v, est[v], 1.0/d)
+		}
+	}
+}
+
+// The shuffler must not be able to read report contents: the frames it
+// forwards are ECIES ciphertexts.
+func TestShufflerSeesOnlyCiphertext(t *testing.T) {
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := ldp.NewGRR(4, 8) // eps=8: the report is almost surely the value
+	user, err := NewUser(fo, key.Public(), rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := user.Report(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// The wire bytes must not contain the plaintext payload: the
+	// 8-byte word for value 2 is 02 00 00 00 00 00 00 00; a plaintext
+	// leak would show a run of 7 zero bytes.
+	zeroRun := 0
+	maxRun := 0
+	for _, b := range frame {
+		if b == 0 {
+			zeroRun++
+			if zeroRun > maxRun {
+				maxRun = zeroRun
+			}
+		} else {
+			zeroRun = 0
+		}
+	}
+	if maxRun >= 7 {
+		t.Fatal("report payload appears unencrypted on the wire")
+	}
+}
+
+// The shuffler must actually permute: feed ordered reports through
+// Forward and check they come out reordered.
+func TestShufflerPermutes(t *testing.T) {
+	s := &Shuffler{Rand: rng.New(34)}
+	in := make([][]byte, 100)
+	for i := range in {
+		in[i] = []byte{byte(i)}
+	}
+	var buf bytes.Buffer
+	orig := make([][]byte, len(in))
+	copy(orig, in)
+	if err := s.Forward(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range in {
+		if in[i][0] != orig[i][0] {
+			moved++
+		}
+	}
+	// in was permuted in place by Forward; expect nearly all moved.
+	if moved < 50 {
+		t.Fatalf("only %d/100 reports moved", moved)
+	}
+}
+
+func TestShufflerForwardNeedsRand(t *testing.T) {
+	s := &Shuffler{}
+	if err := s.Forward(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+}
+
+func TestUserValidation(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	if _, err := NewUser(fo, nil, rng.New(1)); err == nil {
+		t.Error("nil key accepted")
+	}
+	if _, err := NewUser(fo, key.Public(), nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := NewUser(ldp.NewRAP(4, 1), key.Public(), rng.New(1)); err == nil {
+		t.Error("unary oracle accepted")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	if _, err := NewServer(fo, nil); err == nil {
+		t.Error("nil key accepted")
+	}
+	if _, err := NewServer(ldp.NewRAP(4, 1), &ecies.PrivateKey{}); err == nil {
+		t.Error("unary oracle accepted")
+	}
+}
+
+// A server receiving a report encrypted under the wrong key must fail
+// loudly, not silently mis-estimate.
+func TestServerRejectsWrongKeyReports(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	serverKey, _ := ecies.GenerateKey()
+	wrongKey, _ := ecies.GenerateKey()
+	server, err := NewServer(fo, serverKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := NewUser(fo, wrongKey.Public(), rng.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() { _ = user.Report(a, 1) }()
+	if _, err := server.Receive(b, 1); err == nil {
+		t.Fatal("wrong-key report accepted")
+	}
+}
+
+func TestCollectPropagatesEOF(t *testing.T) {
+	s := &Shuffler{Rand: rng.New(36)}
+	if _, err := s.Collect(&bytes.Buffer{}, 1); err == nil {
+		t.Fatal("EOF not propagated")
+	}
+}

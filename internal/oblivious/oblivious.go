@@ -1,0 +1,504 @@
+// Package oblivious implements the resharing-based oblivious shuffle of
+// Laur, Willemson & Zhang (§II-C) and the paper's Encrypted Oblivious
+// Shuffle (EOS, §VI-A3, Figure 2).
+//
+// r shufflers each hold one additive share vector of the n values.
+// With t = floor(r/2)+1 "hiders" per round, the protocol runs one round
+// per t-subset of shufflers (C(r, t) rounds): the r-t seekers reshare
+// their vectors to the hiders, the hiders permute everything with a
+// jointly agreed permutation, and then reshare back to all r parties.
+// After all rounds, no coalition of r-t shufflers knows the composite
+// permutation.
+//
+// EOS strengthens this: one of the r share vectors is encrypted under
+// the server's additively homomorphic key, so even all r shufflers
+// colluding cannot reconstruct the values — yet the shares can still be
+// split, accumulated and permuted, processed under AHE (Figure 2).
+package oblivious
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+	"shuffledp/internal/transport"
+)
+
+// Config parameterizes a shuffle run.
+type Config struct {
+	// Mod is the share ring Z_{2^l}.
+	Mod secretshare.Modulus
+	// Source provides the shufflers' randomness.
+	Source secretshare.Source
+	// Pub is the server's AHE key; required iff the state carries an
+	// encrypted vector.
+	Pub ahe.PublicKey
+	// Meter optionally accounts communication and computation per
+	// shuffler ("shuffler-0", "shuffler-1", ...).
+	Meter *transport.Meter
+	// Rounds overrides the number of hide-and-seek rounds (0 means the
+	// full C(r, t), the value required for the security guarantee; the
+	// override exists for the ablation benchmarks).
+	Rounds int
+	// SkipRerandomize omits the per-element ciphertext refresh after
+	// each permutation and split. The paper's prototype accounts only
+	// homomorphic additions for the shufflers (Table III); this knob
+	// reproduces that cost model. It weakens unlinkability: a party
+	// seeing the same ciphertext before and after a round can track
+	// that position, so leave it off outside benchmarks.
+	SkipRerandomize bool
+}
+
+// State is the shufflers' joint state: party j holds Plain[j], except
+// the EncHolder (if any), who holds Enc.
+type State struct {
+	// Plain[j] is shuffler j's plaintext share vector (nil for the
+	// encrypted holder).
+	Plain [][]uint64
+	// Enc is the single AHE-encrypted share vector, held by
+	// Plain[EncHolder]'s owner. Nil for a plain oblivious shuffle.
+	Enc []*ahe.Ciphertext
+	// EncHolder is the index of the shuffler holding Enc, or -1.
+	EncHolder int
+}
+
+// NumParties returns r.
+func (st *State) NumParties() int { return len(st.Plain) }
+
+// Len returns the vector length n.
+func (st *State) Len() int {
+	if st.EncHolder >= 0 {
+		return len(st.Enc)
+	}
+	for _, p := range st.Plain {
+		if p != nil {
+			return len(p)
+		}
+	}
+	return 0
+}
+
+func (st *State) validate(cfg Config) error {
+	r := len(st.Plain)
+	if r < 2 {
+		return errors.New("oblivious: need at least 2 shufflers")
+	}
+	n := st.Len()
+	for j, p := range st.Plain {
+		if j == st.EncHolder {
+			if p != nil {
+				return fmt.Errorf("oblivious: encrypted holder %d also has a plaintext vector", j)
+			}
+			continue
+		}
+		if len(p) != n {
+			return fmt.Errorf("oblivious: shuffler %d vector has length %d, want %d", j, len(p), n)
+		}
+	}
+	if st.EncHolder >= 0 {
+		if st.EncHolder >= r {
+			return errors.New("oblivious: EncHolder out of range")
+		}
+		if len(st.Enc) != n {
+			return errors.New("oblivious: encrypted vector length mismatch")
+		}
+		if cfg.Pub == nil {
+			return errors.New("oblivious: encrypted state requires an AHE public key")
+		}
+	} else if st.Enc != nil {
+		return errors.New("oblivious: Enc set but EncHolder = -1")
+	}
+	if cfg.Source == nil {
+		return errors.New("oblivious: Config.Source is required")
+	}
+	return nil
+}
+
+// Hiders returns t = floor(r/2)+1, the hider count (§II-C).
+func Hiders(r int) int { return r/2 + 1 }
+
+// Combinations enumerates all t-subsets of [0, r) in lexicographic
+// order — the hide-and-seek partitions.
+func Combinations(r, t int) [][]int {
+	if t < 0 || t > r {
+		return nil
+	}
+	var out [][]int
+	comb := make([]int, t)
+	for i := range comb {
+		comb[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), comb...))
+		// Advance.
+		i := t - 1
+		for i >= 0 && comb[i] == r-t+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		comb[i]++
+		for j := i + 1; j < t; j++ {
+			comb[j] = comb[j-1] + 1
+		}
+	}
+}
+
+func shufflerName(j int) string { return fmt.Sprintf("shuffler-%d", j) }
+
+// Run executes the oblivious shuffle (EOS when the state carries an
+// encrypted vector), mutating st in place. On return the share vectors
+// represent the same multiset of values in a permuted order, and (for
+// EOS) EncHolder points at the final ciphertext holder.
+func Run(st *State, cfg Config) error {
+	if err := st.validate(cfg); err != nil {
+		return err
+	}
+	r := st.NumParties()
+	t := Hiders(r)
+	partitions := Combinations(r, t)
+	rounds := cfg.Rounds
+	if rounds <= 0 || rounds > len(partitions) {
+		rounds = len(partitions)
+	}
+	for round := 0; round < rounds; round++ {
+		if err := runRound(st, cfg, partitions[round]); err != nil {
+			return fmt.Errorf("oblivious: round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// runRound performs one hide-and-seek round with the given hider set.
+func runRound(st *State, cfg Config, hiders []int) error {
+	r := st.NumParties()
+	n := st.Len()
+	t := len(hiders)
+	isHider := make([]bool, r)
+	for _, h := range hiders {
+		isHider[h] = true
+	}
+
+	// --- Hide phase: seekers split their vectors among the hiders. ---
+	// acc[h] accumulates hider h's plaintext mass; encAcc is the single
+	// ciphertext vector in flight (held by encAt, a hider index).
+	acc := make([][]uint64, r)
+	for _, h := range hiders {
+		if h == st.EncHolder {
+			acc[h] = make([]uint64, n)
+		} else {
+			acc[h] = append([]uint64(nil), st.Plain[h]...)
+		}
+	}
+	var encAcc []*ahe.Ciphertext
+	encAt := -1
+	if st.EncHolder >= 0 && isHider[st.EncHolder] {
+		encAcc = st.Enc
+		encAt = st.EncHolder
+	}
+
+	for s := 0; s < r; s++ {
+		if isHider[s] {
+			continue
+		}
+		if s == st.EncHolder {
+			// Encrypted seeker: t-1 plaintext parts + 1 ciphertext
+			// remainder sent to a random hider, who becomes the
+			// ciphertext holder for this round.
+			target := hiders[rng.New(cfg.Source.Uint64()).Intn(t)]
+			parts, rem, err := splitEncrypted(st.Enc, t, cfg)
+			if err != nil {
+				return err
+			}
+			pi := 0
+			for _, h := range hiders {
+				if h == target {
+					continue
+				}
+				addInto(acc[h], parts[pi], cfg.Mod)
+				cfg.Meter.Send(shufflerName(s), shufflerName(h), 8*n)
+				pi++
+			}
+			encAcc = rem
+			encAt = target
+			cfg.Meter.Send(shufflerName(s), shufflerName(target), cfg.Pub.CiphertextBytes()*n)
+			continue
+		}
+		// Plain seeker: t plaintext parts.
+		parts := splitPlain(st.Plain[s], t, cfg)
+		for i, h := range hiders {
+			addInto(acc[h], parts[i], cfg.Mod)
+			cfg.Meter.Send(shufflerName(s), shufflerName(h), 8*n)
+		}
+	}
+
+	// The ciphertext hider also accumulated plaintext mass from the
+	// seekers; fold it into the ciphertext vector (AHE AddPlain) so it
+	// holds exactly one vector — the Figure 2 "Hide" column.
+	if encAt >= 0 {
+		var err error
+		cfg.Meter.Track(shufflerName(encAt), func() {
+			err = addPlainAll(encAcc, acc[encAt], cfg.Mod, cfg.Pub)
+		})
+		if err != nil {
+			return err
+		}
+		acc[encAt] = nil
+	}
+
+	// --- Shuffle phase: hiders apply an agreed permutation. ---
+	// The first hider samples it and the others learn it via a shared
+	// seed (32 bytes on the wire).
+	seed := cfg.Source.Uint64()
+	perm := rng.New(seed).Perm(n)
+	for _, h := range hiders[1:] {
+		cfg.Meter.Send(shufflerName(hiders[0]), shufflerName(h), 32)
+	}
+	for _, h := range hiders {
+		if acc[h] == nil {
+			continue // ciphertext hider, permuted below
+		}
+		cfg.Meter.Track(shufflerName(h), func() {
+			acc[h] = applyPermUint64(acc[h], perm)
+		})
+	}
+	if encAt >= 0 {
+		var err error
+		cfg.Meter.Track(shufflerName(encAt), func() {
+			encAcc = applyPermCipher(encAcc, perm)
+			// Refresh ciphertexts so positions are unlinkable across
+			// the permutation.
+			if !cfg.SkipRerandomize {
+				err = rerandomizeAll(encAcc, cfg.Pub)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// --- Reshare phase: each hider splits its vector to all parties. ---
+	newPlain := make([][]uint64, r)
+	for j := 0; j < r; j++ {
+		newPlain[j] = make([]uint64, n)
+	}
+	var newEnc []*ahe.Ciphertext
+	newEncHolder := -1
+	for _, h := range hiders {
+		if h == encAt {
+			continue // handled below
+		}
+		parts := splitPlain(acc[h], r, cfg)
+		for j := 0; j < r; j++ {
+			addInto(newPlain[j], parts[j], cfg.Mod)
+			if j != h {
+				cfg.Meter.Send(shufflerName(h), shufflerName(j), 8*n)
+			}
+		}
+	}
+	if encAt >= 0 {
+		// Ciphertext hider: r-1 plaintext parts + ciphertext remainder
+		// to a random party.
+		target := rng.New(cfg.Source.Uint64() ^ 0x5bd1e995).Intn(r)
+		parts, rem, err := splitEncrypted(encAcc, r, cfg)
+		if err != nil {
+			return err
+		}
+		pi := 0
+		for j := 0; j < r; j++ {
+			if j == target {
+				continue
+			}
+			addInto(newPlain[j], parts[pi], cfg.Mod)
+			if j != encAt {
+				cfg.Meter.Send(shufflerName(encAt), shufflerName(j), 8*n)
+			}
+			pi++
+		}
+		newEnc = rem
+		newEncHolder = target
+		if target != encAt {
+			cfg.Meter.Send(shufflerName(encAt), shufflerName(target), cfg.Pub.CiphertextBytes()*n)
+		}
+	}
+
+	// Fold the new ciphertext holder's plaintext reshare pieces into
+	// the ciphertext vector so each party holds exactly one vector.
+	if newEncHolder >= 0 {
+		var err error
+		cfg.Meter.Track(shufflerName(newEncHolder), func() {
+			err = addPlainAll(newEnc, newPlain[newEncHolder], cfg.Mod, cfg.Pub)
+		})
+		if err != nil {
+			return err
+		}
+		newPlain[newEncHolder] = nil
+	}
+	st.Plain = newPlain
+	st.Enc = newEnc
+	st.EncHolder = newEncHolder
+	return nil
+}
+
+// splitPlain additively splits vec into k share vectors.
+func splitPlain(vec []uint64, k int, cfg Config) [][]uint64 {
+	return secretshare.SplitVector(vec, k, cfg.Mod, cfg.Source)
+}
+
+// splitEncrypted splits an encrypted vector into k-1 uniform plaintext
+// vectors and one ciphertext remainder: rem_i = enc_i - sum(parts_i),
+// computed homomorphically and rerandomized.
+func splitEncrypted(enc []*ahe.Ciphertext, k int, cfg Config) (parts [][]uint64, rem []*ahe.Ciphertext, err error) {
+	n := len(enc)
+	parts = make([][]uint64, k-1)
+	for i := range parts {
+		parts[i] = make([]uint64, n)
+	}
+	rem = make([]*ahe.Ciphertext, n)
+	for i := 0; i < n; i++ {
+		var sum uint64
+		for j := range parts {
+			s := cfg.Mod.Random(cfg.Source)
+			parts[j][i] = s
+			sum = cfg.Mod.Add(sum, s)
+		}
+		c, err := cfg.Pub.AddPlain(enc[i], cfg.Mod.Neg(sum))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !cfg.SkipRerandomize {
+			if c, err = cfg.Pub.Rerandomize(c); err != nil {
+				return nil, nil, err
+			}
+		}
+		rem[i] = c
+	}
+	return parts, rem, nil
+}
+
+func addInto(dst, src []uint64, mod secretshare.Modulus) {
+	for i := range dst {
+		dst[i] = mod.Add(dst[i], src[i])
+	}
+}
+
+// addPlainAll folds a plaintext vector into a ciphertext vector,
+// reducing each addend into the share ring first.
+func addPlainAll(enc []*ahe.Ciphertext, plain []uint64, mod secretshare.Modulus, pub ahe.PublicKey) error {
+	for i := range enc {
+		c, err := pub.AddPlain(enc[i], mod.Reduce(plain[i]))
+		if err != nil {
+			return err
+		}
+		enc[i] = c
+	}
+	return nil
+}
+
+func rerandomizeAll(enc []*ahe.Ciphertext, pub ahe.PublicKey) error {
+	for i := range enc {
+		c, err := pub.Rerandomize(enc[i])
+		if err != nil {
+			return err
+		}
+		enc[i] = c
+	}
+	return nil
+}
+
+func applyPermUint64(vec []uint64, perm []int) []uint64 {
+	out := make([]uint64, len(vec))
+	for i, p := range perm {
+		out[i] = vec[p]
+	}
+	return out
+}
+
+func applyPermCipher(vec []*ahe.Ciphertext, perm []int) []*ahe.Ciphertext {
+	out := make([]*ahe.Ciphertext, len(vec))
+	for i, p := range perm {
+		out[i] = vec[p]
+	}
+	return out
+}
+
+// Reveal reconstructs the shuffled values: the server decrypts the
+// ciphertext vector (if any) and sums all share vectors mod 2^l.
+// It does not mutate st.
+func Reveal(st *State, mod secretshare.Modulus, priv ahe.PrivateKey) ([]uint64, error) {
+	return RevealParallel(st, mod, priv, 1)
+}
+
+// RevealParallel is Reveal with the AHE decryptions fanned out over
+// `workers` goroutines — the paper's server parallelizes exactly this
+// phase ("the decryptions is done in parallel ... we use 32 threads",
+// §VII-D). workers < 1 uses GOMAXPROCS.
+func RevealParallel(st *State, mod secretshare.Modulus, priv ahe.PrivateKey, workers int) ([]uint64, error) {
+	n := st.Len()
+	out := make([]uint64, n)
+	for j, p := range st.Plain {
+		if j == st.EncHolder {
+			continue
+		}
+		addInto(out, p, mod)
+	}
+	if st.EncHolder < 0 {
+		return out, nil
+	}
+	if priv == nil {
+		return nil, errors.New("oblivious: encrypted state requires the private key to reveal")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, c := range st.Enc {
+			m, err := priv.Decrypt(c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = mod.Add(out[i], m)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				m, err := priv.Decrypt(st.Enc[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = mod.Add(out[i], m)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,392 @@
+package oblivious
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+	"shuffledp/internal/transport"
+)
+
+var (
+	keyOnce sync.Once
+	testKey *ahe.DGKPrivateKey
+	keyErr  error
+)
+
+func dgk(t *testing.T) *ahe.DGKPrivateKey {
+	t.Helper()
+	keyOnce.Do(func() { testKey, keyErr = ahe.GenerateDGK(768, 32) })
+	if keyErr != nil {
+		t.Fatal(keyErr)
+	}
+	return testKey
+}
+
+func TestCombinations(t *testing.T) {
+	got := Combinations(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Combinations(4,2) = %v", got)
+			}
+		}
+	}
+	if len(Combinations(7, 4)) != 35 {
+		t.Fatal("C(7,4) != 35")
+	}
+	if Combinations(3, 5) != nil {
+		t.Fatal("t > r should be nil")
+	}
+}
+
+func TestHiders(t *testing.T) {
+	if Hiders(3) != 2 || Hiders(7) != 4 || Hiders(2) != 2 {
+		t.Fatalf("Hiders: %d %d %d", Hiders(3), Hiders(7), Hiders(2))
+	}
+}
+
+// makeSharedState shares `values` among r shufflers (plain shuffle).
+func makeSharedState(values []uint64, r int, mod secretshare.Modulus, src secretshare.Source) *State {
+	return &State{
+		Plain:     secretshare.SplitVector(values, r, mod, src),
+		EncHolder: -1,
+	}
+}
+
+func sortedCopy(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestPlainShufflePreservesMultiset(t *testing.T) {
+	mod := secretshare.NewModulus(32)
+	src := rng.New(1)
+	for _, r := range []int{2, 3, 5} {
+		values := make([]uint64, 200)
+		for i := range values {
+			values[i] = uint64(i * i % 1009)
+		}
+		st := makeSharedState(values, r, mod, src)
+		if err := Run(st, Config{Mod: mod, Source: src}); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		out, err := Reveal(st, mod, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSorted := sortedCopy(values)
+		gotSorted := sortedCopy(out)
+		for i := range wantSorted {
+			if gotSorted[i] != wantSorted[i] {
+				t.Fatalf("r=%d: multiset changed", r)
+			}
+		}
+	}
+}
+
+func TestPlainShuffleActuallyPermutes(t *testing.T) {
+	mod := secretshare.NewModulus(32)
+	src := rng.New(2)
+	values := make([]uint64, 500)
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	st := makeSharedState(values, 3, mod, src)
+	if err := Run(st, Config{Mod: mod, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Reveal(st, mod, nil)
+	same := 0
+	for i := range out {
+		if out[i] == values[i] {
+			same++
+		}
+	}
+	// A uniform permutation of 500 elements has ~1 fixed point.
+	if same > 25 {
+		t.Fatalf("%d/500 elements unmoved — not a real shuffle", same)
+	}
+}
+
+func TestEOSPreservesMultisetAndHidesHolder(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	src := rng.New(3)
+	const r, n = 3, 40
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(1000 + i)
+	}
+	// User-side setup per Algorithm 1: split into r shares, encrypt
+	// the last share vector.
+	shares := secretshare.SplitVector(values, r, mod, src)
+	enc := make([]*ahe.Ciphertext, n)
+	for i, s := range shares[r-1] {
+		c, err := key.Encrypt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	shares[r-1] = nil
+	st := &State{Plain: shares, Enc: enc, EncHolder: r - 1}
+
+	if err := Run(st, Config{Mod: mod, Source: src, Pub: key.DGKPublicKey}); err != nil {
+		t.Fatal(err)
+	}
+	if st.EncHolder < 0 || st.EncHolder >= r {
+		t.Fatalf("EncHolder = %d after EOS", st.EncHolder)
+	}
+	out, err := Reveal(st, mod, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSorted := sortedCopy(values)
+	gotSorted := sortedCopy(out)
+	for i := range wantSorted {
+		if gotSorted[i] != wantSorted[i] {
+			t.Fatalf("EOS changed the multiset: %v vs %v", gotSorted[:5], wantSorted[:5])
+		}
+	}
+	// Even all shufflers colluding can only reconstruct the plaintext
+	// parts; combined they differ from the real values (the encrypted
+	// share is missing).
+	colluded := make([]uint64, n)
+	for j, p := range st.Plain {
+		if j == st.EncHolder {
+			continue
+		}
+		for i := range colluded {
+			colluded[i] = mod.Add(colluded[i], p[i])
+		}
+	}
+	match := 0
+	valueSet := map[uint64]bool{}
+	for _, v := range values {
+		valueSet[v] = true
+	}
+	for _, c := range colluded {
+		if valueSet[c] {
+			match++
+		}
+	}
+	if match > n/4 {
+		t.Fatalf("colluding shufflers reconstructed %d/%d values", match, n)
+	}
+}
+
+func TestEOSWithPaillier(t *testing.T) {
+	key, err := ahe.GeneratePaillier(512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := secretshare.NewModulus(32)
+	src := rng.New(4)
+	const r, n = 3, 15
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i + 7)
+	}
+	shares := secretshare.SplitVector(values, r, mod, src)
+	enc := make([]*ahe.Ciphertext, n)
+	for i, s := range shares[0] {
+		c, err := key.Encrypt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	shares[0] = nil
+	st := &State{Plain: shares, Enc: enc, EncHolder: 0}
+	if err := Run(st, Config{Mod: mod, Source: src, Pub: key.PaillierPublicKey}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Reveal(st, mod, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSorted := sortedCopy(values)
+	gotSorted := sortedCopy(out)
+	for i := range wantSorted {
+		if gotSorted[i] != wantSorted[i] {
+			t.Fatal("Paillier EOS changed the multiset")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	mod := secretshare.NewModulus(32)
+	src := rng.New(5)
+	cases := map[string]*State{
+		"too few parties": {Plain: [][]uint64{{1}}, EncHolder: -1},
+		"ragged lengths":  {Plain: [][]uint64{{1, 2}, {3}}, EncHolder: -1},
+		"enc no holder":   {Plain: [][]uint64{{1}, {2}}, Enc: make([]*ahe.Ciphertext, 1), EncHolder: -1},
+		"holder range":    {Plain: [][]uint64{{1}, {2}}, Enc: make([]*ahe.Ciphertext, 1), EncHolder: 5},
+	}
+	for name, st := range cases {
+		if err := Run(st, Config{Mod: mod, Source: src}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Encrypted state without a public key.
+	st := &State{
+		Plain:     [][]uint64{{1}, nil},
+		Enc:       make([]*ahe.Ciphertext, 1),
+		EncHolder: 1,
+	}
+	if err := Run(st, Config{Mod: mod, Source: src}); err == nil {
+		t.Error("encrypted state without pub key should error")
+	}
+	// Missing source.
+	st2 := makeSharedState([]uint64{1, 2}, 2, mod, src)
+	if err := Run(st2, Config{Mod: mod}); err == nil {
+		t.Error("missing source should error")
+	}
+}
+
+func TestRevealRequiresKeyForEncrypted(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	c, err := key.Encrypt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &State{
+		Plain:     [][]uint64{{1}, nil},
+		Enc:       []*ahe.Ciphertext{c},
+		EncHolder: 1,
+	}
+	if _, err := Reveal(st, mod, nil); err == nil {
+		t.Fatal("Reveal without key should error")
+	}
+}
+
+func TestMeterAccountsCommunication(t *testing.T) {
+	mod := secretshare.NewModulus(32)
+	src := rng.New(6)
+	var meter transport.Meter
+	values := make([]uint64, 100)
+	st := makeSharedState(values, 3, mod, src)
+	if err := Run(st, Config{Mod: mod, Source: src, Meter: &meter}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, p := range meter.Parties() {
+		total += meter.Stats(p).SentBytes
+	}
+	if total == 0 {
+		t.Fatal("no communication recorded")
+	}
+	// Rough shape: C(3,2)=3 rounds, each with seeker->hiders (2 vectors)
+	// and hiders->all (6 vectors) of 800 bytes each.
+	if total < 3*8*100 {
+		t.Fatalf("implausibly low communication: %d bytes", total)
+	}
+}
+
+func TestEOSSkipRerandomizeStillCorrect(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	src := rng.New(17)
+	const r, n = 3, 25
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i * 3)
+	}
+	shares := secretshare.SplitVector(values, r, mod, src)
+	enc := make([]*ahe.Ciphertext, n)
+	for i, s := range shares[0] {
+		c, err := key.Encrypt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	shares[0] = nil
+	st := &State{Plain: shares, Enc: enc, EncHolder: 0}
+	err := Run(st, Config{
+		Mod: mod, Source: src, Pub: key.DGKPublicKey, SkipRerandomize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Reveal(st, mod, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedCopy(out)
+	want := sortedCopy(values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("fast mode changed the multiset")
+		}
+	}
+}
+
+func TestRevealParallelMatchesSequential(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	src := rng.New(18)
+	const r, n = 3, 33
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i * 11)
+	}
+	shares := secretshare.SplitVector(values, r, mod, src)
+	enc := make([]*ahe.Ciphertext, n)
+	for i, s := range shares[2] {
+		c, err := key.Encrypt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	shares[2] = nil
+	st := &State{Plain: shares, Enc: enc, EncHolder: 2}
+	seq, err := Reveal(st, mod, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 100} {
+		par, err := RevealParallel(st, mod, key, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: mismatch at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestRoundsOverride(t *testing.T) {
+	mod := secretshare.NewModulus(32)
+	src := rng.New(7)
+	values := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	st := makeSharedState(values, 5, mod, src)
+	// One round only (ablation mode) — multiset must still hold.
+	if err := Run(st, Config{Mod: mod, Source: src, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Reveal(st, mod, nil)
+	if len(out) != len(values) {
+		t.Fatal("length changed")
+	}
+	got := sortedCopy(out)
+	want := sortedCopy(values)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("multiset changed with Rounds=1")
+		}
+	}
+}

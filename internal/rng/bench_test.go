@@ -1,0 +1,55 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(2)
+	for i := 0; i < b.N; i++ {
+		r.Uint64n(915)
+	}
+}
+
+func BenchmarkBinomialBINV(b *testing.B) {
+	r := New(3)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1000, 0.01) // np = 10 -> inversion path
+	}
+}
+
+func BenchmarkBinomialBTPE(b *testing.B) {
+	r := New(4)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1000000, 0.3) // np huge -> BTPE path
+	}
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	r := New(5)
+	for i := 0; i < b.N; i++ {
+		r.Laplace(2)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(42178, 1.4)
+	r := New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}
+
+func BenchmarkPerm1000(b *testing.B) {
+	r := New(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Perm(1000)
+	}
+}

@@ -1,0 +1,196 @@
+// Package rng provides deterministic, seedable pseudo-random number
+// generation and the samplers the rest of the repository builds on:
+// Bernoulli, exact binomial (BINV/BTPE), Laplace, Zipf, and Walker alias
+// tables for arbitrary discrete distributions.
+//
+// Experiments use rng for reproducibility; protocol cryptography uses
+// crypto/rand instead (see internal/ahe, internal/ecies).
+//
+// The core generator is xoshiro256**, seeded through splitmix64 so that
+// any 64-bit seed (including 0) yields a well-mixed state.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator (xoshiro256**).
+// It is NOT safe for concurrent use; give each goroutine its own Rand
+// (see Split).
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output.
+// It is used only for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro256** requires a nonzero state; splitmix64 guarantees the
+	// four outputs are not all zero for any seed, but be defensive.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from r's future output because the child is re-seeded
+// through splitmix64.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire multiply-shift with rejection of the biased low region.
+	threshold := (-n) % n // == (2^64 - n) mod n
+	for {
+		hi, lo := mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponential variate with rate 1 (mean 1).
+func (r *Rand) Exp() float64 {
+	// Inverse CDF; guard against log(0).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Laplace returns a Laplace(0, scale) variate.
+func (r *Rand) Laplace(scale float64) float64 {
+	// Difference of two exponentials has a Laplace distribution; the
+	// inverse-CDF form below needs one uniform only.
+	u := r.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+// Normal returns a standard normal variate (polar Marsaglia method).
+func (r *Rand) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a Geometric(p) variate with support {0, 1, ...}.
+// It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}

@@ -1,0 +1,305 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 9 {
+		t.Fatalf("seed 0 produced repetitive output: %d distinct of 10", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	child := r.Split()
+	// The child stream should not simply replay the parent stream.
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == child.Uint64() {
+			equal++
+		}
+	}
+	if equal > 1 {
+		t.Fatalf("split stream matches parent %d/64 times", equal)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []uint64{1, 2, 3, 7, 10, 1 << 20, 915, 42178} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(2)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(5)
+	const trials = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) mean = %v", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(6)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(7)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first element %d: got %d want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestShuffleMultisetPreserved(t *testing.T) {
+	r := New(8)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: sum %d -> %d", sum, got)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(9)
+	const trials = 400000
+	scale := 2.0
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		x := r.Laplace(scale)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * scale * scale
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(10)
+	const trials = 400000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11)
+	const trials = 400000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / trials; math.Abs(mean-1) > 0.01 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(12)
+	const trials = 200000
+	p := 0.25
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / trials
+	want := (1 - p) / p
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+	if r.Geometric(1) != 0 {
+		t.Error("Geometric(1) != 0")
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p == 0")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestQuickUint64nInRange(t *testing.T) {
+	r := New(13)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mul64 matches big-integer multiplication on the low 64 bits
+// and produces consistent hi words via the identity
+// (x*y) >> 64 == hi and (x*y) & mask == lo.
+func TestQuickMul64(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		if lo != x*y {
+			return false
+		}
+		// Verify hi via 32-bit decomposition done independently.
+		x0, x1 := x&0xffffffff, x>>32
+		y0, y1 := y&0xffffffff, y>>32
+		carry := ((x0*y0)>>32 + (x1*y0)&0xffffffff + (x0*y1)&0xffffffff) >> 32
+		wantHi := x1*y1 + (x1*y0)>>32 + (x0*y1)>>32 + carry
+		return hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package transport provides the measurement and framing layer under
+// the protocols: a Meter that attributes bytes sent/received and CPU
+// time to named parties (users, shufflers, server — the rows of
+// Table III), and length-prefixed message framing for running parties
+// over real connections.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is the per-party cost account.
+type Stats struct {
+	// SentBytes and RecvBytes count application payload bytes.
+	SentBytes, RecvBytes int64
+	// CPU is wall-clock time spent inside Track sections.
+	CPU time.Duration
+}
+
+// Meter attributes communication and computation to named parties. The
+// zero value is ready to use. Meter is safe for concurrent use.
+type Meter struct {
+	mu      sync.Mutex
+	parties map[string]*Stats
+}
+
+func (m *Meter) stats(party string) *Stats {
+	if m.parties == nil {
+		m.parties = make(map[string]*Stats)
+	}
+	s, ok := m.parties[party]
+	if !ok {
+		s = &Stats{}
+		m.parties[party] = s
+	}
+	return s
+}
+
+// Send records a transfer of n payload bytes from one party to another.
+func (m *Meter) Send(from, to string, n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats(from).SentBytes += int64(n)
+	m.stats(to).RecvBytes += int64(n)
+}
+
+// Track runs fn and attributes its wall-clock duration to party.
+func (m *Meter) Track(party string, fn func()) {
+	if m == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats(party).CPU += elapsed
+}
+
+// AddCPU attributes a pre-measured duration to party (for callers that
+// time sections themselves).
+func (m *Meter) AddCPU(party string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats(party).CPU += d
+}
+
+// Stats returns a copy of the party's account (zero Stats if unknown).
+func (m *Meter) Stats(party string) Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.parties[party]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// Parties returns the sorted list of known party names.
+func (m *Meter) Parties() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.parties))
+	for p := range m.parties {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all accounts.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parties = nil
+}
+
+// String renders the accounts as a small table.
+func (m *Meter) String() string {
+	if m == nil {
+		return ""
+	}
+	out := ""
+	for _, p := range m.Parties() {
+		s := m.Stats(p)
+		out += fmt.Sprintf("%-12s sent=%d recv=%d cpu=%v\n", p, s.SentBytes, s.RecvBytes, s.CPU)
+	}
+	return out
+}
+
+// MaxFrameSize bounds a single frame (defensive limit against corrupt
+// length prefixes).
+const MaxFrameSize = 1 << 30
+
+// ErrFrameTooLarge is returned when a frame length prefix exceeds
+// MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// WriteFrame writes a length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeUint64s packs words little-endian (share-vector wire format).
+func EncodeUint64s(words []uint64) []byte {
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// DecodeUint64s reverses EncodeUint64s.
+func DecodeUint64s(data []byte) ([]uint64, error) {
+	if len(data)%8 != 0 {
+		return nil, errors.New("transport: uint64 payload not a multiple of 8 bytes")
+	}
+	out := make([]uint64, len(data)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterSendAccounting(t *testing.T) {
+	var m Meter
+	m.Send("alice", "bob", 100)
+	m.Send("alice", "carol", 50)
+	m.Send("bob", "alice", 10)
+	if s := m.Stats("alice"); s.SentBytes != 150 || s.RecvBytes != 10 {
+		t.Fatalf("alice stats %+v", s)
+	}
+	if s := m.Stats("bob"); s.SentBytes != 10 || s.RecvBytes != 100 {
+		t.Fatalf("bob stats %+v", s)
+	}
+	if s := m.Stats("nobody"); s.SentBytes != 0 {
+		t.Fatalf("unknown party should be zero: %+v", s)
+	}
+}
+
+func TestMeterTrack(t *testing.T) {
+	var m Meter
+	m.Track("worker", func() { time.Sleep(10 * time.Millisecond) })
+	if cpu := m.Stats("worker").CPU; cpu < 5*time.Millisecond {
+		t.Fatalf("tracked CPU %v too small", cpu)
+	}
+	m.AddCPU("worker", time.Second)
+	if cpu := m.Stats("worker").CPU; cpu < time.Second {
+		t.Fatalf("AddCPU not applied: %v", cpu)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Send("a", "b", 1) // must not panic
+	ran := false
+	m.Track("a", func() { ran = true })
+	if !ran {
+		t.Fatal("nil meter should still run fn")
+	}
+	if m.Parties() != nil {
+		t.Fatal("nil meter parties should be nil")
+	}
+	if m.String() != "" {
+		t.Fatal("nil meter String should be empty")
+	}
+	m.Reset()
+}
+
+func TestMeterPartiesSortedAndReset(t *testing.T) {
+	var m Meter
+	m.Send("zeta", "alpha", 1)
+	got := m.Parties()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Parties = %v", got)
+	}
+	if !strings.Contains(m.String(), "alpha") {
+		t.Fatal("String missing party")
+	}
+	m.Reset()
+	if len(m.Parties()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Send("a", "b", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := m.Stats("a"); s.SentBytes != 8000 {
+		t.Fatalf("lost updates: %d", s.SentBytes)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, []byte("hello"), bytes.Repeat([]byte{7}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameOverNetPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_ = WriteFrame(a, []byte("over the wire"))
+	}()
+	got, err := ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over the wire" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2}) // claims 10 bytes, has 2
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+}
+
+func TestEncodeDecodeUint64s(t *testing.T) {
+	in := []uint64{0, 1, ^uint64(0), 0xdeadbeef}
+	out, err := DecodeUint64s(EncodeUint64s(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+	if _, err := DecodeUint64s([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged payload should error")
+	}
+}

@@ -1,0 +1,101 @@
+package treehist
+
+import (
+	"testing"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/rng"
+)
+
+func TestNIRecoversHeavyHitters(t *testing.T) {
+	ds := dataset.SyntheticStrings("ni", 40000, 60, 16, 1.6, 21)
+	cfg := NIConfig{
+		Bits: 16, RoundBits: 8, K: 8,
+		DPrime: 16, EpsLocalPerLevel: 4,
+	}
+	r := rng.New(22)
+	reports, err := CollectNI(ds.Values, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != ds.N() {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	found, err := RunNI(reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.TopStrings(cfg.K)
+	if p := Precision(found, truth); p < 0.6 {
+		t.Fatalf("non-interactive precision %v too low at epsL=4/level", p)
+	}
+}
+
+func TestNIReportShape(t *testing.T) {
+	cfg := NIConfig{Bits: 24, RoundBits: 8, K: 4, DPrime: 8, EpsLocalPerLevel: 1}
+	rep := EncodeNI(0xABCDEF, cfg, rng.New(23))
+	if len(rep.Seeds) != 3 || len(rep.Values) != 3 {
+		t.Fatalf("report shape: %d seeds, %d values", len(rep.Seeds), len(rep.Values))
+	}
+	for _, v := range rep.Values {
+		if int(v) >= cfg.DPrime {
+			t.Fatalf("value %d outside [0, %d)", v, cfg.DPrime)
+		}
+	}
+	if cfg.Levels() != 3 {
+		t.Fatalf("Levels = %d", cfg.Levels())
+	}
+}
+
+func TestNIServerNeedsNoInteraction(t *testing.T) {
+	// The defining property: the server can evaluate candidates chosen
+	// AFTER collection. Collect against one dataset, then run two
+	// different BFS configurations (different K) on the same reports.
+	ds := dataset.SyntheticStrings("ni2", 20000, 40, 16, 1.6, 24)
+	cfg := NIConfig{Bits: 16, RoundBits: 8, K: 8, DPrime: 16, EpsLocalPerLevel: 4}
+	reports, err := CollectNI(ds.Values, cfg, rng.New(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found8, err := RunNI(reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.K = 4
+	found4, err := RunNI(reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found8) != 8 || len(found4) != 4 {
+		t.Fatalf("got %d and %d results", len(found8), len(found4))
+	}
+}
+
+func TestNIValidation(t *testing.T) {
+	good := NIConfig{Bits: 16, RoundBits: 8, K: 4, DPrime: 8, EpsLocalPerLevel: 1}
+	bad := []NIConfig{
+		{Bits: 7, RoundBits: 8, K: 4, DPrime: 8, EpsLocalPerLevel: 1},
+		{Bits: 16, RoundBits: 5, K: 4, DPrime: 8, EpsLocalPerLevel: 1},
+		{Bits: 16, RoundBits: 8, K: 0, DPrime: 8, EpsLocalPerLevel: 1},
+		{Bits: 16, RoundBits: 8, K: 4, DPrime: 1, EpsLocalPerLevel: 1},
+		{Bits: 16, RoundBits: 8, K: 4, DPrime: 8, EpsLocalPerLevel: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := CollectNI([]uint64{1}, cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := RunNI(nil, good); err == nil {
+		t.Error("no reports accepted")
+	}
+	// Malformed report.
+	if _, err := RunNI([]NIReport{{Seeds: []uint32{1}}}, good); err == nil {
+		t.Error("malformed report accepted")
+	}
+	// DPrime > 256 cannot fit uint8.
+	huge := good
+	huge.DPrime = 300
+	if _, err := CollectNI([]uint64{1}, huge, rng.New(1)); err == nil {
+		t.Error("DPrime > 256 accepted")
+	}
+}

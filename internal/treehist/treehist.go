@@ -1,0 +1,156 @@
+// Package treehist implements the TreeHist succinct-histogram algorithm
+// (Bassily et al., §VII-C): finding the most frequent strings in a
+// domain too large to enumerate (2^48 for the AOL experiment) by
+// traversing a prefix tree breadth-first, keeping only prefixes that an
+// LDP/shuffle-model frequency oracle reports as frequent.
+//
+// The frequency estimation is pluggable (Config.Estimate), so the same
+// traversal runs under plain LDP oracles (with users partitioned across
+// rounds, as the original TreeHist does) or shuffle-model mechanisms
+// (all users each round, budget divided by the number of rounds —
+// the better strategy §VII-C identifies for the shuffle case).
+package treehist
+
+import (
+	"errors"
+
+	"shuffledp/internal/ldp"
+)
+
+// Config parameterizes a TreeHist run.
+type Config struct {
+	// Bits is the total string length (48 for AOL).
+	Bits int
+	// RoundBits is how many bits each round extends the prefix by
+	// (8 for the paper's 6-round setup).
+	RoundBits int
+	// K is the number of prefixes kept per round (and final strings
+	// returned), 32 in §VII-C.
+	K int
+	// GroupUsers partitions users across rounds (the LDP strategy)
+	// instead of having every user answer every round (the shuffle
+	// strategy).
+	GroupUsers bool
+	// Estimate produces frequency estimates for values over [0, d):
+	// the mechanism under test. values uses d-1 as the dummy index for
+	// users whose string matches no candidate prefix.
+	Estimate func(values []int, d int) []float64
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.Bits < 8 || cfg.Bits > 64:
+		return errors.New("treehist: Bits must be in [8, 64]")
+	case cfg.RoundBits < 1 || cfg.RoundBits > 16:
+		return errors.New("treehist: RoundBits must be in [1, 16]")
+	case cfg.Bits%cfg.RoundBits != 0:
+		return errors.New("treehist: RoundBits must divide Bits")
+	case cfg.K < 1:
+		return errors.New("treehist: K must be >= 1")
+	case cfg.Estimate == nil:
+		return errors.New("treehist: Estimate is required")
+	}
+	return nil
+}
+
+// Rounds returns the number of traversal rounds.
+func (cfg Config) Rounds() int { return cfg.Bits / cfg.RoundBits }
+
+// Run finds up to K frequent strings among the users' values.
+func Run(values []uint64, cfg Config) ([]uint64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(values) == 0 {
+		return nil, errors.New("treehist: no users")
+	}
+	rounds := cfg.Rounds()
+	branch := 1 << uint(cfg.RoundBits)
+
+	// Partition users across rounds if grouping.
+	groups := make([][]uint64, rounds)
+	if cfg.GroupUsers {
+		per := len(values) / rounds
+		if per == 0 {
+			return nil, errors.New("treehist: too few users to group")
+		}
+		for g := 0; g < rounds; g++ {
+			lo := g * per
+			hi := lo + per
+			if g == rounds-1 {
+				hi = len(values)
+			}
+			groups[g] = values[lo:hi]
+		}
+	} else {
+		for g := range groups {
+			groups[g] = values
+		}
+	}
+
+	// frontier is the set of currently-frequent prefixes (empty prefix
+	// initially, represented implicitly by a single zero-length entry).
+	frontier := []uint64{0}
+	frontierBits := 0
+	for round := 0; round < rounds; round++ {
+		// Candidates: every frontier prefix extended by RoundBits.
+		candidates := make([]uint64, 0, len(frontier)*branch)
+		for _, p := range frontier {
+			base := p << uint(cfg.RoundBits)
+			for b := 0; b < branch; b++ {
+				candidates = append(candidates, base|uint64(b))
+			}
+		}
+		candBits := frontierBits + cfg.RoundBits
+		// Map each user's string prefix to a candidate index, or the
+		// dummy (last) index when the prefix fell off the frontier.
+		index := make(map[uint64]int, len(candidates))
+		for i, c := range candidates {
+			index[c] = i
+		}
+		d := len(candidates) + 1 // +1 dummy
+		dummy := d - 1
+		users := groups[round]
+		mapped := make([]int, len(users))
+		shift := uint(cfg.Bits - candBits)
+		for i, v := range users {
+			if idx, ok := index[v>>shift]; ok {
+				mapped[i] = idx
+			} else {
+				mapped[i] = dummy
+			}
+		}
+		est := cfg.Estimate(mapped, d)
+		if len(est) != d {
+			return nil, errors.New("treehist: Estimate returned wrong length")
+		}
+		// Keep the top K candidates (never the dummy).
+		top := ldp.TopK(est[:len(candidates)], cfg.K)
+		next := make([]uint64, 0, len(top))
+		for _, idx := range top {
+			next = append(next, candidates[idx])
+		}
+		frontier = next
+		frontierBits = candBits
+	}
+	return frontier, nil
+}
+
+// Precision returns |found ∩ truth| / |truth| — the §VII-C metric
+// (truth being the true top-K strings).
+func Precision(found, truth []uint64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[uint64]bool, len(found))
+	for _, f := range found {
+		set[f] = true
+	}
+	hit := 0
+	for _, v := range truth {
+		if set[v] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

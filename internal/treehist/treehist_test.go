@@ -1,0 +1,150 @@
+package treehist
+
+import (
+	"testing"
+
+	"shuffledp/internal/dataset"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+)
+
+// exactEstimate is a noise-free estimator: TreeHist with it must find
+// the exact top-K.
+func exactEstimate(values []int, d int) []float64 {
+	return ldp.TrueFrequencies(values, d)
+}
+
+func TestRunExactRecovery(t *testing.T) {
+	ds := dataset.SyntheticStrings("t", 30000, 200, 16, 1.3, 1)
+	cfg := Config{Bits: 16, RoundBits: 8, K: 8, Estimate: exactEstimate}
+	found, err := Run(ds.Values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.TopStrings(8)
+	if p := Precision(found, truth); p < 0.99 {
+		t.Fatalf("exact estimator precision %v, want 1", p)
+	}
+}
+
+func TestRunWithNoisyOracle(t *testing.T) {
+	ds := dataset.SyntheticStrings("t", 50000, 100, 16, 1.5, 2)
+	r := rng.New(3)
+	noisy := func(values []int, d int) []float64 {
+		fo := ldp.NewGRR(d, 5) // generous budget: high precision
+		counts := ldp.Histogram(values, d)
+		return ldp.SimulateEstimates(fo, counts, r)
+	}
+	cfg := Config{Bits: 16, RoundBits: 8, K: 8, Estimate: noisy}
+	found, err := Run(ds.Values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.TopStrings(8)
+	if p := Precision(found, truth); p < 0.5 {
+		t.Fatalf("noisy precision %v too low for eps=5", p)
+	}
+}
+
+func TestGroupUsersSplitsBudgetAcrossRounds(t *testing.T) {
+	ds := dataset.SyntheticStrings("t", 60000, 100, 16, 1.5, 4)
+	calls := 0
+	var sizes []int
+	est := func(values []int, d int) []float64 {
+		calls++
+		sizes = append(sizes, len(values))
+		return ldp.TrueFrequencies(values, d)
+	}
+	cfg := Config{Bits: 16, RoundBits: 8, K: 4, GroupUsers: true, Estimate: est}
+	if _, err := Run(ds.Values, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("rounds = %d, want 2", calls)
+	}
+	if sizes[0] != 30000 || sizes[1] != 30000 {
+		t.Fatalf("group sizes = %v", sizes)
+	}
+}
+
+func TestNoGroupingUsesAllUsersEachRound(t *testing.T) {
+	ds := dataset.SyntheticStrings("t", 10000, 50, 16, 1.5, 5)
+	var sizes []int
+	est := func(values []int, d int) []float64 {
+		sizes = append(sizes, len(values))
+		return ldp.TrueFrequencies(values, d)
+	}
+	cfg := Config{Bits: 16, RoundBits: 8, K: 4, Estimate: est}
+	if _, err := Run(ds.Values, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sizes {
+		if s != 10000 {
+			t.Fatalf("round saw %d users, want all 10000", s)
+		}
+	}
+}
+
+func TestCandidateDomainShape(t *testing.T) {
+	// Round 1 should see 2^8+1 values; later rounds K*2^8+1.
+	ds := dataset.SyntheticStrings("t", 20000, 100, 24, 1.5, 6)
+	var domains []int
+	est := func(values []int, d int) []float64 {
+		domains = append(domains, d)
+		return ldp.TrueFrequencies(values, d)
+	}
+	cfg := Config{Bits: 24, RoundBits: 8, K: 16, Estimate: est}
+	if _, err := Run(ds.Values, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if domains[0] != 257 {
+		t.Fatalf("round 1 domain = %d, want 257", domains[0])
+	}
+	for _, d := range domains[1:] {
+		if d != 16*256+1 {
+			t.Fatalf("later domain = %d, want %d", d, 16*256+1)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	values := []uint64{1, 2, 3}
+	bad := []Config{
+		{Bits: 4, RoundBits: 8, K: 4, Estimate: exactEstimate},
+		{Bits: 16, RoundBits: 0, K: 4, Estimate: exactEstimate},
+		{Bits: 20, RoundBits: 8, K: 4, Estimate: exactEstimate},
+		{Bits: 16, RoundBits: 8, K: 0, Estimate: exactEstimate},
+		{Bits: 16, RoundBits: 8, K: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(values, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	ok := Config{Bits: 16, RoundBits: 8, K: 4, Estimate: exactEstimate}
+	if _, err := Run(nil, ok); err == nil {
+		t.Error("empty users accepted")
+	}
+	// Wrong-length estimate.
+	broken := Config{Bits: 16, RoundBits: 8, K: 4,
+		Estimate: func(values []int, d int) []float64 { return nil }}
+	if _, err := Run(values, broken); err == nil {
+		t.Error("wrong-length estimate accepted")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	if p := Precision([]uint64{1, 2, 3}, []uint64{2, 3, 4, 5}); p != 0.5 {
+		t.Fatalf("Precision = %v, want 0.5", p)
+	}
+	if p := Precision(nil, nil); p != 0 {
+		t.Fatalf("empty Precision = %v", p)
+	}
+}
+
+func TestConfigRounds(t *testing.T) {
+	cfg := Config{Bits: 48, RoundBits: 8}
+	if cfg.Rounds() != 6 {
+		t.Fatalf("Rounds = %d, want 6", cfg.Rounds())
+	}
+}

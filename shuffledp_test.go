@@ -1,0 +1,164 @@
+package shuffledp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateHistogramAuto(t *testing.T) {
+	const n, d = 30000, 64
+	values := SyntheticDataset(n, d, 1.3, 1)
+	res, err := EstimateHistogram(values, d, Options{EpsilonCentral: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mechanism != "SOLH" && res.Mechanism != "GRR" {
+		t.Fatalf("mechanism %q", res.Mechanism)
+	}
+	if res.EpsilonLocal <= 1 {
+		t.Fatalf("epsL = %v, expected amplification above epsC", res.EpsilonLocal)
+	}
+	// Estimates should track the head of the Zipf distribution.
+	trueFreq := make([]float64, d)
+	for _, v := range values {
+		trueFreq[v] += 1.0 / n
+	}
+	tol := 6*math.Sqrt(res.PredictedMSE*float64(d)) + 0.02
+	for v := 0; v < 5; v++ {
+		if math.Abs(res.Estimates[v]-trueFreq[v]) > tol {
+			t.Errorf("value %d: est %v, truth %v", v, res.Estimates[v], trueFreq[v])
+		}
+	}
+}
+
+func TestEstimateHistogramForcedMechanisms(t *testing.T) {
+	values := SyntheticDataset(20000, 8, 1.1, 2)
+	for _, kind := range []MechanismKind{GRR, SOLH} {
+		res, err := EstimateHistogram(values, 8, Options{
+			EpsilonCentral: 0.8,
+			Mechanism:      kind,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Mechanism != kind.String() {
+			t.Fatalf("asked %v, got %s", kind, res.Mechanism)
+		}
+	}
+}
+
+func TestEstimateHistogramValidation(t *testing.T) {
+	if _, err := EstimateHistogram([]int{1}, 4, Options{EpsilonCentral: 1}); err == nil {
+		t.Error("single user accepted")
+	}
+	if _, err := EstimateHistogram([]int{1, 2}, 1, Options{EpsilonCentral: 1}); err == nil {
+		t.Error("d=1 accepted")
+	}
+	if _, err := EstimateHistogram([]int{1, 9}, 4, Options{EpsilonCentral: 1}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if _, err := EstimateHistogram([]int{1, 2}, 4, Options{}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestMechanismKindString(t *testing.T) {
+	if Auto.String() != "Auto" || GRR.String() != "GRR" || SOLH.String() != "SOLH" {
+		t.Fatal("bad MechanismKind strings")
+	}
+	if MechanismKind(42).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestAmplifiedEpsilonRoundTrip(t *testing.T) {
+	const n, d = 100000, 1000
+	epsL, dPrime, err := LocalEpsilonFor(0.5, d, n, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := AmplifiedEpsilon(epsL, dPrime, n, 1e-9)
+	if math.Abs(back-0.5) > 1e-9 {
+		t.Fatalf("roundtrip: %v", back)
+	}
+}
+
+func TestFrequentStringsFindsHeavyHitters(t *testing.T) {
+	// 16-bit strings, heavy mass on a few.
+	const n = 60000
+	values := make([]uint64, n)
+	for i := range values {
+		switch {
+		case i < n/3:
+			values[i] = 0xABCD
+		case i < n/2:
+			values[i] = 0x1234
+		default:
+			values[i] = uint64(i % 4096) // long tail
+		}
+	}
+	found, err := FrequentStrings(values, 16, FrequentStringsOptions{
+		K:              4,
+		EpsilonCentral: 4, // generous so the test is deterministic-ish
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(x uint64) bool {
+		for _, f := range found {
+			if f == x {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0xABCD) || !has(0x1234) {
+		t.Fatalf("heavy hitters missed: %x", found)
+	}
+}
+
+func TestFrequentStringsValidation(t *testing.T) {
+	if _, err := FrequentStrings([]uint64{1}, 15, FrequentStringsOptions{}); err == nil {
+		t.Fatal("non-divisible bits accepted")
+	}
+}
+
+func TestPlanPEOSAndRun(t *testing.T) {
+	const n, d = 800, 16
+	plan, err := PlanPEOS(0.9, 3, 6, n, d, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EpsilonServer > 0.91 || plan.EpsilonColludingUsers > 3.01 || plan.EpsilonLocal > 6.01 {
+		t.Fatalf("plan violates budgets: %s", plan)
+	}
+	if plan.String() == "" {
+		t.Fatal("empty plan string")
+	}
+	values := SyntheticDataset(n, d, 1.2, 3)
+	res, err := RunPEOS(plan, values, PEOSRunConfig{Shufflers: 3, KeyBits: 768, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != d {
+		t.Fatalf("estimates: %d", len(res.Estimates))
+	}
+	if res.CostReport == "" {
+		t.Fatal("no cost report")
+	}
+	// Unbiasedness smoke check on the head value.
+	trueFreq := make([]float64, d)
+	for _, v := range values {
+		trueFreq[v] += 1.0 / n
+	}
+	// n=800 with fakes: tolerate generous noise but reject garbage.
+	if math.Abs(res.Estimates[0]-trueFreq[0]) > 0.35 {
+		t.Fatalf("estimate %v vs truth %v", res.Estimates[0], trueFreq[0])
+	}
+}
+
+func TestRunPEOSNilPlan(t *testing.T) {
+	if _, err := RunPEOS(nil, []int{1}, PEOSRunConfig{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
