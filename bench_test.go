@@ -16,6 +16,7 @@ package shuffledp
 // are the perf- and regression-tracking entry points.
 
 import (
+	"strconv"
 	"testing"
 
 	"shuffledp/internal/ahe"
@@ -277,6 +278,60 @@ func BenchmarkAblationEOS(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAggregateSOLH tracks the SOLH server-side hot path — the
+// O(n*d) hash-evaluation kernel — at n = 10^5 reports for a small and a
+// large domain. It reports ns/report (one report costs d hash
+// evaluations); allocs/op covers the whole aggregator lifecycle (the
+// per-block fold itself is allocation-free — see BenchmarkCountSupport
+// in internal/hash). cmd/bench runs the same workload against the
+// seed's sequential baseline and records the speedup in
+// BENCH_aggregate.json.
+func BenchmarkAggregateSOLH(b *testing.B) {
+	const n = 100000
+	for _, d := range []int{1024, 65536} {
+		b.Run("d="+strconv.Itoa(d), func(b *testing.B) {
+			fo := ldp.NewSOLH(d, 128, 4)
+			r := rng.New(1)
+			reports := make([]ldp.Report, n)
+			for i := range reports {
+				reports[i] = fo.Randomize(i%d, r)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg := fo.NewAggregator()
+				for _, rep := range reports {
+					agg.Add(rep)
+				}
+				if est := agg.Estimates(); len(est) != d {
+					b.Fatal("bad estimate length")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/report")
+		})
+	}
+}
+
+// BenchmarkAggregateSOLHParallel is the same workload through the
+// sharded engine at GOMAXPROCS workers.
+func BenchmarkAggregateSOLHParallel(b *testing.B) {
+	const n, d = 100000, 1024
+	fo := ldp.NewSOLH(d, 128, 4)
+	r := rng.New(1)
+	reports := make([]ldp.Report, n)
+	for i := range reports {
+		reports[i] = fo.Randomize(i%d, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.AggregateParallel(fo, reports, 0)
+		if est := agg.Estimates(); len(est) != d {
+			b.Fatal("bad estimate length")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/report")
 }
 
 // BenchmarkPublicAPIEstimate measures the end-to-end facade.

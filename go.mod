@@ -1,0 +1,3 @@
+module shuffledp
+
+go 1.24

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"shuffledp/internal/dataset"
-	"shuffledp/internal/rng"
 )
 
 // CurvePoint is one x-position of a Figure 3-style plot: the mean MSE
@@ -33,6 +32,10 @@ type Figure3Config struct {
 	Methods []string
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Concurrency caps the worker fan-out over (budget, method) trial
+	// jobs; values < 1 use GOMAXPROCS. Results are identical for a
+	// fixed Seed regardless of Concurrency.
+	Concurrency int
 }
 
 // DefaultFigure3Config returns the paper's settings with a reduced
@@ -46,7 +49,10 @@ func DefaultFigure3Config() Figure3Config {
 	}
 }
 
-// Figure3 reproduces the MSE-vs-epsC comparison on a dataset.
+// Figure3 reproduces the MSE-vs-epsC comparison on a dataset. The
+// (budget, method) trial jobs run in parallel (cfg.Concurrency workers),
+// each on its own seed substream, so the curve is deterministic for a
+// fixed cfg.Seed at any concurrency.
 func Figure3(ds *dataset.Dataset, cfg Figure3Config) ([]CurvePoint, error) {
 	methods := cfg.Methods
 	if len(methods) == 0 {
@@ -55,22 +61,37 @@ func Figure3(ds *dataset.Dataset, cfg Figure3Config) ([]CurvePoint, error) {
 	trueCounts := ds.Histogram()
 	truth := ds.TrueFrequencies()
 	n := ds.N()
-	r := rng.New(cfg.Seed)
 
+	jobs := len(cfg.EpsCs) * len(methods)
+	mses := make([]float64, jobs)
+	analytic := make([]float64, jobs)
+	errs := make([]error, jobs)
+	forEachParallel(jobs, cfg.Concurrency, func(job int) {
+		pi, mi := job/len(methods), job%len(methods)
+		epsC, name := cfg.EpsCs[pi], methods[mi]
+		m, err := NewMethod(name, epsC, cfg.Delta, n, ds.D)
+		if err != nil {
+			errs[job] = fmt.Errorf("figure3 %s at epsC=%v: %w", name, epsC, err)
+			return
+		}
+		mses[job] = MeanMSE(m, trueCounts, truth, cfg.Trials, jobStream(cfg.Seed, job))
+		analytic[job] = m.AnalyticMSE
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	points := make([]CurvePoint, 0, len(cfg.EpsCs))
-	for _, epsC := range cfg.EpsCs {
+	for pi, epsC := range cfg.EpsCs {
 		pt := CurvePoint{
 			EpsC:        epsC,
 			MSE:         make(map[string]float64, len(methods)),
 			AnalyticMSE: make(map[string]float64, len(methods)),
 		}
-		for _, name := range methods {
-			m, err := NewMethod(name, epsC, cfg.Delta, n, ds.D)
-			if err != nil {
-				return nil, fmt.Errorf("figure3 %s at epsC=%v: %w", name, epsC, err)
-			}
-			pt.MSE[name] = MeanMSE(m, trueCounts, truth, cfg.Trials, r)
-			pt.AnalyticMSE[name] = m.AnalyticMSE
+		for mi, name := range methods {
+			pt.MSE[name] = mses[pi*len(methods)+mi]
+			pt.AnalyticMSE[name] = analytic[pi*len(methods)+mi]
 		}
 		points = append(points, pt)
 	}

@@ -7,7 +7,6 @@ import (
 
 	"shuffledp/internal/dataset"
 	"shuffledp/internal/ldp"
-	"shuffledp/internal/rng"
 	"shuffledp/internal/treehist"
 )
 
@@ -22,6 +21,10 @@ type Figure4Config struct {
 	Delta   float64
 	Methods []string
 	Seed    uint64
+	// Concurrency caps the worker fan-out over (budget, method) jobs;
+	// values < 1 use GOMAXPROCS. Results are identical for a fixed
+	// Seed regardless of Concurrency.
+	Concurrency int
 }
 
 // DefaultFigure4Config returns the paper's settings (trials reduced for
@@ -56,51 +59,65 @@ func Figure4(ds *dataset.StringDataset, cfg Figure4Config) ([]Figure4Point, erro
 	}
 	rounds := cfg.Bits / cfg.Round
 	truth := ds.TopStrings(cfg.K)
-	points := make([]Figure4Point, 0, len(cfg.EpsCs))
-	r := rng.New(cfg.Seed)
 
-	for _, epsC := range cfg.EpsCs {
-		pt := Figure4Point{EpsC: epsC, Precision: make(map[string]float64)}
-		for _, name := range cfg.Methods {
-			grouped := name == "OLH" || name == "Had"
-			// Budget per round: LDP methods keep the full budget (each
-			// group is disjoint, parallel composition); the others
-			// split epsC and delta across rounds (sequential
-			// composition).
-			roundEps := epsC
-			roundDelta := cfg.Delta
-			roundN := ds.N()
-			if grouped {
-				roundN = ds.N() / rounds
-			} else {
-				roundEps = epsC / float64(rounds)
-				roundDelta = cfg.Delta / float64(rounds)
-			}
+	jobs := len(cfg.EpsCs) * len(cfg.Methods)
+	precisions := make([]float64, jobs)
+	errs := make([]error, jobs)
+	forEachParallel(jobs, cfg.Concurrency, func(job int) {
+		pi, mi := job/len(cfg.Methods), job%len(cfg.Methods)
+		epsC, name := cfg.EpsCs[pi], cfg.Methods[mi]
+		r := jobStream(cfg.Seed, job)
+		grouped := name == "OLH" || name == "Had"
+		// Budget per round: LDP methods keep the full budget (each
+		// group is disjoint, parallel composition); the others
+		// split epsC and delta across rounds (sequential
+		// composition).
+		roundEps := epsC
+		roundDelta := cfg.Delta
+		roundN := ds.N()
+		if grouped {
+			roundN = ds.N() / rounds
+		} else {
+			roundEps = epsC / float64(rounds)
+			roundDelta = cfg.Delta / float64(rounds)
+		}
 
-			var total float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				estimate := func(values []int, d int) []float64 {
-					m, err := NewMethod(name, roundEps, roundDelta, roundN, d)
-					if err != nil {
-						// Methods can be infeasible at tiny budgets;
-						// fall back to uniform guessing for the round.
-						return ldp.BaseEstimates(d)
-					}
-					return m.Simulate(ldp.Histogram(values, d), r)
-				}
-				found, err := treehist.Run(ds.Values, treehist.Config{
-					Bits:       cfg.Bits,
-					RoundBits:  cfg.Round,
-					K:          cfg.K,
-					GroupUsers: grouped,
-					Estimate:   estimate,
-				})
+		var total float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			estimate := func(values []int, d int) []float64 {
+				m, err := NewMethod(name, roundEps, roundDelta, roundN, d)
 				if err != nil {
-					return nil, fmt.Errorf("figure4 %s at epsC=%v: %w", name, epsC, err)
+					// Methods can be infeasible at tiny budgets;
+					// fall back to uniform guessing for the round.
+					return ldp.BaseEstimates(d)
 				}
-				total += treehist.Precision(found, truth)
+				return m.Simulate(ldp.Histogram(values, d), r)
 			}
-			pt.Precision[name] = total / float64(cfg.Trials)
+			found, err := treehist.Run(ds.Values, treehist.Config{
+				Bits:       cfg.Bits,
+				RoundBits:  cfg.Round,
+				K:          cfg.K,
+				GroupUsers: grouped,
+				Estimate:   estimate,
+			})
+			if err != nil {
+				errs[job] = fmt.Errorf("figure4 %s at epsC=%v: %w", name, epsC, err)
+				return
+			}
+			total += treehist.Precision(found, truth)
+		}
+		precisions[job] = total / float64(cfg.Trials)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	points := make([]Figure4Point, 0, len(cfg.EpsCs))
+	for pi, epsC := range cfg.EpsCs {
+		pt := Figure4Point{EpsC: epsC, Precision: make(map[string]float64, len(cfg.Methods))}
+		for mi, name := range cfg.Methods {
+			pt.Precision[name] = precisions[pi*len(cfg.Methods)+mi]
 		}
 		points = append(points, pt)
 	}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"shuffledp/internal/dataset"
-	"shuffledp/internal/rng"
 )
 
 // Table2Row is one epsC column of Table II: the optimal d' of SOLH and
@@ -31,6 +30,10 @@ type Table2Config struct {
 	Trials  int
 	Delta   float64
 	Seed    uint64
+	// Concurrency caps the worker fan-out over (budget, variant) trial
+	// jobs; values < 1 use GOMAXPROCS. Results are identical for a
+	// fixed Seed regardless of Concurrency.
+	Concurrency int
 }
 
 // DefaultTable2Config returns the paper's settings.
@@ -44,40 +47,69 @@ func DefaultTable2Config() Table2Config {
 	}
 }
 
-// Table2 reproduces Table II on a (Kosarak-shaped) dataset.
+// Table2 reproduces Table II on a (Kosarak-shaped) dataset. The
+// (budget, variant) trial jobs run in parallel (cfg.Concurrency
+// workers), each on its own seed substream, so the table is
+// deterministic for a fixed cfg.Seed at any concurrency.
 func Table2(ds *dataset.Dataset, cfg Table2Config) ([]Table2Row, error) {
 	trueCounts := ds.Histogram()
 	truth := ds.TrueFrequencies()
 	n := ds.N()
-	r := rng.New(cfg.Seed)
 
-	rows := make([]Table2Row, 0, len(cfg.EpsCs))
-	for _, epsC := range cfg.EpsCs {
-		row := Table2Row{EpsC: epsC, SOLHFixed: make(map[int]float64)}
-
-		solh, err := NewMethod("SOLH", epsC, cfg.Delta, n, ds.D)
-		if err != nil {
-			return nil, err
-		}
-		row.DPrime = solh.DPrime
-		row.SOLH = MeanMSE(solh, trueCounts, truth, cfg.Trials, r)
-
-		for _, dp := range cfg.FixedDs {
-			m, err := NewSOLHFixed(epsC, cfg.Delta, n, ds.D, dp)
+	// Variants per row: SOLH (optimal d'), one per fixed d', RAP_R.
+	stride := len(cfg.FixedDs) + 2
+	jobs := len(cfg.EpsCs) * stride
+	mses := make([]float64, jobs)
+	dPrimes := make([]int, len(cfg.EpsCs))
+	errs := make([]error, jobs)
+	forEachParallel(jobs, cfg.Concurrency, func(job int) {
+		ri, vi := job/stride, job%stride
+		epsC := cfg.EpsCs[ri]
+		r := jobStream(cfg.Seed, job)
+		switch {
+		case vi == 0:
+			solh, err := NewMethod("SOLH", epsC, cfg.Delta, n, ds.D)
+			if err != nil {
+				errs[job] = err
+				return
+			}
+			dPrimes[ri] = solh.DPrime
+			mses[job] = MeanMSE(solh, trueCounts, truth, cfg.Trials, r)
+		case vi <= len(cfg.FixedDs):
+			m, err := NewSOLHFixed(epsC, cfg.Delta, n, ds.D, cfg.FixedDs[vi-1])
 			if err != nil {
 				// Infeasible (m <= d'): record NaN like the paper's
 				// blank-by-degradation entries.
-				row.SOLHFixed[dp] = math.NaN()
-				continue
+				mses[job] = math.NaN()
+				return
 			}
-			row.SOLHFixed[dp] = MeanMSE(m, trueCounts, truth, cfg.Trials, r)
+			mses[job] = MeanMSE(m, trueCounts, truth, cfg.Trials, r)
+		default:
+			rapr, err := NewMethod("RAP_R", epsC, cfg.Delta, n, ds.D)
+			if err != nil {
+				errs[job] = err
+				return
+			}
+			mses[job] = MeanMSE(rapr, trueCounts, truth, cfg.Trials, r)
 		}
-
-		rapr, err := NewMethod("RAP_R", epsC, cfg.Delta, n, ds.D)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		row.RAPR = MeanMSE(rapr, trueCounts, truth, cfg.Trials, r)
+	}
+	rows := make([]Table2Row, 0, len(cfg.EpsCs))
+	for ri, epsC := range cfg.EpsCs {
+		row := Table2Row{
+			EpsC:      epsC,
+			DPrime:    dPrimes[ri],
+			SOLH:      mses[ri*stride],
+			SOLHFixed: make(map[int]float64, len(cfg.FixedDs)),
+			RAPR:      mses[ri*stride+stride-1],
+		}
+		for fi, dp := range cfg.FixedDs {
+			row.SOLHFixed[dp] = mses[ri*stride+1+fi]
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -1,9 +1,20 @@
 package hash
 
+import "math/bits"
+
 // Family is the seeded universal hash family H_seed : [d] -> [d'] used by
 // the local-hashing frequency oracles. A user's LDP report carries the
 // seed (the "chosen hash function"); the server re-evaluates H_seed on
 // every candidate value during estimation.
+//
+// A 64-bit xxHash is mapped to a bucket by multiply-shift range
+// reduction, bucket = floor(h * d' / 2^64), rather than h mod d'. Both
+// partition the 64-bit hash space into d' near-equal classes (sizes
+// differ by at most one part in 2^64/d' either way), so the privacy and
+// utility analyses are unchanged; the range form is what lets the
+// aggregation kernel turn "bucket == y" into a precomputed range test
+// on the raw hash with no per-candidate division or multiplication
+// (see CountSupport).
 //
 // Family is stateless and safe for concurrent use.
 type Family struct {
@@ -22,11 +33,138 @@ func NewFamily(outputSize int) Family {
 
 // Hash maps value into [0, OutputSize) under the function named by seed.
 func (f Family) Hash(seed uint64, value uint64) int {
-	return int(Sum64Uint64(seed, value) % uint64(f.OutputSize))
+	hi, _ := bits.Mul64(Sum64Uint64(seed, value), uint64(f.OutputSize))
+	return int(hi)
 }
 
 // HashBytes is Hash for byte-string values (used by TreeHist, whose
 // domain is prefixes rather than integer indices).
 func (f Family) HashBytes(seed uint64, value []byte) int {
-	return int(Sum64(seed, value) % uint64(f.OutputSize))
+	hi, _ := bits.Mul64(Sum64(seed, value), uint64(f.OutputSize))
+	return int(hi)
+}
+
+// supportChunk is how many reports CountSupport stages per pass. The
+// three staged lanes live on the kernel's stack (3 KiB), so the kernel
+// never allocates; the candidate loop streams the counts slice once per
+// chunk, which at a few hundred reports per pass is noise next to the
+// hash work.
+const supportChunk = 128
+
+// CountSupport is the batch kernel behind local-hashing estimation: for
+// every candidate value v in [0, len(counts)) it adds to counts[v] the
+// number of reports i with Hash(seeds[i], v) == ys[i]. It is exactly
+// equivalent to calling Hash once per (report, value) pair, but
+// structured for throughput:
+//
+//   - the value-dependent lane of the 8-byte xxHash64 is hoisted out of
+//     the report loop, and four candidate lanes share each report load;
+//   - "bucket == y" is tested as a range check on the raw 64-bit hash —
+//     bucket(h) = floor(h*d'/2^64) equals y iff h lies in
+//     [ceil(y*2^64/d'), ceil((y+1)*2^64/d')) — with the per-report
+//     bounds precomputed per chunk, so the per-candidate tail is one
+//     subtract and one compare, with no division or multiplication.
+//
+// The kernel performs zero heap allocations. Every ys[i] must lie in
+// [0, OutputSize).
+func (f Family) CountSupport(seeds, ys []uint64, counts []int) {
+	if len(seeds) != len(ys) {
+		panic("hash: CountSupport lanes have mismatched lengths")
+	}
+	m := uint64(f.OutputSize)
+	if m < 2 {
+		panic("hash: family output size must be >= 2")
+	}
+	// Fixed-size stack arrays indexed by i < cn <= supportChunk let the
+	// compiler drop every bounds check from the inner loop.
+	var sd, lo, wm1 [supportChunk]uint64
+	for base := 0; base < len(seeds); base += supportChunk {
+		cn := len(seeds) - base
+		if cn > supportChunk {
+			cn = supportChunk
+		}
+		for i := 0; i < cn; i++ {
+			// Pre-offset the seed state (Sum64Uint64's h0) and turn the
+			// target bucket into [lo, lo+width) bounds on the raw hash;
+			// wm1 = width-1 so the y = d'-1 bucket, whose upper bound is
+			// 2^64, stays representable.
+			sd[i] = seeds[base+i] + prime5 + 8
+			y := ys[base+i]
+			if y >= m {
+				panic("hash: CountSupport target outside [0, OutputSize)")
+			}
+			l, r := bits.Div64(y, 0, m)
+			if r > 0 {
+				l++
+			}
+			var hb uint64 // ceil((y+1)*2^64/m), wrapped at 2^64
+			if y+1 < m {
+				hq, hr := bits.Div64(y+1, 0, m)
+				if hr > 0 {
+					hq++
+				}
+				hb = hq
+			}
+			lo[i] = l
+			wm1[i] = hb - l - 1
+		}
+		v := 0
+		for ; v+4 <= len(counts); v += 4 {
+			k0 := lhLane(uint64(v))
+			k1 := lhLane(uint64(v + 1))
+			k2 := lhLane(uint64(v + 2))
+			k3 := lhLane(uint64(v + 3))
+			var c0, c1, c2, c3 int
+			for i := 0; i < cn; i++ {
+				s, l, w := sd[i], lo[i], wm1[i]
+				if lhMix(s, k0)-l <= w {
+					c0++
+				}
+				if lhMix(s, k1)-l <= w {
+					c1++
+				}
+				if lhMix(s, k2)-l <= w {
+					c2++
+				}
+				if lhMix(s, k3)-l <= w {
+					c3++
+				}
+			}
+			counts[v] += c0
+			counts[v+1] += c1
+			counts[v+2] += c2
+			counts[v+3] += c3
+		}
+		for ; v < len(counts); v++ {
+			k := lhLane(uint64(v))
+			c := 0
+			for i := 0; i < cn; i++ {
+				if lhMix(sd[i], k)-lo[i] <= wm1[i] {
+					c++
+				}
+			}
+			counts[v] += c
+		}
+	}
+}
+
+// lhLane is the value-dependent half of the 8-byte xxHash64: the mixed
+// input lane of Sum64Uint64, a pure function of the candidate value.
+func lhLane(v uint64) uint64 {
+	k := v * prime2
+	k = (k << 31) | (k >> 33)
+	return k * prime1
+}
+
+// lhMix finishes Sum64Uint64 given the pre-offset seed state
+// sd = seed + prime5 + 8 and a precomputed value lane.
+func lhMix(sd, k uint64) uint64 {
+	h := sd ^ k
+	h = ((h<<27)|(h>>37))*prime1 + prime4
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
 }

@@ -61,6 +61,61 @@ func TestSum64Uint64MatchesBytes(t *testing.T) {
 	}
 }
 
+// CountSupport must agree with the naive per-pair Hash loop for every
+// output size, including powers of two and sizes adjacent to them (the
+// divisibility-test edge cases).
+func TestCountSupportMatchesNaive(t *testing.T) {
+	r := rng.New(321)
+	for _, dPrime := range []int{2, 3, 4, 5, 7, 8, 16, 17, 63, 64, 65, 705, 1024} {
+		fam := NewFamily(dPrime)
+		const d, reports = 97, 200
+		seeds := make([]uint64, reports)
+		ys := make([]uint64, reports)
+		for i := range seeds {
+			seeds[i] = uint64(uint32(r.Uint64())) // 32-bit seeds, as in Report.Seed
+			ys[i] = r.Uint64n(uint64(dPrime))
+		}
+		got := make([]int, d)
+		fam.CountSupport(seeds, ys, got)
+		want := make([]int, d)
+		for i := range seeds {
+			for v := 0; v < d; v++ {
+				if fam.Hash(seeds[i], uint64(v)) == int(ys[i]) {
+					want[v]++
+				}
+			}
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("d'=%d: counts[%d] = %d, want %d", dPrime, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// The h < y guard: a report whose y exceeds the hash value must not be
+// counted through modular wraparound.
+func TestCountSupportSmallHashGuard(t *testing.T) {
+	fam := NewFamily(1 << 20)
+	counts := make([]int, 64)
+	seeds := []uint64{0, 1, 2, 3}
+	ys := []uint64{1 << 19, 1<<20 - 1, 7, 0}
+	fam.CountSupport(seeds, ys, counts)
+	want := make([]int, 64)
+	for i := range seeds {
+		for v := 0; v < 64; v++ {
+			if fam.Hash(seeds[i], uint64(v)) == int(ys[i]) {
+				want[v]++
+			}
+		}
+	}
+	for v := range want {
+		if counts[v] != want[v] {
+			t.Fatalf("counts[%d] = %d, want %d", v, counts[v], want[v])
+		}
+	}
+}
+
 func TestFamilyRange(t *testing.T) {
 	fam := NewFamily(17)
 	for seed := uint64(0); seed < 100; seed++ {

@@ -84,9 +84,12 @@ func Sum64(seed uint64, data []byte) uint64 {
 }
 
 // Sum64Uint64 hashes a single 64-bit value (the common case for the
-// frequency oracles, where user values are domain indices).
+// frequency oracles, where user values are domain indices). It is the
+// 8-byte specialization of Sum64 — bit-identical to hashing the value's
+// little-endian encoding — written without the byte staging or length
+// loops so the compiler can inline it into aggregation kernels. It
+// never allocates. lhLane and lhMix (family.go) are the two halves the
+// CountSupport kernel hoists separately.
 func Sum64Uint64(seed, v uint64) uint64 {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	return Sum64(seed, buf[:])
+	return lhMix(seed+prime5+8, lhLane(v))
 }

@@ -126,6 +126,19 @@ func (g *aueAggregator) Add(rep Report) {
 
 func (g *aueAggregator) Count() int { return g.n }
 
+// Merge implements Aggregator.
+func (g *aueAggregator) Merge(other Aggregator) {
+	o, ok := other.(*aueAggregator)
+	if !ok || o.a.d != g.a.d || o.a.gamma != g.a.gamma {
+		panic("ldp: merging incompatible AUE aggregators")
+	}
+	for v, c := range o.counts {
+		g.counts[v] += c
+	}
+	g.n += o.n
+	o.counts, o.n = nil, 0
+}
+
 // Estimates subtracts the expected blanket mass: f~_v = C_v/n - gamma.
 func (g *aueAggregator) Estimates() []float64 {
 	est := make([]float64, g.a.d)

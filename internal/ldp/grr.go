@@ -84,6 +84,19 @@ func (a *grrAggregator) Add(rep Report) {
 
 func (a *grrAggregator) Count() int { return a.n }
 
+// Merge implements Aggregator.
+func (a *grrAggregator) Merge(other Aggregator) {
+	o, ok := other.(*grrAggregator)
+	if !ok || o.g.d != a.g.d || o.g.p != a.g.p {
+		panic("ldp: merging incompatible GRR aggregators")
+	}
+	for v, c := range o.counts {
+		a.counts[v] += c
+	}
+	a.n += o.n
+	o.counts, o.n = nil, 0
+}
+
 // Estimates implements Equation (2): f~_v = (C_v/n - q) / (p - q).
 func (a *grrAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, a.g.p, a.g.q)

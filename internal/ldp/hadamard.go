@@ -100,6 +100,20 @@ func (a *hadamardAggregator) Add(rep Report) {
 
 func (a *hadamardAggregator) Count() int { return a.n }
 
+// Merge implements Aggregator. Row sums are sums of ±1 terms — exact
+// integers in float64 — so merging is bit-exact in any order.
+func (a *hadamardAggregator) Merge(other Aggregator) {
+	o, ok := other.(*hadamardAggregator)
+	if !ok || o.h.D != a.h.D || o.h.p != a.h.p {
+		panic("ldp: merging incompatible Hadamard aggregators")
+	}
+	for row, s := range o.rowSums {
+		a.rowSums[row] += s
+	}
+	a.n += o.n
+	o.rowSums, o.n = nil, 0
+}
+
 // Estimates aggregates with one FWHT: the transform of the per-row sign
 // sums evaluates, for every column c, the statistic
 // S_c = sum_i y_i * H[a_i, c]; then f~_v = D/n * S_{v+1} / (2p - 1).

@@ -1,0 +1,238 @@
+package ldp
+
+import (
+	"fmt"
+	"testing"
+
+	"shuffledp/internal/rng"
+)
+
+// mergeOracles is the full oracle lineup the merge property must hold
+// for.
+func mergeOracles() map[string]FrequencyOracle {
+	return map[string]FrequencyOracle{
+		"GRR":   NewGRR(32, 1.5),
+		"OLH":   NewOLH(64, 2),
+		"SOLH":  NewSOLH(64, 7, 1.2),
+		"Had":   NewHadamard(30, 1),
+		"RAP":   NewRAP(24, 1),
+		"RAP_R": NewRAPR(24, 0.8),
+		"OUE":   NewOUE(24, 1),
+		"AUE":   NewAUE(16, 1, 1e-6, 4000),
+	}
+}
+
+// The Merge contract: N sharded aggregators merged together produce
+// bit-identical Estimates to one sequential aggregator over the same
+// reports — for every oracle, at shard counts that do and do not divide
+// the report count, including empty shards.
+func TestMergeMatchesSequential(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			const n = 4000
+			r := rng.New(42)
+			d := fo.Domain()
+			reports := make([]Report, n)
+			for i := range reports {
+				reports[i] = fo.Randomize(i%d, r)
+			}
+			seq := fo.NewAggregator()
+			for _, rep := range reports {
+				seq.Add(rep)
+			}
+			want := seq.Estimates()
+			for _, shards := range []int{1, 2, 3, 8, 64} {
+				aggs := make([]Aggregator, shards+1) // +1: an empty shard
+				for i := range aggs {
+					aggs[i] = fo.NewAggregator()
+				}
+				for i, rep := range reports {
+					aggs[i%shards].Add(rep)
+				}
+				root := aggs[0]
+				for _, a := range aggs[1:] {
+					root.Merge(a)
+				}
+				if root.Count() != n {
+					t.Fatalf("shards=%d: merged count %d, want %d", shards, root.Count(), n)
+				}
+				got := root.Estimates()
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("shards=%d: estimate[%d] = %v, want bit-identical %v",
+							shards, v, got[v], want[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Merging must drain the donor and stay usable afterwards: adding more
+// reports to the merged aggregator equals a sequential pass over the
+// concatenation.
+func TestMergeThenAdd(t *testing.T) {
+	fo := NewSOLH(40, 5, 1)
+	r := rng.New(7)
+	reports := make([]Report, 1500)
+	for i := range reports {
+		reports[i] = fo.Randomize(i%40, r)
+	}
+	a := fo.NewAggregator()
+	b := fo.NewAggregator()
+	for _, rep := range reports[:600] {
+		a.Add(rep)
+	}
+	for _, rep := range reports[600:1000] {
+		b.Add(rep)
+	}
+	a.Merge(b)
+	if b.Count() != 0 {
+		t.Fatalf("donor not drained: count %d", b.Count())
+	}
+	for _, rep := range reports[1000:] {
+		a.Add(rep)
+	}
+	seq := fo.NewAggregator()
+	for _, rep := range reports {
+		seq.Add(rep)
+	}
+	want := seq.Estimates()
+	got := a.Estimates()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestMergeIncompatiblePanics(t *testing.T) {
+	cases := map[string][2]Aggregator{
+		"cross-oracle": {NewGRR(8, 1).NewAggregator(), NewOUE(8, 1).NewAggregator()},
+		"grr-domain":   {NewGRR(8, 1).NewAggregator(), NewGRR(9, 1).NewAggregator()},
+		"lh-dprime":    {NewSOLH(16, 4, 1).NewAggregator(), NewSOLH(16, 5, 1).NewAggregator()},
+		"had-order":    {NewHadamard(10, 1).NewAggregator(), NewHadamard(20, 1).NewAggregator()},
+		"unary-flip":   {NewRAP(8, 1).NewAggregator(), NewRAP(8, 2).NewAggregator()},
+		"aue-gamma":    {NewAUE(8, 1, 1e-6, 100).NewAggregator(), NewAUE(8, 2, 1e-6, 100).NewAggregator()},
+	}
+	for name, pair := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			pair[0].Merge(pair[1])
+		})
+	}
+}
+
+// The parallel engine must be a pure function of (oracle, values, seed):
+// every worker count gives identical reports and identical estimates.
+func TestParallelEngineDeterministicAcrossWorkers(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			d := fo.Domain()
+			n := 3*ShardSize + 117 // several shards plus a ragged tail
+			values := make([]int, n)
+			for i := range values {
+				values[i] = (i * 7) % d
+			}
+			const seed = 99
+			baseReports := RandomizeParallel(fo, values, seed, 1)
+			base := AggregateParallel(fo, baseReports, 1).Estimates()
+			for _, workers := range []int{2, 3, 8} {
+				reports := RandomizeParallel(fo, values, seed, workers)
+				for i := range reports {
+					if reports[i].Seed != baseReports[i].Seed || reports[i].Value != baseReports[i].Value {
+						t.Fatalf("workers=%d: report %d differs", workers, i)
+					}
+				}
+				got := AggregateParallel(fo, reports, workers).Estimates()
+				for v := range base {
+					if got[v] != base[v] {
+						t.Fatalf("workers=%d: estimate[%d] = %v, want bit-identical %v",
+							workers, v, got[v], base[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// EstimateParallel with one worker must agree with what a sequential
+// aggregator computes from the same substream-randomized reports.
+func TestEstimateParallelMatchesSequentialAggregation(t *testing.T) {
+	fo := NewSOLH(50, 6, 1.5)
+	values := make([]int, 2*ShardSize+33)
+	for i := range values {
+		values[i] = i % 50
+	}
+	reports := RandomizeParallel(fo, values, 5, 4)
+	seq := fo.NewAggregator()
+	for _, rep := range reports {
+		seq.Add(rep)
+	}
+	want := seq.Estimates()
+	got := EstimateParallel(fo, values, 5, 4)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+// Worker panics (out-of-range values) must surface on the caller.
+func TestRandomizeParallelPropagatesPanic(t *testing.T) {
+	fo := NewGRR(8, 1)
+	values := make([]int, 2*ShardSize)
+	values[ShardSize+5] = 8 // out of range
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomizeParallel(fo, values, 1, 4)
+}
+
+// The reworked SOLH aggregator must agree with the naive per-pair hash
+// loop of the seed implementation across block boundaries (n below, at,
+// and above lhBlock multiples).
+func TestLocalHashAggregatorMatchesNaive(t *testing.T) {
+	fo := NewSOLH(37, 5, 1)
+	r := rng.New(11)
+	for _, n := range []int{0, 1, lhBlock - 1, lhBlock, lhBlock + 1, 3*lhBlock + 17} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			reports := make([]Report, n)
+			for i := range reports {
+				reports[i] = fo.Randomize(i%37, r)
+			}
+			agg := fo.NewAggregator()
+			for _, rep := range reports {
+				agg.Add(rep)
+			}
+			counts := make([]int, 37)
+			for _, rep := range reports {
+				for v := 0; v < 37; v++ {
+					if fo.family.Hash(uint64(rep.Seed), uint64(v)) == rep.Value {
+						counts[v]++
+					}
+				}
+			}
+			want := CalibrateCounts(counts, n, fo.P(), 1/float64(fo.DPrime()))
+			got := agg.Estimates()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("estimate[%d] = %v, want %v", v, got[v], want[v])
+				}
+			}
+			// Estimates must be repeatable and survive further Adds.
+			again := agg.Estimates()
+			for v := range got {
+				if again[v] != got[v] {
+					t.Fatal("Estimates not repeatable")
+				}
+			}
+		})
+	}
+}

@@ -64,7 +64,9 @@ type FrequencyOracle interface {
 }
 
 // Aggregator accumulates reports and produces unbiased frequency
-// estimates. Aggregators are not safe for concurrent use.
+// estimates. Aggregators are not safe for concurrent use; for parallel
+// aggregation give each worker its own aggregator and combine them with
+// Merge (see AggregateParallel).
 type Aggregator interface {
 	// Add ingests one report.
 	Add(rep Report)
@@ -73,6 +75,14 @@ type Aggregator interface {
 	// Estimates returns the unbiased estimate of every value's
 	// frequency (summing to ~1). The slice is freshly allocated.
 	Estimates() []float64
+	// Merge folds all reports ingested by other into this aggregator,
+	// leaving other drained (its further use is undefined). Both
+	// aggregators must come from the same oracle; Merge panics on a
+	// type or parameter mismatch. Because every aggregator accumulates
+	// exactly representable integer statistics, a merged aggregator's
+	// Estimates are bit-identical to a sequential aggregator fed the
+	// same reports in any order.
+	Merge(other Aggregator)
 }
 
 // EstimateAll is a convenience that randomizes every value in values and

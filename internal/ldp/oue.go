@@ -99,6 +99,19 @@ func (a *oueAggregator) Add(rep Report) {
 
 func (a *oueAggregator) Count() int { return a.n }
 
+// Merge implements Aggregator.
+func (a *oueAggregator) Merge(other Aggregator) {
+	o, ok := other.(*oueAggregator)
+	if !ok || o.o.d != a.o.d || o.o.q != a.o.q {
+		panic("ldp: merging incompatible OUE aggregators")
+	}
+	for v, c := range o.counts {
+		a.counts[v] += c
+	}
+	a.n += o.n
+	o.counts, o.n = nil, 0
+}
+
 func (a *oueAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, a.o.p, a.o.q)
 }

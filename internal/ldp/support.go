@@ -1,14 +1,14 @@
 package ldp
 
-import "shuffledp/internal/hash"
-
 // SupportCounts computes, for every value v in [0, d), how many of the
 // given reports "support" v — the raw statistic behind Equations (2)
 // and (3). It is the server-side aggregation used when reports arrive
 // through a protocol (shuffled words) rather than an Aggregator:
 //
 //   - GRR: a report supports its value.
-//   - OLH/SOLH: report (seed, y) supports v iff H_seed(v) = y.
+//   - OLH/SOLH: report (seed, y) supports v iff H_seed(v) = y, counted
+//     in blocks through the same hash.Family.CountSupport kernel the
+//     aggregator uses.
 //
 // Only PEOS-compatible oracles are supported; others panic.
 func SupportCounts(fo FrequencyOracle, reports []Report) []int {
@@ -20,17 +20,22 @@ func SupportCounts(fo FrequencyOracle, reports []Report) []int {
 			counts[rep.Value]++
 		}
 	case *LocalHash:
-		fam := hash.NewFamily(o.dPrime)
-		for _, rep := range reports {
-			if rep.Value < 0 || rep.Value >= o.dPrime {
-				panic("ldp: report value outside [0, d')")
+		seeds := make([]uint64, 0, lhBlock)
+		ys := make([]uint64, 0, lhBlock)
+		for start := 0; start < len(reports); start += lhBlock {
+			end := start + lhBlock
+			if end > len(reports) {
+				end = len(reports)
 			}
-			seed := uint64(rep.Seed)
-			for v := 0; v < o.d; v++ {
-				if fam.Hash(seed, uint64(v)) == rep.Value {
-					counts[v]++
+			seeds, ys = seeds[:0], ys[:0]
+			for _, rep := range reports[start:end] {
+				if rep.Value < 0 || rep.Value >= o.dPrime {
+					panic("ldp: report value outside [0, d')")
 				}
+				seeds = append(seeds, uint64(rep.Seed))
+				ys = append(ys, uint64(rep.Value))
 			}
+			o.family.CountSupport(seeds, ys, counts)
 		}
 	default:
 		panic("ldp: SupportCounts does not support oracle " + fo.Name())

@@ -122,6 +122,19 @@ func (a *unaryAggregator) Add(rep Report) {
 
 func (a *unaryAggregator) Count() int { return a.n }
 
+// Merge implements Aggregator.
+func (a *unaryAggregator) Merge(other Aggregator) {
+	o, ok := other.(*unaryAggregator)
+	if !ok || o.u.d != a.u.d || o.u.flip != a.u.flip {
+		panic("ldp: merging incompatible unary aggregators")
+	}
+	for v, c := range o.counts {
+		a.counts[v] += c
+	}
+	a.n += o.n
+	o.counts, o.n = nil, 0
+}
+
 func (a *unaryAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, 1-a.u.flip, a.u.flip)
 }

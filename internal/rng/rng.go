@@ -51,6 +51,20 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// Substream returns the generator for stream number `stream` of the
+// given user seed. Unlike Split, the derivation is a pure function of
+// (seed, stream): shard s of a computation always sees the same random
+// stream no matter how many workers run, which is what makes the
+// parallel estimation engine reproducible independent of concurrency.
+// Distinct (seed, stream) pairs are decorrelated by two rounds of
+// splitmix64 mixing.
+func Substream(seed, stream uint64) *Rand {
+	x := seed
+	a := splitmix64(&x)
+	x = a ^ (stream * 0x9e3779b97f4a7c15)
+	return New(splitmix64(&x))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -64,6 +64,18 @@ func (k MechanismKind) String() string {
 	}
 }
 
+// DefaultSeed is the seed substituted when Options.Seed or
+// FrequentStringsOptions.Seed is left at zero. Zero is a sentinel for
+// "unset" — an explicit Seed of 0 is indistinguishable from the default
+// — so callers that need a distinct reproducible run must pass a
+// nonzero seed.
+const DefaultSeed uint64 = 0x5eed
+
+// shuffleStream is the rng substream id reserved for the report
+// permutation. Randomization shards use ids 0, 1, 2, ... (one per
+// ldp.ShardSize values), which can never reach it.
+const shuffleStream = ^uint64(0)
+
 // Options configures EstimateHistogram.
 type Options struct {
 	// EpsilonCentral is the (epsC, Delta)-DP guarantee the shuffled
@@ -74,8 +86,14 @@ type Options struct {
 	Delta float64
 	// Mechanism picks the oracle (default Auto).
 	Mechanism MechanismKind
-	// Seed makes the run reproducible; 0 derives a fixed default.
+	// Seed makes the run reproducible. Zero is a sentinel meaning
+	// "unset" and selects DefaultSeed; see DefaultSeed for the
+	// consequence.
 	Seed uint64
+	// Concurrency caps the number of worker goroutines used to fan out
+	// randomization and aggregation; values < 1 use GOMAXPROCS. For a
+	// fixed Seed the result is identical regardless of Concurrency.
+	Concurrency int
 }
 
 func (o *Options) setDefaults() {
@@ -83,7 +101,7 @@ func (o *Options) setDefaults() {
 		o.Delta = 1e-9
 	}
 	if o.Seed == 0 {
-		o.Seed = 0x50 + 1
+		o.Seed = DefaultSeed
 	}
 }
 
@@ -122,23 +140,24 @@ func EstimateHistogram(values []int, d int, opt Options) (*HistogramResult, erro
 	if err != nil {
 		return nil, err
 	}
-	r := rng.New(opt.Seed)
-	reports := make([]ldp.Report, n)
-	for i, v := range values {
+	for _, v := range values {
 		if v < 0 || v >= d {
 			return nil, fmt.Errorf("shuffledp: value %d outside [0, %d)", v, d)
 		}
-		reports[i] = fo.Randomize(v, r)
 	}
+	// Randomization and aggregation fan out over Concurrency workers;
+	// shard substreams keep the result a pure function of Seed (see
+	// internal/ldp/parallel.go).
+	reports := ldp.RandomizeParallel(fo, values, opt.Seed, opt.Concurrency)
 	// The shuffle: estimation is order-invariant, but permute anyway so
-	// the reports slice faithfully models what the server receives.
-	r.Shuffle(len(reports), func(i, j int) {
+	// the reports slice faithfully models what the server receives. The
+	// permutation has its own substream so it cannot perturb the
+	// randomization streams.
+	shuf := rng.Substream(opt.Seed, shuffleStream)
+	shuf.Shuffle(len(reports), func(i, j int) {
 		reports[i], reports[j] = reports[j], reports[i]
 	})
-	agg := fo.NewAggregator()
-	for _, rep := range reports {
-		agg.Add(rep)
-	}
+	agg := ldp.AggregateParallel(fo, reports, opt.Concurrency)
 	res := &HistogramResult{
 		Estimates:    agg.Estimates(),
 		Mechanism:    fo.Name(),
@@ -209,8 +228,13 @@ type FrequentStringsOptions struct {
 	// rounds (defaults 1.0 and 1e-9).
 	EpsilonCentral float64
 	Delta          float64
-	// Seed for reproducibility.
+	// Seed for reproducibility. Zero is a sentinel meaning "unset" and
+	// selects DefaultSeed (the same constant EstimateHistogram uses).
 	Seed uint64
+	// Concurrency caps the per-round worker fan-out; values < 1 use
+	// GOMAXPROCS. For a fixed Seed the result is identical regardless
+	// of Concurrency.
+	Concurrency int
 }
 
 // FrequentStrings finds the most frequent `bits`-bit strings among the
@@ -232,7 +256,7 @@ func FrequentStrings(values []uint64, bits int, opt FrequentStringsOptions) ([]u
 		opt.Delta = 1e-9
 	}
 	if opt.Seed == 0 {
-		opt.Seed = 0x5eed
+		opt.Seed = DefaultSeed
 	}
 	if bits%opt.RoundBits != 0 {
 		return nil, errors.New("shuffledp: RoundBits must divide bits")
@@ -248,14 +272,20 @@ func FrequentStrings(values []uint64, bits int, opt FrequentStringsOptions) ([]u
 	roundEps := per.Eps
 	roundDelta := per.Delta
 	n := len(values)
-	r := rng.New(opt.Seed)
+	// Each round draws a fresh sub-seed from a master stream (rounds run
+	// sequentially, so the derivation order is fixed); within a round the
+	// randomization and aggregation fan out over Concurrency workers with
+	// the round seed's shard substreams, keeping the output independent
+	// of the worker count.
+	master := rng.Substream(opt.Seed, 0)
 	estimate := func(vals []int, d int) []float64 {
+		roundSeed := master.Uint64()
 		fo, err := chooseOracle(SOLH, roundEps, roundDelta, n, d)
 		if err != nil {
 			// Infeasible round budget: no information this round.
 			return ldp.BaseEstimates(d)
 		}
-		return ldp.EstimateAll(fo, vals, r)
+		return ldp.EstimateParallel(fo, vals, roundSeed, opt.Concurrency)
 	}
 	return treehist.Run(values, treehist.Config{
 		Bits:      bits,

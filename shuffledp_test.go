@@ -62,6 +62,74 @@ func TestEstimateHistogramValidation(t *testing.T) {
 	}
 }
 
+// The Concurrency contract: for a fixed Seed, every worker count yields
+// a bit-identical HistogramResult, for both oracles.
+func TestEstimateHistogramDeterministicAcrossConcurrency(t *testing.T) {
+	const n, d = 30000, 32
+	values := SyntheticDataset(n, d, 1.2, 7)
+	for _, kind := range []MechanismKind{GRR, SOLH} {
+		var base *HistogramResult
+		for _, workers := range []int{1, 2, 8} {
+			res, err := EstimateHistogram(values, d, Options{
+				EpsilonCentral: 1,
+				Mechanism:      kind,
+				Seed:           123,
+				Concurrency:    workers,
+			})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", kind, workers, err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if res.Mechanism != base.Mechanism || res.EpsilonLocal != base.EpsilonLocal ||
+				res.DPrime != base.DPrime || res.PredictedMSE != base.PredictedMSE {
+				t.Fatalf("%v workers=%d: metadata differs", kind, workers)
+			}
+			for v := range base.Estimates {
+				if res.Estimates[v] != base.Estimates[v] {
+					t.Fatalf("%v workers=%d: estimate[%d] = %v, want bit-identical %v",
+						kind, workers, v, res.Estimates[v], base.Estimates[v])
+				}
+			}
+		}
+	}
+}
+
+// Same contract for the TreeHist pipeline.
+func TestFrequentStringsDeterministicAcrossConcurrency(t *testing.T) {
+	const n = 20000
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i % 500)
+	}
+	var base []uint64
+	for _, workers := range []int{1, 2, 8} {
+		found, err := FrequentStrings(values, 16, FrequentStringsOptions{
+			K:              8,
+			EpsilonCentral: 2,
+			Seed:           55,
+			Concurrency:    workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = found
+			continue
+		}
+		if len(found) != len(base) {
+			t.Fatalf("workers=%d: %d strings, want %d", workers, len(found), len(base))
+		}
+		for i := range base {
+			if found[i] != base[i] {
+				t.Fatalf("workers=%d: found[%d] = %#x, want %#x", workers, i, found[i], base[i])
+			}
+		}
+	}
+}
+
 func TestMechanismKindString(t *testing.T) {
 	if Auto.String() != "Auto" || GRR.String() != "GRR" || SOLH.String() != "SOLH" {
 		t.Fatal("bad MechanismKind strings")
