@@ -16,18 +16,22 @@ package shuffledp
 // are the perf- and regression-tracking entry points.
 
 import (
+	"net"
 	"strconv"
+	"sync"
 	"testing"
 
 	"shuffledp/internal/ahe"
 	"shuffledp/internal/amplify"
 	"shuffledp/internal/dataset"
+	"shuffledp/internal/ecies"
 	"shuffledp/internal/experiment"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/oblivious"
 	"shuffledp/internal/protocol"
 	"shuffledp/internal/rng"
 	"shuffledp/internal/secretshare"
+	"shuffledp/internal/service"
 )
 
 const benchDelta = 1e-9
@@ -332,6 +336,76 @@ func BenchmarkAggregateSOLHParallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/report")
+}
+
+// BenchmarkServiceThroughput measures the streaming ingestion tier end
+// to end: concurrent client connections encrypt and frame
+// pre-randomized SOLH reports over net.Pipe, the service batches,
+// shuffles, decrypts, and aggregates, and the run drains to a final
+// histogram. Reported as reports/s (the deployment-facing number);
+// cmd/bench runs the same workload across client counts and records
+// the curve in BENCH_service.json.
+func BenchmarkServiceThroughput(b *testing.B) {
+	const n, d, batch = 4000, 64, 256
+	fo := ldp.NewSOLH(d, 16, 3)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := make([]int, n)
+	for i := range values {
+		values[i] = i % d
+	}
+	reports := ldp.RandomizeParallel(fo, values, 1, 0)
+	for _, clients := range []int{1, 8} {
+		b.Run("clients="+strconv.Itoa(clients), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc, err := service.New(service.Config{
+					FO: fo, Key: key, BatchSize: batch, ShuffleSeed: uint64(i + 2),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					clientSide, serverSide := net.Pipe()
+					if err := svc.Ingest(serverSide); err != nil {
+						b.Fatal(err)
+					}
+					cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func(c int, cl *service.Client) {
+						defer wg.Done()
+						// Close on every exit path so a send error cannot
+						// leave a reader open and hang Drain.
+						defer clientSide.Close()
+						for j := c; j < len(reports); j += clients {
+							if err := cl.SendReport(reports[j]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						if err := cl.Close(); err != nil {
+							b.Error(err)
+						}
+					}(c, cl)
+				}
+				snap, err := svc.Drain()
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				if snap.Reports != n {
+					b.Fatalf("aggregated %d reports, want %d", snap.Reports, n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
 }
 
 // BenchmarkPublicAPIEstimate measures the end-to-end facade.

@@ -1,9 +1,15 @@
-// Command bench times the SOLH aggregation engine against the seed
-// revision's sequential baseline and writes the results as
-// BENCH_aggregate.json, the machine-readable perf trajectory tracked
-// across PRs (see EXPERIMENTS.md).
+// Command bench writes the machine-readable perf trajectories tracked
+// across PRs (see EXPERIMENTS.md):
 //
-// Three variants run over the same pre-randomized reports:
+//   - the aggregate suite times the SOLH aggregation engine against the
+//     seed revision's sequential baseline -> BENCH_aggregate.json
+//   - the service suite times the streaming ingestion tier end to end
+//     at several client counts -> BENCH_service.json
+//
+// Select with -suite aggregate|service|all (default all).
+//
+// In the aggregate suite, three variants run over the same
+// pre-randomized reports:
 //
 //   - seed-sequential: the original aggregator loop — one byte-staged
 //     xxHash64 evaluation plus a 64-bit division per (report, value)
@@ -16,7 +22,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-n 100000] [-baseline-n 10000] [-d 1024,65536] [-out BENCH_aggregate.json]
+//	go run ./cmd/bench [-suite all] [-n 100000] [-baseline-n 10000] [-d 1024,65536]
+//	                   [-out BENCH_aggregate.json] [-service-n 20000]
+//	                   [-service-clients 1,2,4,8] [-service-out BENCH_service.json]
 package main
 
 import (
@@ -63,16 +71,42 @@ type benchReport struct {
 }
 
 func main() {
+	suite := flag.String("suite", "all", "which suite to run: aggregate, service, or all")
 	n := flag.Int("n", 100000, "reports aggregated by the kernel variants")
 	baselineN := flag.Int("baseline-n", 10000, "reports aggregated by the seed-sequential baseline")
 	ds := flag.String("d", "1024,65536", "comma-separated domain sizes")
-	out := flag.String("out", "BENCH_aggregate.json", "output JSON path")
+	out := flag.String("out", "BENCH_aggregate.json", "aggregate-suite output JSON path")
+	serviceN := flag.Int("service-n", 20000, "reports streamed per service-suite run")
+	serviceClients := flag.String("service-clients", "1,2,4,8", "comma-separated client counts for the service suite")
+	serviceBatch := flag.Int("service-batch", 512, "service-suite shuffle-batch size")
+	serviceD := flag.Int("service-d", 64, "service-suite domain size")
+	serviceOut := flag.String("service-out", "BENCH_service.json", "service-suite output JSON path")
 	flag.Parse()
-	if *n < 1 {
-		log.Fatal("-n must be >= 1")
+	if *n < 1 || *serviceN < 1 {
+		log.Fatal("-n and -service-n must be >= 1")
 	}
 	if *baselineN < 1 || *baselineN > *n {
 		*baselineN = *n
+	}
+	runAggregate := *suite == "all" || *suite == "aggregate"
+	runService := *suite == "all" || *suite == "service"
+	if !runAggregate && !runService {
+		log.Fatalf("unknown -suite %q (want aggregate, service, or all)", *suite)
+	}
+
+	if runService {
+		counts, err := parseInts(*serviceClients)
+		if err != nil {
+			log.Fatalf("bad -service-clients: %v", err)
+		}
+		rep, err := runServiceSuite(*serviceN, *serviceD, *serviceBatch, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*serviceOut, rep)
+	}
+	if !runAggregate {
+		return
 	}
 
 	rep := benchReport{
@@ -86,22 +120,41 @@ func main() {
 			"so parallel_speedup equals the kernel speedup; AggregateParallel " +
 			"scales near-linearly with GOMAXPROCS on multi-core machines"
 	}
-	for _, f := range strings.Split(*ds, ",") {
-		d, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			log.Fatalf("bad -d entry %q: %v", f, err)
-		}
+	dsInts, err := parseInts(*ds)
+	if err != nil {
+		log.Fatalf("bad -d: %v", err)
+	}
+	for _, d := range dsInts {
 		rep.Cases = append(rep.Cases, runCase(d, *n, *baselineN))
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	writeJSON(*out, rep)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", f, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("entry %q: must be >= 1", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }
 
 func runCase(d, n, baselineN int) benchCase {

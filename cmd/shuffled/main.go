@@ -1,27 +1,31 @@
-// Command shuffled runs the basic shuffle model as three real network
-// parties over TCP loopback: n simulated user clients, one shuffler,
-// and the analysis server (Figure 1 of the paper, §III). Reports are
-// ECIES-encrypted end-to-end for the server, so the shuffler only
-// breaks linkage; the server only sees the permuted batch.
+// Command shuffled runs the shuffle model as a real streaming
+// deployment over TCP loopback (Figure 1 of the paper, §III): the
+// analysis server hosts the internal/service ingestion tier — batch
+// shuffler plus a decrypt/aggregate worker pool — and several
+// concurrent collector gateways stream the users' ECIES-encrypted
+// reports into it. The live estimate is printed from mid-stream
+// Snapshots while ingestion is still running; Drain prints the final
+// histogram and the per-party cost account (transport.Meter).
 //
 // Usage:
 //
-//	shuffled [-n users] [-d domain] [-eps epsC] [-seed s]
+//	shuffled [-n users] [-d domain] [-eps epsC] [-seed s] [-clients c] [-batch b]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"shuffledp/internal/amplify"
 	"shuffledp/internal/dataset"
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
-	"shuffledp/internal/netproto"
-	"shuffledp/internal/rng"
+	"shuffledp/internal/service"
+	"shuffledp/internal/transport"
 )
 
 func main() {
@@ -30,7 +34,12 @@ func main() {
 	epsC := flag.Float64("eps", 1, "central privacy budget")
 	delta := flag.Float64("delta", 1e-9, "DP failure probability")
 	seed := flag.Uint64("seed", 1, "random seed")
+	clients := flag.Int("clients", 8, "concurrent collector connections")
+	batch := flag.Int("batch", 512, "shuffle-batch size (the anonymity granularity)")
 	flag.Parse()
+	if *clients < 1 {
+		*clients = 1
+	}
 
 	values := dataset.Synthetic("demo", *n, *d, 1.3, *seed).Values
 
@@ -50,92 +59,92 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Two TCP loopback legs: users -> shuffler, shuffler -> server.
-	userLn, err := net.Listen("tcp", "127.0.0.1:0")
+	var meter transport.Meter
+	svc, err := service.New(service.Config{
+		FO:          fo,
+		Key:         key,
+		BatchSize:   *batch,
+		ShuffleSeed: *seed + 1,
+		Meter:       &meter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer userLn.Close()
-	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer serverLn.Close()
-	fmt.Printf("shuffler listening on %s, server on %s\n",
-		userLn.Addr(), serverLn.Addr())
+	fmt.Printf("ingestion service listening on %s (%d gateways, batch=%d)\n",
+		ln.Addr(), *clients, *batch)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- svc.Serve(ln) }()
 
-	errc := make(chan error, 2)
+	// Randomize on the users' side of the ledger. The shard substreams
+	// make the report multiset a pure function of -seed, so the final
+	// histogram is bit-identical to netproto.RunPipeline at this seed, no
+	// matter how the gateways interleave (DESIGN.md §6).
+	var reports []ldp.Report
+	meter.Track(service.PartyUsers, func() {
+		reports = ldp.RandomizeParallel(fo, values, *seed, 0)
+	})
 
-	// Shuffler.
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl, err := service.NewClient(fo, key.Public(), nil, conn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := c; i < len(reports); i += *clients {
+				if err := cl.SendReport(reports[i]); err != nil {
+					log.Fatalf("gateway %d: %v", c, err)
+				}
+			}
+			if err := cl.Close(); err != nil {
+				log.Fatalf("gateway %d close: %v", c, err)
+			}
+		}(c)
+	}
+
+	// Watch the stream: the histogram is live long before the last
+	// report arrives.
+	watchDone := make(chan struct{})
 	go func() {
-		in, err := userLn.Accept()
-		if err != nil {
-			errc <- err
-			return
-		}
-		defer in.Close()
-		out, err := net.Dial("tcp", serverLn.Addr().String())
-		if err != nil {
-			errc <- err
-			return
-		}
-		defer out.Close()
-		sh := &netproto.Shuffler{Rand: rng.New(*seed + 1)}
-		reports, err := sh.Collect(in, len(values))
-		if err != nil {
-			errc <- err
-			return
-		}
-		errc <- sh.Forward(out, reports)
-	}()
-
-	// Users (one connection carrying all reports, as a collector
-	// gateway would).
-	go func() {
-		conn, err := net.Dial("tcp", userLn.Addr().String())
-		if err != nil {
-			errc <- err
-			return
-		}
-		defer conn.Close()
-		user, err := netproto.NewUser(fo, key.Public(), rng.New(*seed+2))
-		if err != nil {
-			errc <- err
-			return
-		}
-		for _, v := range values {
-			if err := user.Report(conn, v); err != nil {
-				errc <- err
+		defer close(watchDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for range tick.C {
+			snap := svc.Snapshot()
+			fmt.Printf("  snapshot: %6d/%d reports aggregated, %d batches shuffled, est[0]=%.4f\n",
+				snap.Reports, *n, snap.Batches, snap.Estimates[0])
+			if snap.Reports >= *n {
 				return
 			}
 		}
-		errc <- nil
 	}()
 
-	// Server (main goroutine).
-	conn, err := serverLn.Accept()
+	wg.Wait()
+	snap, err := svc.Drain()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	server, err := netproto.NewServer(fo, key)
-	if err != nil {
+	if err := <-serveDone; err != nil {
 		log.Fatal(err)
 	}
-	est, err := server.Receive(conn, len(values))
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i := 0; i < 2; i++ {
-		if err := <-errc; err != nil && !errors.Is(err, net.ErrClosed) {
-			log.Fatal(err)
-		}
-	}
+	<-watchDone
 
 	truth := ldp.TrueFrequencies(values, *d)
 	fmt.Println("\nvalue   true-freq   estimate")
 	for v := 0; v < 8 && v < *d; v++ {
-		fmt.Printf("%5d   %9.4f   %8.4f\n", v, truth[v], est[v])
+		fmt.Printf("%5d   %9.4f   %8.4f\n", v, truth[v], snap.Estimates[v])
 	}
-	fmt.Printf("\nMSE over the full domain: %.3e\n", ldp.MSE(truth, est))
+	fmt.Printf("\nMSE over the full domain: %.3e (analytic: %.3e)\n",
+		ldp.MSE(truth, snap.Estimates), fo.Variance(*n))
+	fmt.Printf("\nper-party costs:\n%s", meter.String())
 }

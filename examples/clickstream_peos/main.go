@@ -4,9 +4,16 @@
 // colludes with the server the victim keeps eps=3; even if the server
 // corrupts a majority of the shufflers each report stays eps=6-LDP.
 //
-// The example plans the deployment (§VI-D), runs the real PEOS protocol
-// — secret shares, DGK encryption, encrypted oblivious shuffle — and
-// prints the estimates plus each party's cost account.
+// The example runs the deployment's two tiers:
+//
+//  1. The live collection tier — the planned mechanism streamed
+//     through the concurrent ingestion service (internal/service):
+//     encrypted reports over real connections, batch shuffling, and a
+//     mid-stream Snapshot while clicks are still arriving. This is the
+//     single-shuffler trust model of §III, the everyday dashboard.
+//  2. The hardened PEOS protocol (§VI) over the same clicks — secret
+//     shares, DGK encryption, encrypted oblivious shuffle — whose
+//     estimate survives the three collusion scenarios above.
 //
 //	go run ./examples/clickstream_peos
 package main
@@ -14,8 +21,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
 
 	"shuffledp"
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/service"
+	"shuffledp/internal/transport"
 )
 
 func main() {
@@ -34,6 +46,13 @@ func main() {
 	}
 	fmt.Println("deployment plan:", plan)
 
+	// ---- Tier 1: live collection through the streaming service ----
+	streamEst, meter, err := streamClicks(plan, values, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Tier 2: the hardened PEOS run over the same clicks ----
 	res, err := shuffledp.RunPEOS(plan, values, shuffledp.PEOSRunConfig{
 		Shufflers: 3,
 		KeyBits:   1024,
@@ -46,10 +65,81 @@ func main() {
 	for _, v := range values {
 		truth[v] += 1.0 / n
 	}
-	fmt.Println("\nitem   true-freq   estimate")
+	fmt.Println("\nitem   true-freq   stream-est   peos-est")
 	for v := 0; v < 6; v++ {
-		fmt.Printf("%4d   %9.4f   %8.4f\n", v, truth[v], res.Estimates[v])
+		fmt.Printf("%4d   %9.4f   %10.4f   %8.4f\n",
+			v, truth[v], streamEst[v], res.Estimates[v])
 	}
-	fmt.Println("\nper-party costs:")
+	fmt.Println("\nstreaming-tier transport costs:")
+	fmt.Print(meter.String())
+	fmt.Println("\nPEOS per-party costs:")
 	fmt.Print(res.CostReport)
+}
+
+// streamClicks pushes the clicks through the concurrent ingestion
+// service with the plan's local mechanism: the estimate any analyst
+// can watch live, protected by the basic shuffle model.
+func streamClicks(plan *shuffledp.PEOSPlan, values []int, d int) ([]float64, *transport.Meter, error) {
+	var fo ldp.FrequencyOracle
+	if plan.Mechanism == "GRR" {
+		fo = ldp.NewGRR(d, plan.EpsilonLocal)
+	} else {
+		fo = ldp.NewSOLH(d, plan.DPrime, plan.EpsilonLocal)
+	}
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	var meter transport.Meter
+	svc, err := service.New(service.Config{
+		FO:          fo,
+		Key:         key,
+		BatchSize:   200,
+		ShuffleSeed: 42,
+		Meter:       &meter,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer svc.Close()
+
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		return nil, nil, err
+	}
+	reports := ldp.RandomizeParallel(fo, values, 12, 0)
+	cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// First half of the day's clicks...
+	half := len(reports) / 2
+	for _, rep := range reports[:half] {
+		if err := cl.SendReport(rep); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		return nil, nil, err
+	}
+	// ...and the dashboard refreshes without stopping ingestion.
+	snap := svc.Snapshot()
+	fmt.Printf("\nmid-stream snapshot: %d reports in, %d aggregated, est[0]=%.4f\n",
+		snap.Received, snap.Reports, snap.Estimates[0])
+
+	for _, rep := range reports[half:] {
+		if err := cl.SendReport(rep); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := cl.Close(); err != nil {
+		return nil, nil, err
+	}
+	final, err := svc.Drain()
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("drained: %d reports over %d shuffled batches\n", final.Reports, final.Batches)
+	return final.Estimates, &meter, nil
 }

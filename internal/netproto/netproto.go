@@ -15,6 +15,11 @@
 // report frame is the ECIES encryption (server's key) of the 8-byte
 // little-endian report word (ldp.WordEncoder). The shuffler's output
 // to the server is the same frames in permuted order.
+//
+// The User/Shuffler/Server types here are the single-connection
+// reference parties for that wire format; the production path —
+// concurrent connections, streaming batches, mid-stream snapshots —
+// lives in internal/service, and RunPipeline runs on top of it.
 package netproto
 
 import (
@@ -27,6 +32,7 @@ import (
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/rng"
+	"shuffledp/internal/service"
 	"shuffledp/internal/transport"
 )
 
@@ -150,58 +156,62 @@ func (s *Server) Receive(in io.Reader, n int) ([]float64, error) {
 	return ldp.CalibrateCounts(counts, n, p, q), nil
 }
 
-// RunPipeline runs the three roles concurrently over in-memory
-// net.Pipe connections (users -> shuffler, shuffler -> server) and
-// returns the server's estimates. cmd/shuffled runs the same roles
-// over TCP.
+// RunPipeline runs the shuffle model over the streaming ingestion
+// service (internal/service): one client connection submits every
+// report over an in-memory net.Pipe, the service batches, shuffles,
+// decrypts, and aggregates, and the final drained estimate is
+// returned. cmd/shuffled runs the same pipeline over TCP with many
+// concurrent clients.
+//
+// Randomization follows the engine's determinism contract: values are
+// randomized in ShardSize shards from rng.Substream(seed, shard) (see
+// ldp.RandomizeParallel), so for a fixed seed the resulting estimate
+// is bit-identical no matter how the reports are later split across
+// connections, batches, or workers — RunPipeline is the sequential
+// reference the concurrent service is tested against.
 func RunPipeline(fo ldp.FrequencyOracle, values []int, seed uint64) ([]float64, error) {
 	key, err := ecies.GenerateKey()
 	if err != nil {
 		return nil, err
 	}
-	user, err := NewUser(fo, key.Public(), rng.New(seed))
+	svc, err := service.New(service.Config{
+		FO:          fo,
+		Key:         key,
+		ShuffleSeed: seed + 1,
+	})
 	if err != nil {
 		return nil, err
 	}
-	server, err := NewServer(fo, key)
+	defer svc.Close()
+
+	clientSide, serverSide := net.Pipe()
+	defer clientSide.Close()
+	if err := svc.Ingest(serverSide); err != nil {
+		return nil, err
+	}
+	client, err := service.NewClient(fo, key.Public(), nil, clientSide)
 	if err != nil {
 		return nil, err
 	}
-	shuffler := &Shuffler{Rand: rng.New(seed + 1)}
 
-	userSide, shufflerIn := net.Pipe()
-	shufflerOut, serverSide := net.Pipe()
-	defer userSide.Close()
-	defer shufflerIn.Close()
-	defer shufflerOut.Close()
-	defer serverSide.Close()
-
-	errc := make(chan error, 2)
+	errc := make(chan error, 1)
 	go func() {
-		for _, v := range values {
-			if err := user.Report(userSide, v); err != nil {
+		for _, rep := range ldp.RandomizeParallel(fo, values, seed, 1) {
+			if err := client.SendReport(rep); err != nil {
 				errc <- err
+				clientSide.Close()
 				return
 			}
 		}
-		errc <- nil
+		errc <- client.Close()
 	}()
-	go func() {
-		reports, err := shuffler.Collect(shufflerIn, len(values))
-		if err != nil {
-			errc <- err
-			return
-		}
-		errc <- shuffler.Forward(shufflerOut, reports)
-	}()
-	est, err := server.Receive(serverSide, len(values))
+
+	snap, err := svc.Drain()
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < 2; i++ {
-		if err := <-errc; err != nil {
-			return nil, err
-		}
+	if err := <-errc; err != nil {
+		return nil, err
 	}
-	return est, nil
+	return snap.Estimates, nil
 }

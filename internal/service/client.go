@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/transport"
+)
+
+// Client submits encrypted reports to a Service over one connection.
+// Writes are buffered; Flush (or Close) pushes the tail. A Client is
+// not safe for concurrent use — run one Client per goroutine, which is
+// also the deployment shape (one connection per reporting device or
+// per collector gateway).
+type Client struct {
+	fo    ldp.FrequencyOracle
+	codec *Codec
+	key   *ecies.PublicKey
+	rand  *rng.Rand
+	w     *bufio.Writer
+	conn  io.Writer
+}
+
+// NewClient prepares a submission client. rand may be nil if only
+// SendReport (pre-randomized reports) will be used.
+func NewClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Rand, conn io.Writer) (*Client, error) {
+	if fo == nil {
+		return nil, errors.New("service: client needs a frequency oracle")
+	}
+	if serverKey == nil {
+		return nil, errors.New("service: client needs the server's public key")
+	}
+	if conn == nil {
+		return nil, errors.New("service: client needs a connection")
+	}
+	codec, err := NewCodec(fo)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{fo: fo, codec: codec, key: serverKey, rand: rand, w: bufio.NewWriter(conn), conn: conn}, nil
+}
+
+// Send randomizes v with the oracle and submits the encrypted report.
+func (c *Client) Send(v int) error {
+	if c.rand == nil {
+		return errors.New("service: client has no randomness for Send")
+	}
+	return c.SendReport(c.fo.Randomize(v, c.rand))
+}
+
+// SendValues randomizes and submits every value in order.
+func (c *Client) SendValues(values []int) error {
+	for _, v := range values {
+		if err := c.Send(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendReport encrypts an already-randomized report end-to-end for the
+// server and frames it onto the connection.
+func (c *Client) SendReport(rep ldp.Report) error {
+	payload, err := c.codec.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	ct, err := ecies.Encrypt(c.key, payload)
+	if err != nil {
+		return fmt.Errorf("service: client encrypt: %w", err)
+	}
+	return transport.WriteFrame(c.w, ct)
+}
+
+// Flush pushes buffered frames to the connection.
+func (c *Client) Flush() error {
+	return c.w.Flush()
+}
+
+// Close flushes and, if the connection is a closer, closes it —
+// signalling "this client is done" to the service (its reader sees
+// EOF, which is what Drain waits for).
+func (c *Client) Close() error {
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if cl, ok := c.conn.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"shuffledp/internal/ldp"
+)
+
+// Codec maps ldp.Reports to and from wire payloads. It extends the
+// 8-byte word encoding of ldp.WordEncoder (GRR, OLH/SOLH, Hadamard —
+// the format netproto has always used) with a packed-bitmap encoding
+// for the unary oracles (RAP, RAP_R, OUE), so every LDP mechanism in
+// the repo can report through the streaming service. AUE reports carry
+// increment counts rather than bits and have no codec.
+type Codec struct {
+	word *ldp.WordEncoder
+	d    int // unary bitmap length; 0 for word-encoded oracles
+}
+
+// NewCodec returns the codec for the oracle, or an error if the oracle
+// has no report wire format.
+func NewCodec(fo ldp.FrequencyOracle) (*Codec, error) {
+	if word, err := ldp.NewWordEncoder(fo); err == nil {
+		return &Codec{word: word}, nil
+	}
+	switch fo.(type) {
+	case *ldp.UnaryEncoding, *ldp.OUE:
+		return &Codec{d: fo.Domain()}, nil
+	}
+	return nil, fmt.Errorf("service: oracle %s has no report codec", fo.Name())
+}
+
+// Size returns the fixed payload size in bytes: every report of one
+// oracle marshals to the same length, so frames leak nothing about the
+// content through their size.
+func (c *Codec) Size() int {
+	if c.word != nil {
+		return 8
+	}
+	return (c.d + 7) / 8
+}
+
+// Marshal packs a report into its wire payload.
+func (c *Codec) Marshal(rep ldp.Report) ([]byte, error) {
+	if c.word != nil {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, c.word.Encode(rep))
+		return out, nil
+	}
+	if len(rep.Bits) != c.d {
+		return nil, fmt.Errorf("service: unary report has %d bits, oracle domain is %d", len(rep.Bits), c.d)
+	}
+	out := make([]byte, (c.d+7)/8)
+	for j, b := range rep.Bits {
+		switch b {
+		case 0:
+		case 1:
+			out[j/8] |= 1 << (j % 8)
+		default:
+			return nil, errors.New("service: unary report bit outside {0, 1}")
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal reverses Marshal. Payloads of the wrong length, or bitmap
+// payloads with set padding bits, are rejected — a decrypted report
+// must parse unambiguously or the run is flagged.
+func (c *Codec) Unmarshal(data []byte) (ldp.Report, error) {
+	if c.word != nil {
+		if len(data) != 8 {
+			return ldp.Report{}, fmt.Errorf("service: word report payload is %d bytes, want 8", len(data))
+		}
+		return c.word.Decode(binary.LittleEndian.Uint64(data)), nil
+	}
+	if len(data) != (c.d+7)/8 {
+		return ldp.Report{}, fmt.Errorf("service: unary report payload is %d bytes, want %d", len(data), (c.d+7)/8)
+	}
+	bits := make([]byte, c.d)
+	for j := range bits {
+		bits[j] = (data[j/8] >> (j % 8)) & 1
+	}
+	for j := c.d; j < 8*len(data); j++ {
+		if (data[j/8]>>(j%8))&1 != 0 {
+			return ldp.Report{}, errors.New("service: unary report has set padding bits")
+		}
+	}
+	return ldp.Report{Bits: bits}, nil
+}

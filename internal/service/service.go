@@ -1,0 +1,442 @@
+// Package service is the concurrent streaming face of the basic
+// shuffle model (Figure 1): a long-running ingestion tier that accepts
+// framed, ECIES-encrypted reports from many client connections at
+// once, batches and shuffles them, and folds the decrypted reports
+// into mergeable per-worker aggregators so the running histogram is
+// available at any point mid-stream.
+//
+// Pipeline stages, each a bounded queue ahead of it (backpressure
+// propagates from a slow stage back to the clients' writes):
+//
+//	conn readers  --intake-->  shuffler  --batches-->  workers
+//	(one per conn)             (batch +                (decrypt,
+//	                            permute)                decode, Add)
+//
+// The shuffler stage permutes every fixed-size batch before any worker
+// sees it, so the linkage between an arrival (which connection, which
+// position) and a decrypted report is broken batch by batch — the
+// streaming analogue of netproto.Shuffler's collect-all-then-permute.
+// Note the privacy unit is the batch: an adversarial server observing
+// worker order learns which batch (of BatchSize reports) a report came
+// from, the anonymity-set granularity the deployment chooses with
+// Config.BatchSize.
+//
+// Aggregation relies on PR 1's mergeable aggregators: every oracle
+// accumulates exactly representable integer statistics, so the merged
+// estimates are bit-identical to a sequential pass over the same
+// reports in any order, at any worker count, for any batch boundary.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/transport"
+)
+
+// Party names used for transport.Meter accounting, matching the rows
+// of the paper's Table III.
+const (
+	PartyUsers    = "users"
+	PartyShuffler = "shuffler"
+	PartyServer   = "server"
+)
+
+// DefaultBatchSize is the shuffle-batch size when Config.BatchSize is
+// zero: large enough that a batch is a meaningful anonymity set, small
+// enough that snapshots stay fresh under light traffic.
+const DefaultBatchSize = 512
+
+// Config parameterizes a Service.
+type Config struct {
+	// FO is the frequency oracle every client reports through.
+	FO ldp.FrequencyOracle
+	// Key decrypts the end-to-end encrypted reports (the analysis
+	// server's role).
+	Key *ecies.PrivateKey
+	// BatchSize is the number of reports shuffled together before any
+	// worker may decrypt them. 0 means DefaultBatchSize.
+	BatchSize int
+	// Workers is the decrypt/aggregate pool size. <1 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many shuffled batches may wait for workers
+	// before the shuffler (and transitively the clients) block. 0 means
+	// 2 * Workers.
+	QueueDepth int
+	// ShuffleSeed drives the batch permutations.
+	ShuffleSeed uint64
+	// Meter, when non-nil, accounts bytes and CPU to users/shuffler/
+	// server.
+	Meter *transport.Meter
+}
+
+// Snapshot is the service's state at one instant.
+type Snapshot struct {
+	// Estimates is the calibrated frequency estimate over the reports
+	// aggregated so far (all zeros before any report lands).
+	Estimates []float64
+	// Reports is how many reports Estimates covers.
+	Reports int
+	// Received is how many report frames the readers have accepted;
+	// Received - Reports is the in-flight backlog.
+	Received int64
+	// Batches is how many shuffled batches have been forwarded to the
+	// workers.
+	Batches int64
+}
+
+// Service is a running ingestion pipeline. Create with New, feed it
+// connections with Serve or Ingest, read the live estimate with
+// Snapshot, and finish with Drain (graceful) or Close (abort).
+type Service struct {
+	cfg   Config
+	codec *Codec
+
+	intake  chan []byte   // ciphertext frames, readers -> shuffler
+	batches chan [][]byte // shuffled batches, shuffler -> workers
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	draining atomic.Bool
+
+	conns      sync.WaitGroup // active connection readers
+	shufflerWG sync.WaitGroup
+	workerWG   sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	active    map[net.Conn]struct{}
+	firstErr  error
+
+	workers []*worker
+	rootMu  sync.Mutex
+	root    ldp.Aggregator
+
+	received atomic.Int64
+	shuffled atomic.Int64
+
+	drainOnce sync.Once
+	drainSnap Snapshot
+	drainErr  error
+}
+
+// worker owns one shard aggregator. The mutex is held while a batch is
+// folded in and while Snapshot swaps the aggregator out.
+type worker struct {
+	mu  sync.Mutex
+	agg ldp.Aggregator
+}
+
+// New validates cfg, starts the shuffler and worker stages, and
+// returns the running (but not yet listening) service.
+func New(cfg Config) (*Service, error) {
+	if cfg.FO == nil {
+		return nil, errors.New("service: config needs a frequency oracle")
+	}
+	if cfg.Key == nil {
+		return nil, errors.New("service: config needs the server's private key")
+	}
+	codec, err := NewCodec(cfg.FO)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	cfg.Workers = ldp.Workers(cfg.Workers)
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+
+	s := &Service{
+		cfg:   cfg,
+		codec: codec,
+		// One batch of intake slack keeps readers and the shuffler
+		// decoupled; beyond that, readers block and the clients feel
+		// backpressure through their connection writes.
+		intake:  make(chan []byte, cfg.BatchSize),
+		batches: make(chan [][]byte, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		root:    cfg.FO.NewAggregator(),
+	}
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = &worker{agg: cfg.FO.NewAggregator()}
+	}
+
+	s.shufflerWG.Add(1)
+	go s.runShuffler()
+	for _, w := range s.workers {
+		s.workerWG.Add(1)
+		go s.runWorker(w)
+	}
+	return s, nil
+}
+
+// Serve accepts connections from ln and ingests each until ln is
+// closed (Drain and Close close every listener handed to Serve).
+func (s *Service) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("service: draining")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		_ = s.Ingest(conn)
+	}
+}
+
+// Ingest registers one established connection: a reader goroutine
+// consumes its report frames until the peer closes (EOF is the
+// client's "done"). Drain waits for every ingested connection.
+//
+// The draining check and the registration are one critical section:
+// Drain flips draining under the same mutex, so once Drain proceeds to
+// conns.Wait no connection can slip in behind it (whose reader would
+// outlive the wait and write to the closed intake channel).
+func (s *Service) Ingest(conn net.Conn) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("service: draining")
+	}
+	if s.active == nil {
+		s.active = make(map[net.Conn]struct{})
+	}
+	s.active[conn] = struct{}{}
+	s.conns.Add(1)
+	s.mu.Unlock()
+	if s.stopped() {
+		// Close raced with Ingest: drop the connection rather than
+		// leaving a reader Drain would wait on forever.
+		s.conns.Done()
+		s.forget(conn)
+		conn.Close()
+		return errors.New("service: closed")
+	}
+	go s.readConn(conn)
+	return nil
+}
+
+func (s *Service) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
+}
+
+func (s *Service) readConn(conn net.Conn) {
+	defer s.conns.Done()
+	defer s.forget(conn)
+	defer conn.Close()
+	for {
+		frame, err := transport.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || s.stopped() {
+				return
+			}
+			s.fail(fmt.Errorf("service: read report frame: %w", err))
+			return
+		}
+		s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
+		select {
+		case s.intake <- frame:
+			s.received.Add(1)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// runShuffler buffers ciphertexts into BatchSize batches, permutes
+// each, and forwards it to the worker queue. The partial final batch
+// is flushed when the intake closes (graceful drain).
+func (s *Service) runShuffler() {
+	defer s.shufflerWG.Done()
+	defer close(s.batches)
+	r := rng.New(s.cfg.ShuffleSeed)
+	buf := make([][]byte, 0, s.cfg.BatchSize)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		r.Shuffle(len(buf), func(i, j int) {
+			buf[i], buf[j] = buf[j], buf[i]
+		})
+		batch := make([][]byte, len(buf))
+		copy(batch, buf)
+		buf = buf[:0]
+		n := 0
+		for _, ct := range batch {
+			n += len(ct)
+		}
+		select {
+		case s.batches <- batch:
+			s.shuffled.Add(1)
+			s.cfg.Meter.Send(PartyShuffler, PartyServer, n)
+		case <-s.stop:
+		}
+	}
+	for {
+		select {
+		case ct, ok := <-s.intake:
+			if !ok {
+				flush()
+				return
+			}
+			buf = append(buf, ct)
+			if len(buf) >= s.cfg.BatchSize {
+				flush()
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// runWorker decrypts and decodes each batch and folds it into the
+// worker's shard aggregator. Corrupt reports are dropped and surfaced
+// as the service error rather than silently mis-estimating.
+func (s *Service) runWorker(w *worker) {
+	defer s.workerWG.Done()
+	for batch := range s.batches {
+		start := time.Now()
+		reports := make([]ldp.Report, 0, len(batch))
+		for _, ct := range batch {
+			pt, err := ecies.Decrypt(s.cfg.Key, ct)
+			if err != nil {
+				s.fail(fmt.Errorf("service: decrypt report: %w", err))
+				continue
+			}
+			rep, err := s.codec.Unmarshal(pt)
+			if err != nil {
+				s.fail(err)
+				continue
+			}
+			reports = append(reports, rep)
+		}
+		w.mu.Lock()
+		for _, rep := range reports {
+			w.agg.Add(rep)
+		}
+		w.mu.Unlock()
+		s.cfg.Meter.AddCPU(PartyServer, time.Since(start))
+	}
+}
+
+// Snapshot returns the current estimate without stopping ingestion:
+// each worker's shard aggregator is swapped for a fresh one and merged
+// into the root, so the snapshot is a consistent prefix of the stream
+// and costs the workers only the swap, never a full recompute.
+func (s *Service) Snapshot() Snapshot {
+	s.rootMu.Lock()
+	defer s.rootMu.Unlock()
+	for _, w := range s.workers {
+		w.mu.Lock()
+		if w.agg.Count() > 0 {
+			full := w.agg
+			w.agg = s.cfg.FO.NewAggregator()
+			s.root.Merge(full)
+		}
+		w.mu.Unlock()
+	}
+	return Snapshot{
+		Estimates: s.root.Estimates(),
+		Reports:   s.root.Count(),
+		Received:  s.received.Load(),
+		Batches:   s.shuffled.Load(),
+	}
+}
+
+// Drain gracefully shuts the pipeline down: stop accepting, wait for
+// every ingested connection to close, flush the partial batch, wait
+// for the workers, and return the final snapshot. The returned error
+// is the first failure observed anywhere in the pipeline (a run with a
+// corrupt or undecryptable report is not silently trusted).
+func (s *Service) Drain() (Snapshot, error) {
+	s.drainOnce.Do(func() {
+		// Under mu so the flip is atomic with Ingest's check-and-register:
+		// after this section, every registered reader is counted in conns.
+		s.mu.Lock()
+		s.draining.Store(true)
+		s.mu.Unlock()
+		s.closeListeners()
+		s.conns.Wait()
+		close(s.intake)
+		s.shufflerWG.Wait()
+		s.workerWG.Wait()
+		s.drainSnap = s.Snapshot()
+		s.drainErr = s.Err()
+	})
+	return s.drainSnap, s.drainErr
+}
+
+// Close aborts the pipeline: listeners and active connections close,
+// readers, shuffler, and workers exit at the next opportunity,
+// in-flight reports may be dropped. Safe to call after Drain (it is
+// then a no-op).
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	s.closeListeners()
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Err returns the first pipeline failure, if any.
+func (s *Service) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+func (s *Service) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) closeListeners() {
+	s.mu.Lock()
+	lns := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+}
+
+func (s *Service) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}

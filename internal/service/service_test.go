@@ -1,0 +1,427 @@
+package service_test
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/netproto"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/service"
+	"shuffledp/internal/transport"
+)
+
+// runConcurrent pushes the given pre-randomized reports through a
+// service using `clients` concurrent connections (report i goes to
+// client i%clients) and returns the drained snapshot.
+func runConcurrent(t *testing.T, fo ldp.FrequencyOracle, reports []ldp.Report, clients int, cfg service.Config) service.Snapshot {
+	t.Helper()
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FO = fo
+	cfg.Key = key
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		clientSide, serverSide := net.Pipe()
+		if err := svc.Ingest(serverSide); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, cl *service.Client) {
+			defer wg.Done()
+			// Close on every exit path: an error return that left the
+			// conn open would hang Drain's wait for reader EOFs.
+			defer clientSide.Close()
+			for i := c; i < len(reports); i += clients {
+				if err := cl.SendReport(reports[i]); err != nil {
+					errc <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+			errc <- cl.Close()
+		}(c, cl)
+	}
+
+	// Poll snapshots mid-stream: ingestion must keep flowing and every
+	// snapshot must be a valid partial estimate.
+	quit := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		prev := 0
+		for {
+			snap := svc.Snapshot()
+			if len(snap.Estimates) != fo.Domain() {
+				t.Errorf("mid-stream snapshot has %d estimates, want %d", len(snap.Estimates), fo.Domain())
+				return
+			}
+			if snap.Reports < prev {
+				t.Errorf("snapshot reports went backwards: %d -> %d", prev, snap.Reports)
+				return
+			}
+			prev = snap.Reports
+			select {
+			case <-quit:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(quit)
+	<-snapDone
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return snap
+}
+
+// TestRaceConcurrentClientsBitIdentical is the acceptance test of the
+// streaming tier (run it under -race): ten concurrent clients stream
+// interleaved reports through small shuffle batches and many workers,
+// and the final merged histogram must be bit-identical — every float64
+// exactly equal — to the sequential netproto.RunPipeline reference for
+// the same seed.
+func TestRaceConcurrentClientsBitIdentical(t *testing.T) {
+	const (
+		d       = 64
+		seed    = 41
+		clients = 10
+	)
+	n := ldp.ShardSize + 1357 // cover a full and a partial randomization shard
+	values := make([]int, n)
+	for i := range values {
+		values[i] = (i * i) % d
+	}
+	fo := ldp.NewSOLH(d, 16, 3)
+
+	want, err := netproto.RunPipeline(fo, values, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// RunPipeline itself runs on the service, so it cannot be the only
+	// reference (a defect shared by every client count would cancel
+	// out). Anchor to the independent sequential path: a plain
+	// aggregator fed the same report multiset directly, no service, no
+	// codec, no crypto.
+	reports := ldp.RandomizeParallel(fo, values, seed, 0)
+	seqAgg := fo.NewAggregator()
+	for _, rep := range reports {
+		seqAgg.Add(rep)
+	}
+	seq := seqAgg.Estimates()
+	for v := range want {
+		if want[v] != seq[v] {
+			t.Fatalf("RunPipeline estimate[%d] = %v, direct sequential aggregation = %v",
+				v, want[v], seq[v])
+		}
+	}
+
+	// The same report multiset, split across concurrent clients;
+	// estimates depend only on the multiset, so the result must match
+	// exactly.
+	snap := runConcurrent(t, fo, reports, clients, service.Config{
+		BatchSize:   128,
+		ShuffleSeed: seed + 1,
+	})
+
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d reports, want %d", snap.Reports, n)
+	}
+	if len(snap.Estimates) != d {
+		t.Fatalf("estimate length %d, want %d", len(snap.Estimates), d)
+	}
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, sequential pipeline = %v (not bit-identical)",
+				v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+// The GRR path must be bit-identical too (different aggregator type).
+func TestRaceConcurrentClientsBitIdenticalGRR(t *testing.T) {
+	const d, seed, clients, n = 16, 43, 8, 3000
+	values := make([]int, n)
+	for i := range values {
+		values[i] = i % 5
+	}
+	fo := ldp.NewGRR(d, 2)
+	want, err := netproto.RunPipeline(fo, values, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := ldp.RandomizeParallel(fo, values, seed, 0)
+	snap := runConcurrent(t, fo, reports, clients, service.Config{
+		BatchSize:   64,
+		ShuffleSeed: seed + 1,
+	})
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, want %v", v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+// Unary oracles (here OUE) have no word encoding and could never ride
+// netproto; through the service codec they stream end-to-end.
+func TestServiceStreamsUnaryOracle(t *testing.T) {
+	const d, n, clients = 12, 1500, 4
+	values := make([]int, n)
+	for i := range values {
+		values[i] = i % 3
+	}
+	fo := ldp.NewOUE(d, 3)
+	reports := ldp.RandomizeParallel(fo, values, 7, 0)
+	snap := runConcurrent(t, fo, reports, clients, service.Config{BatchSize: 100, ShuffleSeed: 8})
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d, want %d", snap.Reports, n)
+	}
+	// Must equal the sequential aggregate of the same reports exactly.
+	agg := fo.NewAggregator()
+	for _, rep := range reports {
+		agg.Add(rep)
+	}
+	want := agg.Estimates()
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, want %v", v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+func TestServiceOverTCP(t *testing.T) {
+	const d, n, clients = 8, 600, 3
+	fo := ldp.NewGRR(d, 4)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meter transport.Meter
+	svc, err := service.New(service.Config{
+		FO: fo, Key: key, BatchSize: 50, ShuffleSeed: 5, Meter: &meter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- svc.Serve(ln) }()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cl, err := service.NewClient(fo, key.Public(), rng.New(uint64(100+c)), conn)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n/clients; i++ {
+				if err := cl.Send(i % d); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := cl.Close(); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d, want %d", snap.Reports, n)
+	}
+	sum := 0.0
+	for _, e := range snap.Estimates {
+		sum += e
+	}
+	if math.Abs(sum-1) > 0.2 {
+		t.Fatalf("estimates sum to %v, want ~1", sum)
+	}
+	if meter.Stats(service.PartyUsers).SentBytes == 0 ||
+		meter.Stats(service.PartyServer).RecvBytes == 0 {
+		t.Fatalf("meter not accounting:\n%s", meter.String())
+	}
+}
+
+func TestDrainEmptyService(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	svc, err := service.New(service.Config{FO: fo, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != 0 || len(snap.Estimates) != 4 {
+		t.Fatalf("empty drain snapshot %+v", snap)
+	}
+	// Drain is idempotent.
+	if _, err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// New connections are rejected after drain.
+	a, b := net.Pipe()
+	defer a.Close()
+	if err := svc.Ingest(b); err == nil {
+		t.Fatal("Ingest accepted after Drain")
+	}
+}
+
+// A report encrypted under the wrong key must surface as a drain
+// error, never silently skew the histogram.
+func TestWrongKeyReportSurfacesError(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	wrong, _ := ecies.GenerateKey()
+	svc, err := service.New(service.Config{FO: fo, Key: key, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := service.NewClient(fo, wrong.Public(), rng.New(1), clientSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := cl.Send(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Drain()
+	if err == nil {
+		t.Fatal("undecryptable reports did not surface an error")
+	}
+	if snap.Reports != 0 {
+		t.Fatalf("undecryptable reports were aggregated: %d", snap.Reports)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	key, _ := ecies.GenerateKey()
+	if _, err := service.New(service.Config{Key: key}); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := service.New(service.Config{FO: ldp.NewGRR(4, 1)}); err == nil {
+		t.Error("nil key accepted")
+	}
+	// AUE reports carry counts, not bits: no codec, so no service.
+	if _, err := service.New(service.Config{FO: ldp.NewAUE(4, 1, 1e-9, 100), Key: key}); err == nil {
+		t.Error("AUE accepted")
+	}
+}
+
+// Ingest racing Drain must never panic or hang: either the connection
+// is registered before Drain's cutoff (and Drain waits for its EOF) or
+// it is rejected — no reader may outlive Drain and write into the
+// closed intake. Run under -race.
+func TestIngestDrainRace(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	for round := 0; round < 25; round++ {
+		svc, err := service.New(service.Config{FO: fo, Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				clientSide, serverSide := net.Pipe()
+				if err := svc.Ingest(serverSide); err != nil {
+					clientSide.Close()
+					return
+				}
+				clientSide.Close() // immediate EOF
+			}()
+		}
+		if _, err := svc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
+
+func TestCloseAbortsPromptly(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	svc, err := service.New(service.Config{FO: fo, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientSide, serverSide := net.Pipe()
+	defer clientSide.Close()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	// Client never closes; Close must still return immediately and a
+	// subsequent Drain must not hang.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		svc.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung after Close")
+	}
+}

@@ -1,0 +1,177 @@
+package stattest
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+)
+
+// fakeTB records failures instead of stopping the test, so the harness
+// can be tested on estimators that are supposed to fail the bound.
+type fakeTB struct {
+	failed bool
+	msg    string
+	logs   []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	if f.msg == "" {
+		f.msg = fmt.Sprintf(format, args...)
+	}
+	// A real Fatalf never returns; the fake must, so callers under test
+	// keep going. Checks are written so that a recorded failure is
+	// terminal for the assertion being made, which is all the harness
+	// tests need.
+}
+
+// inProcessTrial is the plain in-process pipeline: randomize with the
+// trial seed, aggregate, estimate. The reference estimator every
+// harness self-test builds on.
+func inProcessTrial(fo ldp.FrequencyOracle, values []int) Trial {
+	return func(seed uint64) ([]float64, error) {
+		reports := ldp.RandomizeParallel(fo, values, seed, 1)
+		agg := fo.NewAggregator()
+		for _, rep := range reports {
+			agg.Add(rep)
+		}
+		return agg.Estimates(), nil
+	}
+}
+
+func zipfValues(n, d int, seed uint64) []int {
+	r := rng.New(seed)
+	values := make([]int, n)
+	for i := range values {
+		values[i] = r.Intn(d/2) * r.Intn(2) // skewed toward 0 and even values
+	}
+	return values
+}
+
+func TestCheckMSEAcceptsHonestEstimator(t *testing.T) {
+	const n, d = 4000, 32
+	values := zipfValues(n, d, 1)
+	truth := ldp.TrueFrequencies(values, d)
+	for _, fo := range []ldp.FrequencyOracle{
+		ldp.NewGRR(d, 2),
+		ldp.NewSOLH(d, 16, 3),
+		ldp.NewOUE(d, 2),
+	} {
+		res := CheckMSE(t, fo, truth, n, 4, 100, 3, inProcessTrial(fo, values))
+		if res.Ratio <= 0 {
+			t.Fatalf("%s: nonsensical ratio %v", fo.Name(), res.Ratio)
+		}
+	}
+}
+
+func TestCheckMSERejectsBrokenEstimator(t *testing.T) {
+	const n, d = 2000, 16
+	values := zipfValues(n, d, 2)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewGRR(d, 2)
+
+	// A calibration bug: estimates scaled 3x. MSE explodes past k*Var.
+	var tb fakeTB
+	CheckMSE(&tb, fo, truth, n, 3, 7, 3, func(seed uint64) ([]float64, error) {
+		est, err := inProcessTrial(fo, values)(seed)
+		for v := range est {
+			est[v] *= 3
+		}
+		return est, err
+	})
+	if !tb.failed {
+		t.Fatal("mis-scaled estimator passed the MSE bound")
+	}
+	if !strings.Contains(tb.msg, "broken or mis-calibrated") {
+		t.Fatalf("wrong failure: %s", tb.msg)
+	}
+}
+
+func TestCheckMSERejectsNoiselessEstimator(t *testing.T) {
+	// An estimator that returns the exact truth is *below* the variance
+	// floor: in a DP pipeline that means the randomizer never ran.
+	const n, d = 2000, 16
+	values := zipfValues(n, d, 3)
+	truth := ldp.TrueFrequencies(values, d)
+	var tb fakeTB
+	CheckMSE(&tb, ldp.NewGRR(d, 1), truth, n, 3, 9, 3, func(seed uint64) ([]float64, error) {
+		out := make([]float64, d)
+		copy(out, truth)
+		return out, nil
+	})
+	if !tb.failed {
+		t.Fatal("noiseless estimator passed the variance floor")
+	}
+	if !strings.Contains(tb.msg, "implausibly accurate") {
+		t.Fatalf("wrong failure: %s", tb.msg)
+	}
+}
+
+func TestCheckMSERejectsTrialErrorsAndBadShapes(t *testing.T) {
+	truth := make([]float64, 8)
+	fo := ldp.NewGRR(8, 1)
+
+	var tb fakeTB
+	CheckMSE(&tb, fo, truth, 100, 2, 1, 3, func(uint64) ([]float64, error) {
+		return nil, fmt.Errorf("pipeline exploded")
+	})
+	if !tb.failed || !strings.Contains(tb.msg, "pipeline exploded") {
+		t.Fatalf("trial error not surfaced: %q", tb.msg)
+	}
+
+	tb = fakeTB{}
+	CheckMSE(&tb, fo, truth, 100, 1, 1, 3, func(uint64) ([]float64, error) {
+		return make([]float64, 3), nil // wrong domain size
+	})
+	if !tb.failed {
+		t.Fatal("wrong-length estimate accepted")
+	}
+
+	tb = fakeTB{}
+	CheckMSE(&tb, fo, make([]float64, 5), 100, 1, 1, 3, nil)
+	if !tb.failed {
+		t.Fatal("truth/domain mismatch accepted")
+	}
+}
+
+func TestCheckUnbiasedCatchesSystematicBias(t *testing.T) {
+	const n, d = 4000, 16
+	values := zipfValues(n, d, 4)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewGRR(d, 2)
+
+	// The honest estimator is unbiased.
+	CheckUnbiased(t, fo, truth, n, 6, 50, 6, inProcessTrial(fo, values))
+
+	// A constant additive bias well inside the MSE band must still fail.
+	bias := 4 * 6 * math.Sqrt(fo.Variance(n)/6)
+	var tb fakeTB
+	CheckUnbiased(&tb, fo, truth, n, 6, 50, 6, func(seed uint64) ([]float64, error) {
+		est, err := inProcessTrial(fo, values)(seed)
+		for v := range est {
+			est[v] += bias
+		}
+		return est, err
+	})
+	if !tb.failed {
+		t.Fatal("biased estimator passed CheckUnbiased")
+	}
+}
+
+func TestMSEPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	MSE(make([]float64, 3), make([]float64, 4))
+}
+

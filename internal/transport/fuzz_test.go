@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary wire bytes to ReadFrame. Whatever the
+// input — malformed lengths, truncated payloads, trailing garbage — it
+// must either return a payload consistent with the prefix or an error;
+// it must never panic, and it must never hand back (or retain) more
+// bytes than the input actually contained.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})                               // no header at all
+	f.Add([]byte{0, 0, 0})                        // short header
+	f.Add(frame(nil))                             // empty frame
+	f.Add(frame([]byte("hello")))                 // small frame
+	f.Add(frame(bytes.Repeat([]byte{7}, 300)))    // medium frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})         // length > MaxFrameSize
+	f.Add([]byte{0, 0, 0, 10, 1, 2})              // truncated payload
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, 0, 1})   // huge claimed length, 2 bytes sent
+	f.Add(append(frame([]byte("a")), 0xde, 0xad)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		payload, err := ReadFrame(r)
+		if err != nil {
+			if payload != nil {
+				t.Fatal("error with non-nil payload")
+			}
+			return
+		}
+		if len(payload)+4 > len(data) {
+			t.Fatalf("payload %d bytes from %d input bytes", len(payload), len(data))
+		}
+		want := binary.BigEndian.Uint32(data[:4])
+		if uint32(len(payload)) != want {
+			t.Fatalf("payload length %d, prefix says %d", len(payload), want)
+		}
+		if !bytes.Equal(payload, data[4:4+len(payload)]) {
+			t.Fatal("payload bytes differ from wire bytes")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks WriteFrame/ReadFrame are exact inverses for
+// any payload, and that a reader positioned after one frame picks up
+// the next byte stream untouched.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte("report"))
+	f.Add(bytes.Repeat([]byte{0xab}, 1000))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&buf, []byte("next")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d vs %d bytes", len(got), len(payload))
+		}
+		next, err := ReadFrame(&buf)
+		if err != nil || string(next) != "next" {
+			t.Fatalf("second frame corrupted: %q, %v", next, err)
+		}
+		if _, err := ReadFrame(&buf); err != io.EOF {
+			t.Fatalf("expected EOF after last frame, got %v", err)
+		}
+	})
+}

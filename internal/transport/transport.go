@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,23 +24,37 @@ type Stats struct {
 	CPU time.Duration
 }
 
-// Meter attributes communication and computation to named parties. The
-// zero value is ready to use. Meter is safe for concurrent use.
-type Meter struct {
-	mu      sync.Mutex
-	parties map[string]*Stats
+// cell is the live, concurrently-updated form of a party's account.
+// Counters are individual atomics rather than a mutex-guarded Stats so
+// that the streaming service's per-frame accounting (one Send per
+// report from every connection reader) never serializes the hot path.
+type cell struct {
+	sent, recv atomic.Int64
+	cpu        atomic.Int64 // nanoseconds
 }
 
-func (m *Meter) stats(party string) *Stats {
-	if m.parties == nil {
-		m.parties = make(map[string]*Stats)
+func (c *cell) snapshot() Stats {
+	return Stats{
+		SentBytes: c.sent.Load(),
+		RecvBytes: c.recv.Load(),
+		CPU:       time.Duration(c.cpu.Load()),
 	}
-	s, ok := m.parties[party]
-	if !ok {
-		s = &Stats{}
-		m.parties[party] = s
+}
+
+// Meter attributes communication and computation to named parties. The
+// zero value is ready to use. Meter is safe for concurrent use: updates
+// are lock-free atomic adds on per-party counters, so no count is ever
+// lost and concurrent readers see consistent per-counter totals.
+type Meter struct {
+	cells sync.Map // party string -> *cell
+}
+
+func (m *Meter) cell(party string) *cell {
+	if c, ok := m.cells.Load(party); ok {
+		return c.(*cell)
 	}
-	return s
+	c, _ := m.cells.LoadOrStore(party, &cell{})
+	return c.(*cell)
 }
 
 // Send records a transfer of n payload bytes from one party to another.
@@ -47,10 +62,8 @@ func (m *Meter) Send(from, to string, n int) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats(from).SentBytes += int64(n)
-	m.stats(to).RecvBytes += int64(n)
+	m.cell(from).sent.Add(int64(n))
+	m.cell(to).recv.Add(int64(n))
 }
 
 // Track runs fn and attributes its wall-clock duration to party.
@@ -61,10 +74,7 @@ func (m *Meter) Track(party string, fn func()) {
 	}
 	start := time.Now()
 	fn()
-	elapsed := time.Since(start)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats(party).CPU += elapsed
+	m.cell(party).cpu.Add(int64(time.Since(start)))
 }
 
 // AddCPU attributes a pre-measured duration to party (for callers that
@@ -73,9 +83,7 @@ func (m *Meter) AddCPU(party string, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats(party).CPU += d
+	m.cell(party).cpu.Add(int64(d))
 }
 
 // Stats returns a copy of the party's account (zero Stats if unknown).
@@ -83,10 +91,8 @@ func (m *Meter) Stats(party string) Stats {
 	if m == nil {
 		return Stats{}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if s, ok := m.parties[party]; ok {
-		return *s
+	if c, ok := m.cells.Load(party); ok {
+		return c.(*cell).snapshot()
 	}
 	return Stats{}
 }
@@ -96,12 +102,11 @@ func (m *Meter) Parties() []string {
 	if m == nil {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.parties))
-	for p := range m.parties {
-		out = append(out, p)
-	}
+	var out []string
+	m.cells.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -111,9 +116,10 @@ func (m *Meter) Reset() {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.parties = nil
+	m.cells.Range(func(k, _ any) bool {
+		m.cells.Delete(k)
+		return true
+	})
 }
 
 // String renders the accounts as a small table.
@@ -151,19 +157,38 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed payload.
+// readChunk bounds how much ReadFrame allocates ahead of the bytes
+// actually arriving, so a corrupt or hostile length prefix cannot force
+// a huge up-front allocation.
+const readChunk = 64 << 10
+
+// ReadFrame reads one length-prefixed payload. A malformed prefix makes
+// it error, never panic; the payload buffer grows only as data arrives,
+// so a connection that claims a large frame and hangs up costs at most
+// one readChunk of memory beyond what it actually sent.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
+	// Bound-check before converting: on 32-bit platforms a prefix past
+	// 2^31 would overflow int and sail under the limit as a negative
+	// length, panicking in make.
+	n32 := binary.BigEndian.Uint32(hdr[:])
+	if n32 > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	n := int(n32)
+	payload := make([]byte, min(n, readChunk))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
+	}
+	for len(payload) < n {
+		old := len(payload)
+		payload = append(payload, make([]byte, min(n-old, readChunk))...)
+		if _, err := io.ReadFull(r, payload[old:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

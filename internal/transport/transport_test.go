@@ -88,6 +88,69 @@ func TestMeterConcurrent(t *testing.T) {
 	}
 }
 
+// TestMeterConcurrentNoLostCounts hammers every mutating entry point
+// from many goroutines — the access pattern of the streaming service,
+// where each connection reader, the shuffler, and every worker accounts
+// concurrently — while readers poll. All totals must be exact.
+func TestMeterConcurrentNoLostCounts(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	var m Meter
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: must not perturb any count.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.Stats("user")
+					_ = m.Parties()
+					_ = m.String()
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			for j := 0; j < iters; j++ {
+				m.Send("user", "shuffler", 3)
+				m.Send("shuffler", "server", 5)
+				m.AddCPU("server", 7*time.Nanosecond)
+				if j%500 == 0 {
+					m.Track("server", func() {})
+				}
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if s := m.Stats("user"); s.SentBytes != goroutines*iters*3 {
+		t.Errorf("user sent %d, want %d", s.SentBytes, goroutines*iters*3)
+	}
+	if s := m.Stats("shuffler"); s.RecvBytes != goroutines*iters*3 || s.SentBytes != goroutines*iters*5 {
+		t.Errorf("shuffler stats %+v", s)
+	}
+	s := m.Stats("server")
+	if s.RecvBytes != goroutines*iters*5 {
+		t.Errorf("server recv %d, want %d", s.RecvBytes, goroutines*iters*5)
+	}
+	if s.CPU < goroutines*iters*7*time.Nanosecond {
+		t.Errorf("server CPU %v lost AddCPU increments", s.CPU)
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{{}, []byte("hello"), bytes.Repeat([]byte{7}, 100000)}
