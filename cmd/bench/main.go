@@ -78,6 +78,7 @@ func main() {
 	out := flag.String("out", "BENCH_aggregate.json", "aggregate-suite output JSON path")
 	serviceN := flag.Int("service-n", 20000, "reports streamed per service-suite run")
 	serviceClients := flag.String("service-clients", "1,2,4,8", "comma-separated client counts for the service suite")
+	serviceEpochs := flag.Int("service-epochs", 1, "collection rounds to cut each service-suite run into")
 	serviceBatch := flag.Int("service-batch", 512, "service-suite shuffle-batch size")
 	serviceD := flag.Int("service-d", 64, "service-suite domain size")
 	serviceOut := flag.String("service-out", "BENCH_service.json", "service-suite output JSON path")
@@ -99,7 +100,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("bad -service-clients: %v", err)
 		}
-		rep, err := runServiceSuite(*serviceN, *serviceD, *serviceBatch, counts)
+		rep, err := runServiceSuite(*serviceN, *serviceD, *serviceBatch, *serviceEpochs, counts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,22 +27,28 @@ type serviceCase struct {
 }
 
 type serviceBenchReport struct {
-	Benchmark   string        `json:"benchmark"`
-	GeneratedBy string        `json:"generated_by"`
-	GoMaxProcs  int           `json:"go_max_procs"`
-	Oracle      string        `json:"oracle"`
-	N           int           `json:"n"`
-	D           int           `json:"d"`
-	DPrime      int           `json:"d_prime"`
-	BatchSize   int           `json:"batch_size"`
-	Note        string        `json:"note,omitempty"`
-	Cases       []serviceCase `json:"cases"`
+	Benchmark   string `json:"benchmark"`
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Oracle      string `json:"oracle"`
+	N           int    `json:"n"`
+	D           int    `json:"d"`
+	DPrime      int    `json:"d_prime"`
+	BatchSize   int    `json:"batch_size"`
+	// Epochs is how many collection rounds the stream was cut into
+	// (1 = the one-shot pipeline; more exercises epoch rotation and
+	// sealing on the hot path).
+	Epochs int           `json:"epochs"`
+	Note   string        `json:"note,omitempty"`
+	Cases  []serviceCase `json:"cases"`
 }
 
 // runServiceSuite streams n pre-randomized SOLH reports through a
 // fresh service per (clients) case and records wall-clock throughput
-// from first submission to drained histogram.
-func runServiceSuite(n, d, batch int, clientCounts []int) (serviceBenchReport, error) {
+// from first submission to drained histogram. epochs > 1 auto-rotates
+// the stream into that many collection rounds, so rotation and epoch
+// sealing are part of the measured path.
+func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchReport, error) {
 	const dPrime, eps = 16, 3
 	fo := ldp.NewSOLH(d, dPrime, eps)
 	key, err := ecies.GenerateKey()
@@ -55,6 +61,9 @@ func runServiceSuite(n, d, batch int, clientCounts []int) (serviceBenchReport, e
 	}
 	reports := ldp.RandomizeParallel(fo, values, 1, 0)
 
+	if epochs < 1 {
+		epochs = 1
+	}
 	rep := serviceBenchReport{
 		Benchmark:   "ServiceThroughput",
 		GeneratedBy: "cmd/bench",
@@ -64,6 +73,7 @@ func runServiceSuite(n, d, batch int, clientCounts []int) (serviceBenchReport, e
 		D:           d,
 		DPrime:      dPrime,
 		BatchSize:   batch,
+		Epochs:      epochs,
 	}
 	if rep.GoMaxProcs == 1 {
 		rep.Note = "single-CPU runner: client encryption and the worker pool " +
@@ -71,7 +81,7 @@ func runServiceSuite(n, d, batch int, clientCounts []int) (serviceBenchReport, e
 			"multi-core machines scale until the decrypt pool saturates"
 	}
 	for _, clients := range clientCounts {
-		ns, err := timeServiceRun(fo, key, reports, clients, batch)
+		ns, err := timeServiceRun(fo, key, reports, clients, batch, epochs)
 		if err != nil {
 			return serviceBenchReport{}, err
 		}
@@ -92,12 +102,17 @@ func runServiceSuite(n, d, batch int, clientCounts []int) (serviceBenchReport, e
 	return rep, nil
 }
 
-func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch int) (float64, error) {
+func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch, epochs int) (float64, error) {
+	epochReports := 0
+	if epochs > 1 {
+		epochReports = (len(reports) + epochs - 1) / epochs
+	}
 	best := 0.0
 	deadline := time.Now().Add(30 * time.Second)
 	for attempt := 0; attempt < 3; attempt++ {
 		svc, err := service.New(service.Config{
 			FO: fo, Key: key, BatchSize: batch, ShuffleSeed: uint64(attempt + 2),
+			EpochReports: epochReports,
 		})
 		if err != nil {
 			return 0, err

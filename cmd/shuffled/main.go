@@ -7,9 +7,18 @@
 // Snapshots while ingestion is still running; Drain prints the final
 // histogram and the per-party cost account (transport.Meter).
 //
+// The run is continual: the stream is cut into -epochs collection
+// rounds (auto-rotated every n/epochs reports), a budget ledger
+// charges each epoch's (eps, delta) against -total-eps under the
+// chosen -accountant, and the sealed epochs answer sliding-window
+// queries. With -total-eps too small for the epoch count the service
+// demonstrates budget exhaustion: it seals what the ledger affords and
+// rejects the rest of the stream.
+//
 // Usage:
 //
 //	shuffled [-n users] [-d domain] [-eps epsC] [-seed s] [-clients c] [-batch b]
+//	         [-epochs e] [-total-eps B] [-accountant naive|advanced] [-window k]
 package main
 
 import (
@@ -21,6 +30,8 @@ import (
 	"time"
 
 	"shuffledp/internal/amplify"
+	"shuffledp/internal/budget"
+	"shuffledp/internal/composition"
 	"shuffledp/internal/dataset"
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
@@ -31,19 +42,26 @@ import (
 func main() {
 	n := flag.Int("n", 20000, "number of users")
 	d := flag.Int("d", 64, "domain size")
-	epsC := flag.Float64("eps", 1, "central privacy budget")
+	epsC := flag.Float64("eps", 1, "per-epoch central privacy budget")
 	delta := flag.Float64("delta", 1e-9, "DP failure probability")
 	seed := flag.Uint64("seed", 1, "random seed")
 	clients := flag.Int("clients", 8, "concurrent collector connections")
 	batch := flag.Int("batch", 512, "shuffle-batch size (the anonymity granularity)")
+	epochs := flag.Int("epochs", 3, "collection rounds to cut the stream into")
+	totalEps := flag.Float64("total-eps", 0, "total privacy budget across epochs (0: exactly -epochs rounds of -eps)")
+	accountant := flag.String("accountant", "naive", "budget composition: naive or advanced")
+	window := flag.Int("window", 2, "sliding-window width for the final window query")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
 	}
+	if *epochs < 1 {
+		*epochs = 1
+	}
 
 	values := dataset.Synthetic("demo", *n, *d, 1.3, *seed).Values
 
-	// Parameterize SOLH for the target central budget.
+	// Parameterize SOLH for the per-epoch central budget.
 	m := amplify.BlanketM(*epsC, *n, *delta)
 	dPrime := amplify.OptimalDPrime(m, *d)
 	epsL, err := amplify.LocalEpsilonSOLH(*epsC, dPrime, *n, *delta)
@@ -51,8 +69,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fo := ldp.NewSOLH(*d, dPrime, epsL)
-	fmt.Printf("SOLH(epsL=%.3f, d'=%d) -> (%.2f, %.0e)-DP after shuffling\n",
+	fmt.Printf("SOLH(epsL=%.3f, d'=%d) -> (%.2f, %.0e)-DP per epoch after shuffling\n",
 		epsL, dPrime, *epsC, *delta)
+
+	// The cross-epoch ledger: by default budget exactly -epochs rounds.
+	if *totalEps <= 0 {
+		*totalEps = *epsC * float64(*epochs)
+	}
+	var acct budget.Accountant = budget.Naive{}
+	totalDelta := *delta * 1e2
+	if *accountant == "advanced" {
+		acct = budget.Advanced{Slack: totalDelta / 2}
+	}
+	ledger, err := budget.NewLedger(
+		composition.Guarantee{Eps: *totalEps, Delta: totalDelta},
+		composition.Guarantee{Eps: *epsC, Delta: *delta},
+		acct,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget ledger: total eps=%.2f, per-epoch eps=%.2f, %s accounting admits %d epochs\n",
+		*totalEps, *epsC, ledger.AccountantName(), ledger.MaxEpochs())
 
 	key, err := ecies.GenerateKey()
 	if err != nil {
@@ -61,11 +99,13 @@ func main() {
 
 	var meter transport.Meter
 	svc, err := service.New(service.Config{
-		FO:          fo,
-		Key:         key,
-		BatchSize:   *batch,
-		ShuffleSeed: *seed + 1,
-		Meter:       &meter,
+		FO:           fo,
+		Key:          key,
+		BatchSize:    *batch,
+		ShuffleSeed:  *seed + 1,
+		Meter:        &meter,
+		Ledger:       ledger,
+		EpochReports: (*n + *epochs - 1) / *epochs,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,15 +114,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingestion service listening on %s (%d gateways, batch=%d)\n",
-		ln.Addr(), *clients, *batch)
+	fmt.Printf("ingestion service listening on %s (%d gateways, batch=%d, rotate every %d reports)\n",
+		ln.Addr(), *clients, *batch, (*n+*epochs-1)/(*epochs))
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- svc.Serve(ln) }()
 
 	// Randomize on the users' side of the ledger. The shard substreams
-	// make the report multiset a pure function of -seed, so the final
+	// make the report multiset a pure function of -seed, so the all-time
 	// histogram is bit-identical to netproto.RunPipeline at this seed, no
-	// matter how the gateways interleave (DESIGN.md §6).
+	// matter how the gateways interleave or the epochs cut (DESIGN.md §6).
 	var reports []ldp.Report
 	meter.Track(service.PartyUsers, func() {
 		reports = ldp.RandomizeParallel(fo, values, *seed, 0)
@@ -113,7 +153,7 @@ func main() {
 	}
 
 	// Watch the stream: the histogram is live long before the last
-	// report arrives.
+	// report arrives, and the open epoch advances as the rotator cuts.
 	watchDone := make(chan struct{})
 	go func() {
 		defer close(watchDone)
@@ -121,9 +161,11 @@ func main() {
 		defer tick.Stop()
 		for range tick.C {
 			snap := svc.Snapshot()
-			fmt.Printf("  snapshot: %6d/%d reports aggregated, %d batches shuffled, est[0]=%.4f\n",
-				snap.Reports, *n, snap.Batches, snap.Estimates[0])
-			if snap.Reports >= *n {
+			fmt.Printf("  snapshot: epoch %d, %6d frames received, %d batches shuffled, est[0]=%.4f\n",
+				snap.Epoch, snap.Received, snap.Batches, snap.Estimates[0])
+			// Received/Late/Rejected are disjoint, so their sum is every
+			// frame the readers have seen.
+			if snap.Received+snap.Late+snap.Rejected >= int64(*n) {
 				return
 			}
 		}
@@ -139,12 +181,35 @@ func main() {
 	}
 	<-watchDone
 
-	truth := ldp.TrueFrequencies(values, *d)
-	fmt.Println("\nvalue   true-freq   estimate")
-	for v := 0; v < 8 && v < *d; v++ {
-		fmt.Printf("%5d   %9.4f   %8.4f\n", v, truth[v], snap.Estimates[v])
+	fmt.Println("\nsealed epochs:")
+	hist := svc.History()
+	for _, es := range hist {
+		fmt.Printf("  epoch %d: %6d reports, %4d batches, est[0]=%.4f (charged eps=%.2f)\n",
+			es.Epoch, es.Reports, es.Batches, es.Estimates[0], es.Guarantee.Eps)
 	}
-	fmt.Printf("\nMSE over the full domain: %.3e (analytic: %.3e)\n",
-		ldp.MSE(truth, snap.Estimates), fo.Variance(*n))
+	if svc.Exhausted() {
+		fmt.Printf("budget exhausted: %d reports rejected after the ledger refused epoch %d\n",
+			snap.Rejected, svc.Epoch()+1)
+	}
+	spent := ledger.Spent()
+	fmt.Printf("ledger: spent (%.2f, %.0e) of (%.2f, %.0e)\n",
+		spent.Eps, spent.Delta, *totalEps, totalDelta)
+
+	k := *window
+	if k > len(hist) {
+		k = len(hist)
+	}
+	if win, err := svc.EstimateWindow(k); err == nil {
+		fmt.Printf("\nwindow over epochs [%d, %d] (%d reports):\n", win.FromEpoch, win.ToEpoch, win.Reports)
+		truth := ldp.TrueFrequencies(values, *d)
+		fmt.Println("value   true-freq   window-est   all-time-est")
+		for v := 0; v < 8 && v < *d; v++ {
+			fmt.Printf("%5d   %9.4f   %10.4f   %12.4f\n", v, truth[v], win.Estimates[v], snap.Estimates[v])
+		}
+		fmt.Printf("\nall-time MSE over the full domain: %.3e (analytic at n=%d: %.3e)\n",
+			ldp.MSE(truth, snap.Estimates), snap.Reports, fo.Variance(snap.Reports))
+	} else {
+		fmt.Printf("window query: %v\n", err)
+	}
 	fmt.Printf("\nper-party costs:\n%s", meter.String())
 }

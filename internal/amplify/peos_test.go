@@ -188,6 +188,58 @@ func TestPlanPEOSFeasibleAndOptimalish(t *testing.T) {
 	}
 }
 
+func TestPlanContinual(t *testing.T) {
+	rq := Requirements{
+		Eps1: 2, Eps2: 8, Eps3: 16,
+		D: testD, N: testN, Delta: 1e-6,
+	}
+	// One epoch is exactly the one-shot plan.
+	single, per1, err := PlanContinual(rq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := PlanPEOS(rq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Variance != oneShot.Variance || per1.Eps != rq.Eps1 {
+		t.Fatalf("1-epoch plan (var %v, per eps %v) differs from one-shot (var %v, eps %v)",
+			single.Variance, per1.Eps, oneShot.Variance, rq.Eps1)
+	}
+	// More epochs: less budget per epoch, more variance per epoch; the
+	// per-epoch guarantee must fit the total under some composition and
+	// never fall below the even basic split.
+	prevVar := single.Variance
+	for _, epochs := range []int{4, 16, 64} {
+		plan, per, err := PlanContinual(rq, epochs)
+		if err != nil {
+			t.Fatalf("epochs=%d: %v", epochs, err)
+		}
+		if plan.Variance <= prevVar {
+			t.Fatalf("epochs=%d: variance %v did not grow from %v", epochs, plan.Variance, prevVar)
+		}
+		prevVar = plan.Variance
+		if per.Eps < rq.Eps1/float64(epochs)*(1-1e-9) {
+			t.Fatalf("epochs=%d: per-epoch eps %v below the even split %v", epochs, per.Eps, rq.Eps1/float64(epochs))
+		}
+		if plan.Achieved.EpsC > per.Eps*1.0001 {
+			t.Fatalf("epochs=%d: plan epsC %v exceeds the per-epoch budget %v", epochs, plan.Achieved.EpsC, per.Eps)
+		}
+	}
+	// At many epochs the advanced split must beat the basic one: each
+	// epoch gets strictly more than total/epochs.
+	_, per, err := PlanContinual(rq, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.Eps <= rq.Eps1/64 {
+		t.Fatalf("64 epochs: per-epoch eps %v, want strictly more than the basic split %v", per.Eps, rq.Eps1/64)
+	}
+	if _, _, err := PlanContinual(rq, 0); err == nil {
+		t.Fatal("0 epochs accepted")
+	}
+}
+
 func TestPlanPEOSTightLocalBudget(t *testing.T) {
 	// With eps3 tiny, the plan must respect it and compensate with nr.
 	rq := Requirements{

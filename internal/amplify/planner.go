@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"shuffledp/internal/composition"
 )
 
 // The §VI-D deployment planner: "Given the desired privacy level
@@ -121,6 +123,45 @@ func PlanPEOS(rq Requirements) (Plan, error) {
 		return Plan{}, errors.New("amplify: no feasible PEOS configuration found")
 	}
 	return best, nil
+}
+
+// PlanContinual plans a continual-observation deployment: the same
+// population reports every epoch, so each adversary's total budget in
+// rq must cover the composition of all `epochs` collection rounds.
+// Every budget is split per-epoch with composition.MaxSplit (the
+// better of even basic splitting and the advanced-composition split,
+// which for many epochs affords each round strictly more than
+// total/epochs), and one PEOS configuration is planned at the
+// per-epoch requirements. It returns the per-epoch plan and the
+// per-epoch central guarantee — what a budget.Ledger for the service
+// should charge each rotation.
+func PlanContinual(rq Requirements, epochs int) (Plan, composition.Guarantee, error) {
+	if err := rq.validate(); err != nil {
+		return Plan{}, composition.Guarantee{}, err
+	}
+	if epochs < 1 {
+		return Plan{}, composition.Guarantee{}, errors.New("amplify: need at least 1 epoch")
+	}
+	per := rq
+	perDelta := rq.Delta
+	for _, split := range []struct {
+		eps *float64
+	}{{&per.Eps1}, {&per.Eps2}, {&per.Eps3}} {
+		g, err := composition.MaxSplit(composition.Guarantee{Eps: *split.eps, Delta: rq.Delta}, epochs)
+		if err != nil {
+			return Plan{}, composition.Guarantee{}, fmt.Errorf("amplify: splitting budget across %d epochs: %w", epochs, err)
+		}
+		*split.eps = g.Eps
+		if g.Delta < perDelta {
+			perDelta = g.Delta
+		}
+	}
+	per.Delta = perDelta
+	plan, err := PlanPEOS(per)
+	if err != nil {
+		return Plan{}, composition.Guarantee{}, err
+	}
+	return plan, composition.Guarantee{Eps: per.Eps1, Delta: per.Delta}, nil
 }
 
 // planAt finds the minimal-variance configuration at a fixed output

@@ -139,6 +139,11 @@ func (g *aueAggregator) Merge(other Aggregator) {
 	o.counts, o.n = nil, 0
 }
 
+// Clone implements Aggregator.
+func (g *aueAggregator) Clone() Aggregator {
+	return &aueAggregator{a: g.a, counts: append([]int(nil), g.counts...), n: g.n}
+}
+
 // Estimates subtracts the expected blanket mass: f~_v = C_v/n - gamma.
 func (g *aueAggregator) Estimates() []float64 {
 	est := make([]float64, g.a.d)

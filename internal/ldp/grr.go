@@ -97,6 +97,15 @@ func (a *grrAggregator) Merge(other Aggregator) {
 	o.counts, o.n = nil, 0
 }
 
+// Clone implements Aggregator.
+func (a *grrAggregator) Clone() Aggregator {
+	c := &grrAggregator{g: a.g, n: a.n}
+	if a.counts != nil {
+		c.counts = append([]int(nil), a.counts...)
+	}
+	return c
+}
+
 // Estimates implements Equation (2): f~_v = (C_v/n - q) / (p - q).
 func (a *grrAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, a.g.p, a.g.q)

@@ -114,6 +114,15 @@ func (a *hadamardAggregator) Merge(other Aggregator) {
 	o.rowSums, o.n = nil, 0
 }
 
+// Clone implements Aggregator.
+func (a *hadamardAggregator) Clone() Aggregator {
+	return &hadamardAggregator{
+		h:       a.h,
+		rowSums: append([]float64(nil), a.rowSums...),
+		n:       a.n,
+	}
+}
+
 // Estimates aggregates with one FWHT: the transform of the per-row sign
 // sums evaluates, for every column c, the statistic
 // S_c = sum_i y_i * H[a_i, c]; then f~_v = D/n * S_{v+1} / (2p - 1).

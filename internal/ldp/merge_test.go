@@ -106,6 +106,73 @@ func TestMergeThenAdd(t *testing.T) {
 	}
 }
 
+// The Clone contract: the clone reports bit-identical Estimates, and
+// neither draining the clone through Merge nor adding further reports
+// to either side leaks into the other — for every oracle, including
+// aggregators that have already been merged into and mid-block local
+// hash aggregators (buffered, unflushed reports).
+func TestCloneIsIndependentAndBitIdentical(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			const n = 1000
+			r := rng.New(17)
+			d := fo.Domain()
+			agg := fo.NewAggregator()
+			for i := 0; i < n; i++ {
+				agg.Add(fo.Randomize(i%d, r))
+			}
+			want := agg.Estimates()
+			clone := agg.Clone()
+			if clone.Count() != n {
+				t.Fatalf("clone count %d, want %d", clone.Count(), n)
+			}
+			got := clone.Estimates()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("clone estimate[%d] = %v, want bit-identical %v", v, got[v], want[v])
+				}
+			}
+			// Drain the clone into a sink; the original must be untouched.
+			sink := fo.NewAggregator()
+			sink.Merge(clone)
+			after := agg.Estimates()
+			for v := range want {
+				if after[v] != want[v] {
+					t.Fatalf("draining the clone mutated the original at %d: %v != %v", v, after[v], want[v])
+				}
+			}
+			// Add to the original; a fresh clone of the sink must not move.
+			frozen := sink.Clone().Estimates()
+			agg.Add(fo.Randomize(0, r))
+			if agg.Count() != n+1 {
+				t.Fatalf("original count %d after add, want %d", agg.Count(), n+1)
+			}
+			still := sink.Estimates()
+			for v := range frozen {
+				if still[v] != frozen[v] {
+					t.Fatalf("adding to the original mutated the merged clone at %d", v)
+				}
+			}
+		})
+	}
+}
+
+// An empty aggregator must clone without materializing lazily-allocated
+// state (the local-hash counts slice is nil until the first flush).
+func TestCloneEmpty(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			c := fo.NewAggregator().Clone()
+			if c.Count() != 0 {
+				t.Fatalf("empty clone count %d", c.Count())
+			}
+			if got := c.Estimates(); len(got) != fo.Domain() {
+				t.Fatalf("empty clone estimates length %d, want %d", len(got), fo.Domain())
+			}
+		})
+	}
+}
+
 func TestMergeIncompatiblePanics(t *testing.T) {
 	cases := map[string][2]Aggregator{
 		"cross-oracle": {NewGRR(8, 1).NewAggregator(), NewOUE(8, 1).NewAggregator()},

@@ -183,6 +183,17 @@ func (a *localHashAggregator) Merge(other Aggregator) {
 	o.counts, o.n = nil, 0
 }
 
+// Clone implements Aggregator. The buffered block is flushed first so
+// the clone shares no mutable slice with the original.
+func (a *localHashAggregator) Clone() Aggregator {
+	a.flush()
+	c := &localHashAggregator{l: a.l, n: a.n}
+	if a.counts != nil {
+		c.counts = append([]int(nil), a.counts...)
+	}
+	return c
+}
+
 // Estimates implements Equation (3): the support count of v is
 // |{i : H_i(v) = y_i}|; calibration uses p and q = 1/d'.
 func (a *localHashAggregator) Estimates() []float64 {

@@ -83,6 +83,12 @@ type Aggregator interface {
 	// Estimates are bit-identical to a sequential aggregator fed the
 	// same reports in any order.
 	Merge(other Aggregator)
+	// Clone returns an independent deep copy: the clone reports the
+	// same Count and bit-identical Estimates, and mutating (Add,
+	// Merge) either aggregator never affects the other. Clone is what
+	// lets a sealed epoch be merged into a sliding-window estimate
+	// without draining the epoch's own state (see internal/service).
+	Clone() Aggregator
 }
 
 // EstimateAll is a convenience that randomizes every value in values and

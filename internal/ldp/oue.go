@@ -112,6 +112,11 @@ func (a *oueAggregator) Merge(other Aggregator) {
 	o.counts, o.n = nil, 0
 }
 
+// Clone implements Aggregator.
+func (a *oueAggregator) Clone() Aggregator {
+	return &oueAggregator{o: a.o, counts: append([]int(nil), a.counts...), n: a.n}
+}
+
 func (a *oueAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, a.o.p, a.o.q)
 }

@@ -135,6 +135,11 @@ func (a *unaryAggregator) Merge(other Aggregator) {
 	o.counts, o.n = nil, 0
 }
 
+// Clone implements Aggregator.
+func (a *unaryAggregator) Clone() Aggregator {
+	return &unaryAggregator{u: a.u, counts: append([]int(nil), a.counts...), n: a.n}
+}
+
 func (a *unaryAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, 1-a.u.flip, a.u.flip)
 }

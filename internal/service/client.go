@@ -24,6 +24,7 @@ type Client struct {
 	rand  *rng.Rand
 	w     *bufio.Writer
 	conn  io.Writer
+	epoch uint32
 }
 
 // NewClient prepares a submission client. rand may be nil if only
@@ -42,8 +43,15 @@ func NewClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Ran
 	if err != nil {
 		return nil, err
 	}
-	return &Client{fo: fo, codec: codec, key: serverKey, rand: rand, w: bufio.NewWriter(conn), conn: conn}, nil
+	return &Client{fo: fo, codec: codec, key: serverKey, rand: rand, w: bufio.NewWriter(conn), conn: conn, epoch: EpochCurrent}, nil
 }
+
+// SetEpoch stamps subsequent reports with a specific epoch id instead
+// of the default EpochCurrent ("whatever epoch the service has open").
+// A report asserting an epoch the service has already sealed is
+// dropped and counted as Late rather than folded into the wrong
+// collection round.
+func (c *Client) SetEpoch(epoch uint32) { c.epoch = epoch }
 
 // Send randomizes v with the oracle and submits the encrypted report.
 func (c *Client) Send(v int) error {
@@ -74,7 +82,7 @@ func (c *Client) SendReport(rep ldp.Report) error {
 	if err != nil {
 		return fmt.Errorf("service: client encrypt: %w", err)
 	}
-	return transport.WriteFrame(c.w, ct)
+	return transport.WriteTaggedFrame(c.w, c.epoch, ct)
 }
 
 // Flush pushes buffered frames to the connection.

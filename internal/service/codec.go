@@ -11,23 +11,48 @@ import (
 // Codec maps ldp.Reports to and from wire payloads. It extends the
 // 8-byte word encoding of ldp.WordEncoder (GRR, OLH/SOLH, Hadamard —
 // the format netproto has always used) with a packed-bitmap encoding
-// for the unary oracles (RAP, RAP_R, OUE), so every LDP mechanism in
-// the repo can report through the streaming service. AUE reports carry
-// increment counts rather than bits and have no codec.
+// for the unary oracles (RAP, RAP_R, OUE) and a byte-per-location
+// count encoding for AUE, so every frequency oracle in the repo can
+// report through the streaming service.
+//
+// Unmarshal is strict: a payload either decodes to exactly one valid
+// report of the oracle — one that Aggregator.Add accepts — or errors,
+// and Marshal(Unmarshal(data)) reproduces data byte for byte. The
+// canonical round-trip is what FuzzCodec locks in; a decrypted report
+// that parses ambiguously (wrapped words, set padding bits,
+// out-of-range Hadamard rows) flags the run instead of skewing the
+// histogram or panicking a worker.
 type Codec struct {
-	word *ldp.WordEncoder
-	d    int // unary bitmap length; 0 for word-encoded oracles
+	word     *ldp.WordEncoder
+	maxSeed  uint64 // exclusive bound on Report.Seed for word oracles; 0 = no bound
+	d        int    // unary bitmap / AUE count length; 0 for word-encoded oracles
+	maxCount byte   // AUE: inclusive per-location count bound; 0 = bitmap encoding
 }
 
 // NewCodec returns the codec for the oracle, or an error if the oracle
 // has no report wire format.
 func NewCodec(fo ldp.FrequencyOracle) (*Codec, error) {
 	if word, err := ldp.NewWordEncoder(fo); err == nil {
-		return &Codec{word: word}, nil
+		c := &Codec{word: word}
+		if h, ok := fo.(*ldp.Hadamard); ok {
+			// The word encoding admits any 32-bit row; the oracle only
+			// accepts rows below the Hadamard order.
+			c.maxSeed = uint64(h.Order())
+		}
+		return c, nil
 	}
-	switch fo.(type) {
+	switch o := fo.(type) {
 	case *ldp.UnaryEncoding, *ldp.OUE:
 		return &Codec{d: fo.Domain()}, nil
+	case *ldp.AUE:
+		// A location can carry the true one-hot bit plus at most one
+		// increment per blanket round; anything larger is unproducible
+		// by Randomize and must flag the run.
+		maxCount := o.Rounds() + 1
+		if maxCount > 255 {
+			maxCount = 255 // Randomize saturates its byte counters there
+		}
+		return &Codec{d: fo.Domain(), maxCount: byte(maxCount)}, nil
 	}
 	return nil, fmt.Errorf("service: oracle %s has no report codec", fo.Name())
 }
@@ -36,21 +61,38 @@ func NewCodec(fo ldp.FrequencyOracle) (*Codec, error) {
 // oracle marshals to the same length, so frames leak nothing about the
 // content through their size.
 func (c *Codec) Size() int {
-	if c.word != nil {
+	switch {
+	case c.word != nil:
 		return 8
+	case c.maxCount > 0:
+		return c.d
+	default:
+		return (c.d + 7) / 8
 	}
-	return (c.d + 7) / 8
 }
 
 // Marshal packs a report into its wire payload.
 func (c *Codec) Marshal(rep ldp.Report) ([]byte, error) {
 	if c.word != nil {
+		if c.maxSeed > 0 && uint64(rep.Seed) >= c.maxSeed {
+			return nil, fmt.Errorf("service: report seed %d outside oracle range %d", rep.Seed, c.maxSeed)
+		}
 		out := make([]byte, 8)
 		binary.LittleEndian.PutUint64(out, c.word.Encode(rep))
 		return out, nil
 	}
 	if len(rep.Bits) != c.d {
-		return nil, fmt.Errorf("service: unary report has %d bits, oracle domain is %d", len(rep.Bits), c.d)
+		return nil, fmt.Errorf("service: report has %d locations, oracle domain is %d", len(rep.Bits), c.d)
+	}
+	if c.maxCount > 0 {
+		out := make([]byte, c.d)
+		for j, b := range rep.Bits {
+			if b > c.maxCount {
+				return nil, fmt.Errorf("service: count report location %d holds %d increments, oracle maximum is %d", j, b, c.maxCount)
+			}
+			out[j] = b
+		}
+		return out, nil
 	}
 	out := make([]byte, (c.d+7)/8)
 	for j, b := range rep.Bits {
@@ -65,15 +107,38 @@ func (c *Codec) Marshal(rep ldp.Report) ([]byte, error) {
 	return out, nil
 }
 
-// Unmarshal reverses Marshal. Payloads of the wrong length, or bitmap
-// payloads with set padding bits, are rejected — a decrypted report
+// Unmarshal reverses Marshal. Payloads of the wrong length, word
+// payloads outside the oracle's report group (which Decode would wrap
+// rather than reject), Hadamard rows past the matrix order, and bitmap
+// payloads with set padding bits are all rejected — a decrypted report
 // must parse unambiguously or the run is flagged.
 func (c *Codec) Unmarshal(data []byte) (ldp.Report, error) {
 	if c.word != nil {
 		if len(data) != 8 {
 			return ldp.Report{}, fmt.Errorf("service: word report payload is %d bytes, want 8", len(data))
 		}
-		return c.word.Decode(binary.LittleEndian.Uint64(data)), nil
+		w := binary.LittleEndian.Uint64(data)
+		if w >= c.word.GroupOrder() {
+			return ldp.Report{}, fmt.Errorf("service: word report %d outside group order %d", w, c.word.GroupOrder())
+		}
+		rep := c.word.Decode(w)
+		if c.maxSeed > 0 && uint64(rep.Seed) >= c.maxSeed {
+			return ldp.Report{}, fmt.Errorf("service: report seed %d outside oracle range %d", rep.Seed, c.maxSeed)
+		}
+		return rep, nil
+	}
+	if c.maxCount > 0 {
+		if len(data) != c.d {
+			return ldp.Report{}, fmt.Errorf("service: count report payload is %d bytes, want %d", len(data), c.d)
+		}
+		bits := make([]byte, c.d)
+		for j, b := range data {
+			if b > c.maxCount {
+				return ldp.Report{}, fmt.Errorf("service: count report location %d holds %d increments, oracle maximum is %d", j, b, c.maxCount)
+			}
+			bits[j] = b
+		}
+		return ldp.Report{Bits: bits}, nil
 	}
 	if len(data) != (c.d+7)/8 {
 		return ldp.Report{}, fmt.Errorf("service: unary report payload is %d bytes, want %d", len(data), (c.d+7)/8)

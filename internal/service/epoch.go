@@ -1,0 +1,320 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shuffledp/internal/budget"
+	"shuffledp/internal/composition"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+)
+
+// EpochCurrent is the frame tag a client stamps when it reports into
+// whatever epoch the service currently has open (the common case: the
+// client does not track the server's rotation schedule). Any other tag
+// asserts a specific epoch id; the shuffler drops reports whose
+// asserted epoch is not the open one and counts them as Late.
+const EpochCurrent = ^uint32(0)
+
+// EpochSnapshot is one sealed epoch: the collection round's estimate,
+// frozen at rotation.
+type EpochSnapshot struct {
+	// Epoch is the epoch id, starting at 0.
+	Epoch int
+	// Estimates is the calibrated frequency estimate over the epoch's
+	// reports.
+	Estimates []float64
+	// Reports is how many reports the epoch aggregated.
+	Reports int
+	// Batches is how many shuffled batches the epoch received.
+	Batches int64
+	// Guarantee is the per-epoch privacy guarantee the budget ledger
+	// charged for this epoch (zero without a ledger).
+	Guarantee composition.Guarantee
+}
+
+// WindowSnapshot is the merge of the last k sealed epochs — the
+// service's sliding-window estimate.
+type WindowSnapshot struct {
+	// FromEpoch and ToEpoch bound the merged epoch ids (inclusive).
+	FromEpoch, ToEpoch int
+	// Epochs is how many epochs the window merged.
+	Epochs int
+	// Estimates is the merged calibrated estimate, bit-identical to a
+	// sequential aggregation of the window's report multiset.
+	Estimates []float64
+	// Reports is the total report count across the window.
+	Reports int
+}
+
+// epochState is one epoch's aggregation state: a shard aggregator per
+// worker plus the root they gather into. The pending WaitGroup counts
+// batches forwarded to the workers but not yet folded; sealing waits
+// on it so a sealed epoch provably covers every report routed to it.
+type epochState struct {
+	id     int
+	fo     ldp.FrequencyOracle
+	shards []*shard
+	// pending counts forwarded-but-unfolded batches.
+	pending sync.WaitGroup
+	batches atomic.Int64
+	// accepted counts reports the shuffler routed to this epoch
+	// (batched or still buffered) — the auto-rotation trigger.
+	accepted atomic.Int64
+	sealed   bool // guarded by Service.rotateMu
+
+	rootMu sync.Mutex
+	root   ldp.Aggregator
+}
+
+// shard is one worker's slice of an epoch's aggregate. The mutex is
+// held while a batch is folded in and while gather swaps the
+// aggregator out.
+type shard struct {
+	mu  sync.Mutex
+	agg ldp.Aggregator
+}
+
+func newEpochState(id int, fo ldp.FrequencyOracle, workers int) *epochState {
+	e := &epochState{
+		id:     id,
+		fo:     fo,
+		shards: make([]*shard, workers),
+		root:   fo.NewAggregator(),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{agg: fo.NewAggregator()}
+	}
+	return e
+}
+
+// gather folds every non-empty shard into the epoch root (swapping in
+// fresh shard aggregators) and returns the root's running estimate.
+// It is the per-epoch form of PR 2's Snapshot swap: a consistent
+// prefix of the epoch's stream at the cost of a pointer swap per
+// shard, never a recompute.
+func (e *epochState) gather() ([]float64, int) {
+	e.rootMu.Lock()
+	defer e.rootMu.Unlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if sh.agg.Count() > 0 {
+			full := sh.agg
+			sh.agg = e.fo.NewAggregator()
+			e.root.Merge(full)
+		}
+		sh.mu.Unlock()
+	}
+	return e.root.Estimates(), e.root.Count()
+}
+
+// epochRecord is a sealed epoch in the retained history: the frozen
+// snapshot plus the root aggregator window queries clone-merge from.
+type epochRecord struct {
+	snap EpochSnapshot
+	agg  ldp.Aggregator
+}
+
+// rotateReq asks the shuffler to swap epochs at a batch boundary.
+// next == nil closes the epoch sequence (budget exhausted): the
+// shuffler then rejects further reports instead of aggregating them.
+type rotateReq struct {
+	next *epochState
+	done chan *epochState // receives the epoch being sealed
+}
+
+// Rotate seals the current epoch and opens the next one: the shuffler
+// flushes the epoch's partial batch and switches, every batch already
+// routed to the sealed epoch is waited for, the epoch's estimate is
+// frozen into History, and its reports join the all-time aggregate.
+//
+// When a budget ledger is configured, opening the next epoch charges
+// it one per-epoch guarantee. If the ledger refuses, the current epoch
+// still seals — its collection already happened — but no new epoch
+// opens: Rotate returns the sealed snapshot together with an error
+// wrapping budget.ErrExhausted, and from then on the service refuses
+// ingestion (Ingest errors, frames from connected clients are dropped
+// and counted as Snapshot.Rejected).
+func (s *Service) Rotate() (EpochSnapshot, error) {
+	s.rotateMu.Lock()
+	defer s.rotateMu.Unlock()
+	if s.stopped() {
+		return EpochSnapshot{}, errors.New("service: closed")
+	}
+	if s.exhausted.Load() {
+		return EpochSnapshot{}, fmt.Errorf("service: no epoch open: %w", budget.ErrExhausted)
+	}
+	cur := s.cur.Load()
+
+	// Charge the next epoch before swapping so an exhausted ledger
+	// never opens an epoch it cannot pay for.
+	var next *epochState
+	var chargeErr error
+	if s.cfg.Ledger != nil {
+		chargeErr = s.cfg.Ledger.Charge()
+		if chargeErr != nil && !errors.Is(chargeErr, budget.ErrExhausted) {
+			return EpochSnapshot{}, fmt.Errorf("service: charging epoch %d: %w", cur.id+1, chargeErr)
+		}
+	}
+	if chargeErr == nil {
+		next = newEpochState(cur.id+1, s.cfg.FO, s.cfg.Workers)
+	}
+
+	req := rotateReq{next: next, done: make(chan *epochState, 1)}
+	select {
+	case s.rotateCh <- req:
+	case <-s.shufflerDone:
+		return EpochSnapshot{}, errors.New("service: draining")
+	case <-s.stop:
+		return EpochSnapshot{}, errors.New("service: closed")
+	}
+	old := <-req.done
+	if next == nil {
+		s.exhausted.Store(true)
+	}
+
+	// Wait for every batch routed to the sealed epoch to be folded,
+	// then freeze it.
+	old.pending.Wait()
+	snap := s.seal(old)
+	if chargeErr != nil {
+		return snap, fmt.Errorf("service: epoch %d sealed, next refused: %w", old.id, chargeErr)
+	}
+	return snap, nil
+}
+
+// seal freezes a fully-folded epoch: gather the shards, record the
+// snapshot in the retained history, and fold a clone of the epoch
+// root into the all-time aggregate. Callers hold rotateMu.
+func (s *Service) seal(e *epochState) EpochSnapshot {
+	if e.sealed {
+		// Drain after an exhausting Rotate: the final epoch is already
+		// in the history.
+		return s.lastSealed()
+	}
+	e.sealed = true
+	est, n := e.gather()
+	snap := EpochSnapshot{
+		Epoch:     e.id,
+		Estimates: est,
+		Reports:   n,
+		Batches:   e.batches.Load(),
+	}
+	if s.cfg.Ledger != nil {
+		snap.Guarantee = s.cfg.Ledger.PerEpoch()
+	}
+	s.allMu.Lock()
+	s.allTime.Merge(e.root.Clone())
+	s.allMu.Unlock()
+
+	s.histMu.Lock()
+	s.history = append(s.history, epochRecord{snap: snap, agg: e.root})
+	if s.cfg.WindowRetain > 0 && len(s.history) > s.cfg.WindowRetain {
+		trim := len(s.history) - s.cfg.WindowRetain
+		// Drop the aggregator references too: retention is what bounds
+		// the tier's memory under sustained traffic.
+		s.history = append([]epochRecord(nil), s.history[trim:]...)
+	}
+	s.histMu.Unlock()
+	return snap
+}
+
+// lastSealed returns the most recent history snapshot (zero value if
+// none).
+func (s *Service) lastSealed() EpochSnapshot {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if len(s.history) == 0 {
+		return EpochSnapshot{}
+	}
+	return s.history[len(s.history)-1].snap
+}
+
+// Epoch returns the id of the epoch currently open (the id of the last
+// epoch once the budget is exhausted).
+func (s *Service) Epoch() int { return s.cur.Load().id }
+
+// Exhausted reports whether the budget ledger has refused to open
+// another epoch; an exhausted service rejects ingestion but stays
+// queryable.
+func (s *Service) Exhausted() bool { return s.exhausted.Load() }
+
+// History returns the retained sealed-epoch snapshots, oldest first.
+func (s *Service) History() []EpochSnapshot {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make([]EpochSnapshot, len(s.history))
+	for i, r := range s.history {
+		out[i] = r.snap
+	}
+	return out
+}
+
+// EstimateWindow merges the last k sealed epochs into one estimate
+// using the oracle Merge machinery over clones of the sealed roots, so
+// the result is bit-identical to aggregating the window's report
+// multiset sequentially — and the sealed epochs themselves are
+// untouched and can be window-queried again. k <= 0 means every
+// retained epoch; k larger than the retained history is an error.
+func (s *Service) EstimateWindow(k int) (WindowSnapshot, error) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if len(s.history) == 0 {
+		return WindowSnapshot{}, errors.New("service: no sealed epochs to window over")
+	}
+	if k > len(s.history) {
+		return WindowSnapshot{}, fmt.Errorf("service: window of %d epochs, only %d sealed epochs retained", k, len(s.history))
+	}
+	if k <= 0 {
+		k = len(s.history)
+	}
+	recs := s.history[len(s.history)-k:]
+	agg := recs[0].agg.Clone()
+	for _, r := range recs[1:] {
+		agg.Merge(r.agg.Clone())
+	}
+	return WindowSnapshot{
+		FromEpoch: recs[0].snap.Epoch,
+		ToEpoch:   recs[len(recs)-1].snap.Epoch,
+		Epochs:    k,
+		Estimates: agg.Estimates(),
+		Reports:   agg.Count(),
+	}, nil
+}
+
+// runRotator turns the shuffler's report-count hints into rotations
+// when Config.EpochReports is set. A hint can outlive the epoch that
+// generated it (a manual Rotate may land in between), so the rotator
+// re-checks the open epoch's accepted count before cutting — a stale
+// hint must not seal a near-empty epoch and burn one of the ledger's
+// finite per-epoch charges. Skipping is safe: every epoch fires its
+// own hint when its count crosses the threshold. Rotation errors are
+// deliberately not fatal here: an exhausted ledger flips the service
+// into its rejected-ingestion state, which Ingest and Snapshot
+// surface.
+func (s *Service) runRotator() {
+	defer s.rotatorWG.Done()
+	for {
+		select {
+		case <-s.rotateHint:
+			if s.cur.Load().accepted.Load() >= int64(s.cfg.EpochReports) {
+				_, _ = s.Rotate()
+			}
+		case <-s.drainStart:
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// shufflerEpochRNG returns the shuffle permutation stream for one
+// epoch: a fresh substream per epoch id, so an epoch's batch
+// permutations are a pure function of (ShuffleSeed, epoch) no matter
+// how much shuffling earlier epochs consumed.
+func (s *Service) shufflerEpochRNG(epoch int) *rng.Rand {
+	return rng.Substream(s.cfg.ShuffleSeed, uint64(epoch))
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+)
+
+// fuzzOracles is the cross-oracle lineup the codec must be safe for:
+// every report wire format the service speaks (word, unary bitmap,
+// AUE counts), with a domain that is not a multiple of 8 so the
+// bitmap padding path is exercised.
+func fuzzOracles() []ldp.FrequencyOracle {
+	return []ldp.FrequencyOracle{
+		ldp.NewGRR(13, 1),
+		ldp.NewSOLH(13, 5, 1),
+		ldp.NewOLH(13, 1.5),
+		ldp.NewHadamard(13, 1),
+		ldp.NewRAP(13, 1),
+		ldp.NewRAPR(13, 0.8),
+		ldp.NewOUE(13, 1),
+		ldp.NewAUE(13, 1, 1e-6, 50),
+	}
+}
+
+// FuzzCodec locks in the codec's safety contract across every oracle:
+// an arbitrary payload either fails Unmarshal or yields a report that
+// (a) the oracle's aggregator accepts without panicking — a corrupt
+// report must flag the run, never crash a worker — and (b) marshals
+// back to the identical bytes (the encoding is canonical: no two
+// payloads decode to the same report, no report re-encodes
+// differently than it arrived).
+func FuzzCodec(f *testing.F) {
+	// Seed with one valid report per oracle plus structural edge cases.
+	r := rng.New(7)
+	for _, fo := range fuzzOracles() {
+		codec, err := NewCodec(fo)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload, err := codec.Marshal(fo.Randomize(3, r))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x80}, 13))
+
+	oracles := fuzzOracles()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, fo := range oracles {
+			codec, err := NewCodec(fo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := codec.Unmarshal(data)
+			if err != nil {
+				continue // rejected is always fine
+			}
+			// Accepted reports must be aggregator-safe.
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("%s: Add panicked on unmarshaled report %+v: %v", fo.Name(), rep, p)
+					}
+				}()
+				fo.NewAggregator().Add(rep)
+			}()
+			// And canonical: re-marshal reproduces the exact payload.
+			out, err := codec.Marshal(rep)
+			if err != nil {
+				t.Fatalf("%s: Marshal of unmarshaled report failed: %v", fo.Name(), err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("%s: round trip not canonical: in %x, out %x", fo.Name(), data, out)
+			}
+			again, err := codec.Unmarshal(out)
+			if err != nil {
+				t.Fatalf("%s: re-unmarshal failed: %v", fo.Name(), err)
+			}
+			if again.Seed != rep.Seed || again.Value != rep.Value || !bytes.Equal(again.Bits, rep.Bits) {
+				t.Fatalf("%s: reports differ across round trips: %+v vs %+v", fo.Name(), rep, again)
+			}
+		}
+	})
+}
+
+// The codec's size contract: every report of one oracle marshals to
+// exactly Size() bytes (frames must not leak content through length).
+func TestCodecFixedSize(t *testing.T) {
+	r := rng.New(11)
+	for _, fo := range fuzzOracles() {
+		codec, err := NewCodec(fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < fo.Domain(); v++ {
+			payload, err := codec.Marshal(fo.Randomize(v, r))
+			if err != nil {
+				t.Fatalf("%s: %v", fo.Name(), err)
+			}
+			if len(payload) != codec.Size() {
+				t.Fatalf("%s: payload %d bytes, Size() says %d", fo.Name(), len(payload), codec.Size())
+			}
+		}
+	}
+}
+
+// A word payload past the oracle's report group must be rejected, not
+// silently wrapped into some other user's report — and a Hadamard row
+// past the matrix order must be rejected, not panic the aggregator.
+func TestCodecRejectsNonCanonical(t *testing.T) {
+	grr, err := NewCodec(ldp.NewGRR(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grr.Unmarshal([]byte{4, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("GRR word past the domain accepted")
+	}
+	had, err := NewCodec(ldp.NewHadamard(13, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order is 16; row 16, value 0 packs as 16*2 = 32.
+	if _, err := had.Unmarshal([]byte{32, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("Hadamard row past the order accepted")
+	}
+	if _, err := had.Unmarshal([]byte{31, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatalf("Hadamard row 15 rejected: %v", err)
+	}
+	// An AUE location can carry at most one increment per blanket round
+	// plus the true bit; a larger count is unproducible by Randomize
+	// and must flag the run, not skew the histogram.
+	aue, err := NewCodec(ldp.NewAUE(4, 3, 1e-9, 1000)) // rounds=1: counts <= 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aue.Unmarshal([]byte{3, 0, 0, 0}); err == nil {
+		t.Fatal("AUE count past rounds+1 accepted")
+	}
+	if _, err := aue.Unmarshal([]byte{2, 1, 0, 0}); err != nil {
+		t.Fatalf("valid AUE counts rejected: %v", err)
+	}
+}

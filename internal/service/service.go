@@ -21,10 +21,29 @@
 // from, the anonymity-set granularity the deployment chooses with
 // Config.BatchSize.
 //
+// # Epochs
+//
+// The paper analyzes one collection round; a deployed service
+// re-collects the same population every epoch, so the tier is epochal:
+// the stream is cut into epochs, each owning its own shard-aggregator
+// set and a fresh shuffle-RNG substream. Rotate seals the open epoch —
+// freezing its estimate into History — and opens the next; sealed
+// epochs answer sliding-window queries through EstimateWindow, which
+// clone-merges their aggregators. A budget.Ledger composes the
+// per-epoch (eps, delta) loss across rotations (naive or advanced
+// composition) and, once the configured total budget is exhausted, the
+// service refuses further ingestion while staying queryable. Report
+// frames carry the epoch id the client asserts (transport tagged
+// frames); EpochCurrent means "whatever is open", and reports
+// asserting a closed epoch are dropped and counted rather than
+// silently folded into the wrong round.
+//
 // Aggregation relies on PR 1's mergeable aggregators: every oracle
 // accumulates exactly representable integer statistics, so the merged
 // estimates are bit-identical to a sequential pass over the same
-// reports in any order, at any worker count, for any batch boundary.
+// reports in any order, at any worker count, for any batch boundary —
+// and, with epochs, for any rotation boundary once the epochs are
+// merged back together.
 package service
 
 import (
@@ -36,9 +55,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shuffledp/internal/budget"
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
-	"shuffledp/internal/rng"
 	"shuffledp/internal/transport"
 )
 
@@ -71,37 +90,85 @@ type Config struct {
 	// before the shuffler (and transitively the clients) block. 0 means
 	// 2 * Workers.
 	QueueDepth int
-	// ShuffleSeed drives the batch permutations.
+	// ShuffleSeed drives the batch permutations; each epoch shuffles
+	// from its own substream of it.
 	ShuffleSeed uint64
 	// Meter, when non-nil, accounts bytes and CPU to users/shuffler/
 	// server.
 	Meter *transport.Meter
+
+	// Ledger, when non-nil, is charged one per-epoch guarantee every
+	// time an epoch opens (including epoch 0 at New). Once it refuses,
+	// the service seals the open epoch at the next Rotate and rejects
+	// ingestion from then on.
+	Ledger *budget.Ledger
+	// EpochReports, when > 0, auto-rotates once the open epoch has
+	// accepted at least this many reports (rotation happens at a
+	// shuffle-batch boundary, so epochs run a partial batch long).
+	// 0 means epochs rotate only through explicit Rotate calls.
+	EpochReports int
+	// WindowRetain bounds how many sealed epochs are kept for
+	// History/EstimateWindow; older epochs are dropped (their reports
+	// remain in the all-time drain estimate). 0 retains every epoch.
+	WindowRetain int
 }
 
 // Snapshot is the service's state at one instant.
 type Snapshot struct {
-	// Estimates is the calibrated frequency estimate over the reports
-	// aggregated so far (all zeros before any report lands).
+	// Estimates is the calibrated frequency estimate over the open
+	// epoch's reports so far (all epochs merged when returned by
+	// Drain; all zeros before any report lands).
 	Estimates []float64
 	// Reports is how many reports Estimates covers.
 	Reports int
-	// Received is how many report frames the readers have accepted;
-	// Received - Reports is the in-flight backlog.
+	// Received is how many report frames are in the pipeline or
+	// aggregated: frames the readers accepted minus frames later
+	// dropped (those move to Late or Rejected instead, the three
+	// counters are disjoint). Received is cumulative across epochs
+	// while Reports covers the open epoch only, so mid-stream the
+	// in-flight backlog is Received minus Reports minus the reports
+	// already sealed into History; in a Drain snapshot (all epochs
+	// merged) it is simply Received - Reports.
 	Received int64
 	// Batches is how many shuffled batches have been forwarded to the
-	// workers.
+	// workers (across all epochs).
 	Batches int64
+	// Epoch is the open epoch's id (the last epoch's id once the
+	// budget is exhausted).
+	Epoch int
+	// Late counts reports dropped because they asserted an epoch that
+	// is not the open one.
+	Late int64
+	// Rejected counts reports dropped after the budget ledger
+	// exhausted.
+	Rejected int64
+}
+
+// taggedReport is one ciphertext frame with the epoch id its sender
+// asserted.
+type taggedReport struct {
+	epoch uint32
+	ct    []byte
+}
+
+// epochBatch is one shuffled batch routed to the epoch that was open
+// when it was flushed.
+type epochBatch struct {
+	ep  *epochState
+	cts [][]byte
 }
 
 // Service is a running ingestion pipeline. Create with New, feed it
 // connections with Serve or Ingest, read the live estimate with
-// Snapshot, and finish with Drain (graceful) or Close (abort).
+// Snapshot, cut the stream into collection rounds with Rotate (or
+// Config.EpochReports), query rounds with History and EstimateWindow,
+// and finish with Drain (graceful) or Close (abort).
 type Service struct {
 	cfg   Config
 	codec *Codec
 
-	intake  chan []byte   // ciphertext frames, readers -> shuffler
-	batches chan [][]byte // shuffled batches, shuffler -> workers
+	intake  chan taggedReport // ciphertext frames, readers -> shuffler
+	batches chan epochBatch   // shuffled batches, shuffler -> workers
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -116,27 +183,37 @@ type Service struct {
 	active    map[net.Conn]struct{}
 	firstErr  error
 
-	workers []*worker
-	rootMu  sync.Mutex
-	root    ldp.Aggregator
+	// cur is the open epoch (stays on the last epoch once exhausted).
+	cur       atomic.Pointer[epochState]
+	exhausted atomic.Bool
+
+	// rotateMu serializes Rotate and Drain's final seal.
+	rotateMu     sync.Mutex
+	rotateCh     chan rotateReq
+	rotateHint   chan struct{}
+	rotatorWG    sync.WaitGroup
+	shufflerDone chan struct{}
+	drainStart   chan struct{}
+
+	histMu  sync.Mutex
+	history []epochRecord
+
+	allMu   sync.Mutex
+	allTime ldp.Aggregator
 
 	received atomic.Int64
 	shuffled atomic.Int64
+	late     atomic.Int64
+	rejected atomic.Int64
 
 	drainOnce sync.Once
 	drainSnap Snapshot
 	drainErr  error
 }
 
-// worker owns one shard aggregator. The mutex is held while a batch is
-// folded in and while Snapshot swaps the aggregator out.
-type worker struct {
-	mu  sync.Mutex
-	agg ldp.Aggregator
-}
-
-// New validates cfg, starts the shuffler and worker stages, and
-// returns the running (but not yet listening) service.
+// New validates cfg, charges the ledger for epoch 0, starts the
+// shuffler and worker stages, and returns the running (but not yet
+// listening) service.
 func New(cfg Config) (*Service, error) {
 	if cfg.FO == nil {
 		return nil, errors.New("service: config needs a frequency oracle")
@@ -155,6 +232,11 @@ func New(cfg Config) (*Service, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
+	if cfg.Ledger != nil {
+		if err := cfg.Ledger.Charge(); err != nil {
+			return nil, fmt.Errorf("service: charging epoch 0: %w", err)
+		}
+	}
 
 	s := &Service{
 		cfg:   cfg,
@@ -162,21 +244,26 @@ func New(cfg Config) (*Service, error) {
 		// One batch of intake slack keeps readers and the shuffler
 		// decoupled; beyond that, readers block and the clients feel
 		// backpressure through their connection writes.
-		intake:  make(chan []byte, cfg.BatchSize),
-		batches: make(chan [][]byte, cfg.QueueDepth),
-		stop:    make(chan struct{}),
-		root:    cfg.FO.NewAggregator(),
+		intake:       make(chan taggedReport, cfg.BatchSize),
+		batches:      make(chan epochBatch, cfg.QueueDepth),
+		stop:         make(chan struct{}),
+		rotateCh:     make(chan rotateReq),
+		rotateHint:   make(chan struct{}, 1),
+		shufflerDone: make(chan struct{}),
+		drainStart:   make(chan struct{}),
+		allTime:      cfg.FO.NewAggregator(),
 	}
-	s.workers = make([]*worker, cfg.Workers)
-	for i := range s.workers {
-		s.workers[i] = &worker{agg: cfg.FO.NewAggregator()}
-	}
+	s.cur.Store(newEpochState(0, cfg.FO, cfg.Workers))
 
 	s.shufflerWG.Add(1)
 	go s.runShuffler()
-	for _, w := range s.workers {
+	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
-		go s.runWorker(w)
+		go s.runWorker(i)
+	}
+	if cfg.EpochReports > 0 {
+		s.rotatorWG.Add(1)
+		go s.runRotator()
 	}
 	return s, nil
 }
@@ -206,13 +293,18 @@ func (s *Service) Serve(ln net.Listener) error {
 
 // Ingest registers one established connection: a reader goroutine
 // consumes its report frames until the peer closes (EOF is the
-// client's "done"). Drain waits for every ingested connection.
+// client's "done"). Drain waits for every ingested connection. An
+// exhausted budget refuses the connection.
 //
 // The draining check and the registration are one critical section:
 // Drain flips draining under the same mutex, so once Drain proceeds to
 // conns.Wait no connection can slip in behind it (whose reader would
 // outlive the wait and write to the closed intake channel).
 func (s *Service) Ingest(conn net.Conn) error {
+	if s.exhausted.Load() {
+		conn.Close()
+		return fmt.Errorf("service: refusing connection: %w", budget.ErrExhausted)
+	}
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
@@ -248,7 +340,7 @@ func (s *Service) readConn(conn net.Conn) {
 	defer s.forget(conn)
 	defer conn.Close()
 	for {
-		frame, err := transport.ReadFrame(conn)
+		epoch, frame, err := transport.ReadTaggedFrame(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) || s.stopped() {
 				return
@@ -257,8 +349,14 @@ func (s *Service) readConn(conn net.Conn) {
 			return
 		}
 		s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
+		if s.exhausted.Load() {
+			// The budget ran out under an open connection: count the
+			// report, never aggregate it.
+			s.rejected.Add(1)
+			continue
+		}
 		select {
-		case s.intake <- frame:
+		case s.intake <- taggedReport{epoch: epoch, ct: frame}:
 			s.received.Add(1)
 		case <-s.stop:
 			return
@@ -267,15 +365,21 @@ func (s *Service) readConn(conn net.Conn) {
 }
 
 // runShuffler buffers ciphertexts into BatchSize batches, permutes
-// each, and forwards it to the worker queue. The partial final batch
-// is flushed when the intake closes (graceful drain).
+// each, and forwards it to the worker queue tagged with the open
+// epoch. Rotation requests land here — between batches, never inside
+// one — so every batch belongs to exactly one epoch and each epoch's
+// permutations come from its own RNG substream. The partial final
+// batch is flushed when the intake closes (graceful drain).
 func (s *Service) runShuffler() {
 	defer s.shufflerWG.Done()
+	defer close(s.shufflerDone)
 	defer close(s.batches)
-	r := rng.New(s.cfg.ShuffleSeed)
+	cur := s.cur.Load()
+	r := s.shufflerEpochRNG(cur.id)
 	buf := make([][]byte, 0, s.cfg.BatchSize)
 	flush := func() {
-		if len(buf) == 0 {
+		if len(buf) == 0 || cur == nil {
+			buf = buf[:0]
 			return
 		}
 		r.Shuffle(len(buf), func(i, j int) {
@@ -288,24 +392,83 @@ func (s *Service) runShuffler() {
 		for _, ct := range batch {
 			n += len(ct)
 		}
+		cur.pending.Add(1)
 		select {
-		case s.batches <- batch:
+		case s.batches <- epochBatch{ep: cur, cts: batch}:
 			s.shuffled.Add(1)
+			cur.batches.Add(1)
 			s.cfg.Meter.Send(PartyShuffler, PartyServer, n)
 		case <-s.stop:
+			cur.pending.Done()
+		}
+	}
+	accept := func(tr taggedReport) {
+		// Dropped frames move out of Received into exactly one of the
+		// drop counters, so Received / Late / Rejected stay disjoint
+		// and the Snapshot backlog arithmetic holds.
+		if cur == nil {
+			s.rejected.Add(1)
+			s.received.Add(-1)
+			return
+		}
+		if tr.epoch != EpochCurrent && tr.epoch != uint32(cur.id) {
+			s.late.Add(1)
+			s.received.Add(-1)
+			return
+		}
+		buf = append(buf, tr.ct)
+		accepted := cur.accepted.Add(1)
+		if len(buf) >= s.cfg.BatchSize {
+			flush()
+		}
+		if s.cfg.EpochReports > 0 && accepted == int64(s.cfg.EpochReports) {
+			select {
+			case s.rotateHint <- struct{}{}:
+			default:
+			}
 		}
 	}
 	for {
 		select {
-		case ct, ok := <-s.intake:
+		case tr, ok := <-s.intake:
 			if !ok {
 				flush()
 				return
 			}
-			buf = append(buf, ct)
-			if len(buf) >= s.cfg.BatchSize {
-				flush()
+			accept(tr)
+		case req := <-s.rotateCh:
+			// A rotation cuts the stream *after* everything already
+			// received: drain the intake into the closing epoch first,
+			// so a caller that saw Received == n before rotating knows
+			// all n reports belong to the sealed epoch.
+			closed := false
+			for !closed {
+				select {
+				case tr, ok := <-s.intake:
+					if !ok {
+						closed = true
+						break
+					}
+					accept(tr)
+				default:
+					closed = true
+				}
 			}
+			flush()
+			old := cur
+			cur = req.next
+			if cur != nil {
+				s.cur.Store(cur)
+				r = s.shufflerEpochRNG(cur.id)
+			}
+			// A hint generated by the epoch that just closed is stale;
+			// dropping it here (the rotator re-checks anyway) keeps the
+			// fresh epoch from being cut near-empty.
+			select {
+			case <-s.rotateHint:
+			default:
+			}
+			req.done <- old
 		case <-s.stop:
 			return
 		}
@@ -313,14 +476,15 @@ func (s *Service) runShuffler() {
 }
 
 // runWorker decrypts and decodes each batch and folds it into the
-// worker's shard aggregator. Corrupt reports are dropped and surfaced
-// as the service error rather than silently mis-estimating.
-func (s *Service) runWorker(w *worker) {
+// batch's epoch shard owned by this worker. Corrupt reports are
+// dropped and surfaced as the service error rather than silently
+// mis-estimating.
+func (s *Service) runWorker(i int) {
 	defer s.workerWG.Done()
-	for batch := range s.batches {
+	for eb := range s.batches {
 		start := time.Now()
-		reports := make([]ldp.Report, 0, len(batch))
-		for _, ct := range batch {
+		reports := make([]ldp.Report, 0, len(eb.cts))
+		for _, ct := range eb.cts {
 			pt, err := ecies.Decrypt(s.cfg.Key, ct)
 			if err != nil {
 				s.fail(fmt.Errorf("service: decrypt report: %w", err))
@@ -333,43 +497,42 @@ func (s *Service) runWorker(w *worker) {
 			}
 			reports = append(reports, rep)
 		}
-		w.mu.Lock()
+		sh := eb.ep.shards[i]
+		sh.mu.Lock()
 		for _, rep := range reports {
-			w.agg.Add(rep)
+			sh.agg.Add(rep)
 		}
-		w.mu.Unlock()
+		sh.mu.Unlock()
+		eb.ep.pending.Done()
 		s.cfg.Meter.AddCPU(PartyServer, time.Since(start))
 	}
 }
 
-// Snapshot returns the current estimate without stopping ingestion:
-// each worker's shard aggregator is swapped for a fresh one and merged
-// into the root, so the snapshot is a consistent prefix of the stream
-// and costs the workers only the swap, never a full recompute.
+// Snapshot returns the open epoch's current estimate without stopping
+// ingestion: each shard aggregator is swapped for a fresh one and
+// merged into the epoch root, so the snapshot is a consistent prefix
+// of the epoch's stream and costs the workers only the swap, never a
+// full recompute.
 func (s *Service) Snapshot() Snapshot {
-	s.rootMu.Lock()
-	defer s.rootMu.Unlock()
-	for _, w := range s.workers {
-		w.mu.Lock()
-		if w.agg.Count() > 0 {
-			full := w.agg
-			w.agg = s.cfg.FO.NewAggregator()
-			s.root.Merge(full)
-		}
-		w.mu.Unlock()
-	}
+	e := s.cur.Load()
+	est, n := e.gather()
 	return Snapshot{
-		Estimates: s.root.Estimates(),
-		Reports:   s.root.Count(),
+		Estimates: est,
+		Reports:   n,
 		Received:  s.received.Load(),
 		Batches:   s.shuffled.Load(),
+		Epoch:     e.id,
+		Late:      s.late.Load(),
+		Rejected:  s.rejected.Load(),
 	}
 }
 
 // Drain gracefully shuts the pipeline down: stop accepting, wait for
 // every ingested connection to close, flush the partial batch, wait
-// for the workers, and return the final snapshot. The returned error
-// is the first failure observed anywhere in the pipeline (a run with a
+// for the workers, seal the final epoch into History, and return the
+// all-time snapshot — every epoch's reports merged, bit-identical to
+// a sequential pass over the full stream. The returned error is the
+// first failure observed anywhere in the pipeline (a run with a
 // corrupt or undecryptable report is not silently trusted).
 func (s *Service) Drain() (Snapshot, error) {
 	s.drainOnce.Do(func() {
@@ -378,12 +541,30 @@ func (s *Service) Drain() (Snapshot, error) {
 		s.mu.Lock()
 		s.draining.Store(true)
 		s.mu.Unlock()
+		close(s.drainStart)
+		s.rotatorWG.Wait()
 		s.closeListeners()
 		s.conns.Wait()
 		close(s.intake)
 		s.shufflerWG.Wait()
 		s.workerWG.Wait()
-		s.drainSnap = s.Snapshot()
+		// Every batch is folded; seal the final epoch (a no-op if an
+		// exhausting Rotate already did).
+		s.rotateMu.Lock()
+		e := s.cur.Load()
+		s.seal(e)
+		s.rotateMu.Unlock()
+		s.allMu.Lock()
+		s.drainSnap = Snapshot{
+			Estimates: s.allTime.Estimates(),
+			Reports:   s.allTime.Count(),
+			Received:  s.received.Load(),
+			Batches:   s.shuffled.Load(),
+			Epoch:     e.id,
+			Late:      s.late.Load(),
+			Rejected:  s.rejected.Load(),
+		}
+		s.allMu.Unlock()
 		s.drainErr = s.Err()
 	})
 	return s.drainSnap, s.drainErr

@@ -351,6 +351,10 @@ func TestWrongKeyReportSurfacesError(t *testing.T) {
 	}
 }
 
+// unknownOracle hides the concrete oracle type from the codec's type
+// switch: a mechanism the codec has no wire format for.
+type unknownOracle struct{ ldp.FrequencyOracle }
+
 func TestNewValidation(t *testing.T) {
 	key, _ := ecies.GenerateKey()
 	if _, err := service.New(service.Config{Key: key}); err == nil {
@@ -359,10 +363,16 @@ func TestNewValidation(t *testing.T) {
 	if _, err := service.New(service.Config{FO: ldp.NewGRR(4, 1)}); err == nil {
 		t.Error("nil key accepted")
 	}
-	// AUE reports carry counts, not bits: no codec, so no service.
-	if _, err := service.New(service.Config{FO: ldp.NewAUE(4, 1, 1e-9, 100), Key: key}); err == nil {
-		t.Error("AUE accepted")
+	if _, err := service.New(service.Config{FO: unknownOracle{ldp.NewGRR(4, 1)}, Key: key}); err == nil {
+		t.Error("codec-less oracle accepted")
 	}
+	// AUE reports carry per-location counts; since the count codec they
+	// stream like every other oracle.
+	svc, err := service.New(service.Config{FO: ldp.NewAUE(4, 1, 1e-9, 100), Key: key})
+	if err != nil {
+		t.Fatalf("AUE rejected: %v", err)
+	}
+	svc.Close()
 }
 
 // Ingest racing Drain must never panic or hang: either the connection

@@ -1,12 +1,14 @@
 package stattest_test
 
 // The tier-1 statistical acceptance tests of the streaming ingestion
-// tier: GRR, SOLH, and OUE run end-to-end — randomize, encrypt, frame
+// tier: every oracle with a service codec — GRR, SOLH, OUE, Hadamard,
+// RAP, RAP_R, and AUE — runs end-to-end — randomize, encrypt, frame
 // over net.Pipe connections, batch-shuffle, decrypt, aggregate — and
 // the drained histogram's error must sit inside the stattest band
-// around each oracle's analytic variance. A pipeline that drops a
-// batch, double-counts a connection, corrupts a ciphertext, or skips
-// the randomizer cannot pass.
+// around each oracle's analytic variance, with a matching
+// unbiasedness check. A pipeline that drops a batch, double-counts a
+// connection, corrupts a ciphertext, or skips the randomizer cannot
+// pass.
 
 import (
 	"fmt"
@@ -126,6 +128,46 @@ func TestServiceStatisticalAcceptanceOUE(t *testing.T) {
 	stattest.CheckMSE(t, fo, truth, n, trials, 700, 3, serviceTrial(fo, values, 4, 128))
 }
 
+// Hadamard rides the service's word codec (row index + sign bit); the
+// aggregation path is the FWHT, completely different from the count
+// calibration the other word oracles share.
+func TestServiceStatisticalAcceptanceHadamard(t *testing.T) {
+	const n, d, trials = 3000, 16, 4
+	values := skewedValues(n, d, 15)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewHadamard(d, 2)
+	stattest.CheckMSE(t, fo, truth, n, trials, 900, 3, serviceTrial(fo, values, 4, 128))
+}
+
+// RAP and RAP_R stream through the packed-bitmap codec (whole
+// perturbed unary vectors, not 8-byte words).
+func TestServiceStatisticalAcceptanceRAP(t *testing.T) {
+	const n, d, trials = 2000, 16, 4
+	values := skewedValues(n, d, 16)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewRAP(d, 2)
+	stattest.CheckMSE(t, fo, truth, n, trials, 1000, 3, serviceTrial(fo, values, 4, 128))
+}
+
+func TestServiceStatisticalAcceptanceRAPR(t *testing.T) {
+	const n, d, trials = 2000, 16, 4
+	values := skewedValues(n, d, 17)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewRAPR(d, 1)
+	stattest.CheckMSE(t, fo, truth, n, trials, 1100, 3, serviceTrial(fo, values, 4, 128))
+}
+
+// AUE streams whole count vectors through the byte-per-location
+// codec; its estimates subtract the expected blanket mass, so a codec
+// that dropped or duplicated increments would blow the band.
+func TestServiceStatisticalAcceptanceAUE(t *testing.T) {
+	const n, d, trials = 2000, 16, 4
+	values := skewedValues(n, d, 18)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewAUE(d, 3, 1e-9, n)
+	stattest.CheckMSE(t, fo, truth, n, trials, 1200, 3, serviceTrial(fo, values, 4, 128))
+}
+
 // The streaming pipeline must also be unbiased, not just noisy at the
 // right magnitude (a wrong calibration constant could hide inside the
 // MSE band at small n).
@@ -135,4 +177,37 @@ func TestServiceUnbiasedGRR(t *testing.T) {
 	truth := ldp.TrueFrequencies(values, d)
 	fo := ldp.NewGRR(d, 2)
 	stattest.CheckUnbiased(t, fo, truth, n, trials, 800, 6, serviceTrial(fo, values, 3, 100))
+}
+
+// Unbiasedness for the newly covered oracles, same harness.
+func TestServiceUnbiasedHadamard(t *testing.T) {
+	const n, d, trials = 1500, 16, 5
+	values := skewedValues(n, d, 19)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewHadamard(d, 2)
+	stattest.CheckUnbiased(t, fo, truth, n, trials, 1300, 6, serviceTrial(fo, values, 3, 100))
+}
+
+func TestServiceUnbiasedRAP(t *testing.T) {
+	const n, d, trials = 1500, 16, 5
+	values := skewedValues(n, d, 20)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewRAP(d, 2)
+	stattest.CheckUnbiased(t, fo, truth, n, trials, 1400, 6, serviceTrial(fo, values, 3, 100))
+}
+
+func TestServiceUnbiasedRAPR(t *testing.T) {
+	const n, d, trials = 1500, 16, 5
+	values := skewedValues(n, d, 21)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewRAPR(d, 1)
+	stattest.CheckUnbiased(t, fo, truth, n, trials, 1500, 6, serviceTrial(fo, values, 3, 100))
+}
+
+func TestServiceUnbiasedAUE(t *testing.T) {
+	const n, d, trials = 1500, 16, 5
+	values := skewedValues(n, d, 22)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewAUE(d, 3, 1e-9, n)
+	stattest.CheckUnbiased(t, fo, truth, n, trials, 1600, 6, serviceTrial(fo, values, 3, 100))
 }

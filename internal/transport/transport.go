@@ -162,19 +162,13 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // a huge up-front allocation.
 const readChunk = 64 << 10
 
-// ReadFrame reads one length-prefixed payload. A malformed prefix makes
-// it error, never panic; the payload buffer grows only as data arrives,
-// so a connection that claims a large frame and hangs up costs at most
-// one readChunk of memory beyond what it actually sent.
-func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	// Bound-check before converting: on 32-bit platforms a prefix past
-	// 2^31 would overflow int and sail under the limit as a negative
-	// length, panicking in make.
-	n32 := binary.BigEndian.Uint32(hdr[:])
+// readPayload reads an n32-byte payload after bound-checking the
+// prefix. Checking before converting matters on 32-bit platforms: a
+// prefix past 2^31 would overflow int and sail under the limit as a
+// negative length, panicking in make. The buffer grows only as data
+// arrives, so a connection that claims a large frame and hangs up
+// costs at most one readChunk of memory beyond what it actually sent.
+func readPayload(r io.Reader, n32 uint32) ([]byte, error) {
 	if n32 > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
@@ -191,6 +185,51 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		}
 	}
 	return payload, nil
+}
+
+// ReadFrame reads one length-prefixed payload. A malformed prefix
+// makes it error, never panic (see readPayload).
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	return readPayload(r, binary.BigEndian.Uint32(hdr[:]))
+}
+
+// WriteTaggedFrame writes a length-prefixed payload with a 4-byte tag
+// between the length and the payload — the epoch-stamped report frame
+// of the continual-observation service (the tag is the epoch id the
+// sender is reporting into). The length prefix covers the payload
+// only, matching WriteFrame.
+func WriteTaggedFrame(w io.Writer, tag uint32, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], tag)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadTaggedFrame reads one frame written by WriteTaggedFrame and
+// returns its tag and payload. It shares ReadFrame's defenses through
+// readPayload.
+func ReadTaggedFrame(r io.Reader) (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	tag := binary.BigEndian.Uint32(hdr[4:])
+	payload, err := readPayload(r, binary.BigEndian.Uint32(hdr[:4]))
+	if err != nil {
+		return 0, nil, err
+	}
+	return tag, payload, nil
 }
 
 // EncodeUint64s packs words little-endian (share-vector wire format).

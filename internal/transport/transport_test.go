@@ -202,6 +202,55 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 }
 
+func TestTaggedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		tag     uint32
+		payload []byte
+	}{
+		{0, []byte{}},
+		{7, []byte("epoch seven")},
+		{^uint32(0), bytes.Repeat([]byte{3}, 100000)}, // sentinel tag, multi-chunk payload
+	}
+	for _, f := range frames {
+		if err := WriteTaggedFrame(&buf, f.tag, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		tag, got, err := ReadTaggedFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != want.tag {
+			t.Fatalf("tag = %d, want %d", tag, want.tag)
+		}
+		if !bytes.Equal(got, want.payload) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(got), len(want.payload))
+		}
+	}
+}
+
+func TestReadTaggedFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1})
+	if _, _, err := ReadTaggedFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadTaggedFrameTruncated(t *testing.T) {
+	for _, raw := range [][]byte{
+		{0, 0, 0, 10},                // header cut mid-tag
+		{0, 0, 0, 10, 0, 0, 0, 2, 1}, // claims 10 payload bytes, has 1
+	} {
+		buf := bytes.NewBuffer(raw)
+		if _, _, err := ReadTaggedFrame(buf); err == nil {
+			t.Fatalf("truncated tagged frame %v should error", raw)
+		}
+	}
+}
+
 func TestEncodeDecodeUint64s(t *testing.T) {
 	in := []uint64{0, 1, ^uint64(0), 0xdeadbeef}
 	out, err := DecodeUint64s(EncodeUint64s(in))
