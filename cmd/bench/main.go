@@ -61,10 +61,10 @@ type benchCase struct {
 }
 
 type benchReport struct {
-	Benchmark   string      `json:"benchmark"`
-	GeneratedBy string      `json:"generated_by"`
-	GoMaxProcs  int         `json:"go_max_procs"`
-	BaselineN   int         `json:"baseline_n"`
+	Benchmark   string `json:"benchmark"`
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	BaselineN   int    `json:"baseline_n"`
 	// Note flags runs where the parallel variant could not fan out.
 	Note  string      `json:"note,omitempty"`
 	Cases []benchCase `json:"cases"`

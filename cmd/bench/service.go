@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -16,7 +17,21 @@ import (
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/service"
+	"shuffledp/internal/store"
 )
+
+// persistenceCase measures the durable tier's cost: the same workload
+// with the write-ahead log off and at each fsync policy, so the JSON
+// records exactly what durability buys and what it charges.
+type persistenceCase struct {
+	// Mode is "off" (no WAL) or the fsync policy ("none", "batch",
+	// "always").
+	Mode          string  `json:"mode"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	NsPerReport   float64 `json:"ns_per_report"`
+	// SlowdownVsOff is the throughput ratio off/this-mode (1.0 = free).
+	SlowdownVsOff float64 `json:"slowdown_vs_off"`
+}
 
 type serviceCase struct {
 	Clients       int     `json:"clients"`
@@ -41,6 +56,9 @@ type serviceBenchReport struct {
 	Epochs int           `json:"epochs"`
 	Note   string        `json:"note,omitempty"`
 	Cases  []serviceCase `json:"cases"`
+	// Persistence is the durability on/off comparison, measured at the
+	// first client count.
+	Persistence []persistenceCase `json:"persistence"`
 }
 
 // runServiceSuite streams n pre-randomized SOLH reports through a
@@ -81,7 +99,7 @@ func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchR
 			"multi-core machines scale until the decrypt pool saturates"
 	}
 	for _, clients := range clientCounts {
-		ns, err := timeServiceRun(fo, key, reports, clients, batch, epochs)
+		ns, err := timeServiceRun(fo, key, reports, clients, batch, epochs, "off")
 		if err != nil {
 			return serviceBenchReport{}, err
 		}
@@ -99,10 +117,32 @@ func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchR
 		fmt.Printf("service: clients=%-3d %10.0f reports/s  %8.0f ns/report  (%.2fx vs 1 client)\n",
 			c.Clients, c.ReportsPerSec, c.NsPerReport, c.SpeedupVs1)
 	}
+
+	// The persistence delta: one client count, WAL off vs every fsync
+	// policy — the price of crash recovery under each durability level.
+	for _, mode := range []string{"off", "none", "batch", "always"} {
+		ns, err := timeServiceRun(fo, key, reports, clientCounts[0], batch, epochs, mode)
+		if err != nil {
+			return serviceBenchReport{}, err
+		}
+		pc := persistenceCase{
+			Mode:          mode,
+			ReportsPerSec: float64(n) / (ns / 1e9),
+			NsPerReport:   ns / float64(n),
+		}
+		if len(rep.Persistence) > 0 {
+			pc.SlowdownVsOff = rep.Persistence[0].ReportsPerSec / pc.ReportsPerSec
+		} else {
+			pc.SlowdownVsOff = 1
+		}
+		rep.Persistence = append(rep.Persistence, pc)
+		fmt.Printf("service: persist=%-7s %10.0f reports/s  %8.0f ns/report  (%.2fx slower than off)\n",
+			pc.Mode, pc.ReportsPerSec, pc.NsPerReport, pc.SlowdownVsOff)
+	}
 	return rep, nil
 }
 
-func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch, epochs int) (float64, error) {
+func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch, epochs int, persist string) (float64, error) {
 	epochReports := 0
 	if epochs > 1 {
 		epochReports = (len(reports) + epochs - 1) / epochs
@@ -110,10 +150,24 @@ func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp
 	best := 0.0
 	deadline := time.Now().Add(30 * time.Second)
 	for attempt := 0; attempt < 3; attempt++ {
-		svc, err := service.New(service.Config{
+		cfg := service.Config{
 			FO: fo, Key: key, BatchSize: batch, ShuffleSeed: uint64(attempt + 2),
 			EpochReports: epochReports,
-		})
+		}
+		if persist != "off" {
+			// A fresh data directory per attempt: New refuses to reuse
+			// one, exactly so a benchmark cannot shadow real state.
+			dir, err := os.MkdirTemp("", "shuffledp-bench-wal-")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			cfg.DataDir = dir
+			if cfg.Sync, err = store.ParseSyncPolicy(persist); err != nil {
+				return 0, err
+			}
+		}
+		svc, err := service.New(cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -15,13 +15,22 @@
 // demonstrates budget exhaustion: it seals what the ledger affords and
 // rejects the rest of the stream.
 //
+// With -data-dir the run is durable: accepted reports are write-ahead
+// logged and every rotation writes a checkpoint (fsync cadence chosen
+// by -fsync). Pointing -data-dir at a directory that already holds
+// state recovers it — sealed epochs, ledger charges, and the open
+// epoch's reports come back bit-identical — and the run resumes from
+// there instead of re-spending budget (DESIGN.md §8).
+//
 // Usage:
 //
 //	shuffled [-n users] [-d domain] [-eps epsC] [-seed s] [-clients c] [-batch b]
 //	         [-epochs e] [-total-eps B] [-accountant naive|advanced] [-window k]
+//	         [-data-dir dir] [-fsync always|batch|none]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +45,7 @@ import (
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/service"
+	"shuffledp/internal/store"
 	"shuffledp/internal/transport"
 )
 
@@ -51,6 +61,8 @@ func main() {
 	totalEps := flag.Float64("total-eps", 0, "total privacy budget across epochs (0: exactly -epochs rounds of -eps)")
 	accountant := flag.String("accountant", "naive", "budget composition: naive or advanced")
 	window := flag.Int("window", 2, "sliding-window width for the final window query")
+	dataDir := flag.String("data-dir", "", "durable state directory (WAL + checkpoints); empty runs in-memory")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
@@ -97,8 +109,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	syncPolicy, err := store.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var meter transport.Meter
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		FO:           fo,
 		Key:          key,
 		BatchSize:    *batch,
@@ -106,9 +122,27 @@ func main() {
 		Meter:        &meter,
 		Ledger:       ledger,
 		EpochReports: (*n + *epochs - 1) / *epochs,
-	})
+		DataDir:      *dataDir,
+		Sync:         syncPolicy,
+	}
+	svc, err := service.New(cfg)
+	if *dataDir != "" && errors.Is(err, store.ErrExists) {
+		// The directory holds a previous run: recover it instead of
+		// starting over (Recover restores the ledger to its recorded
+		// charge count, so the New attempt's epoch-0 charge above is
+		// not double-spent).
+		svc, err = service.Recover(cfg)
+		if err == nil {
+			snap := svc.Snapshot()
+			fmt.Printf("recovered durable state from %s: epoch %d open, %d reports durable, %d epochs sealed\n",
+				*dataDir, snap.Epoch, snap.Received, len(svc.History()))
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Printf("durable: WAL + checkpoints under %s (fsync=%s)\n", *dataDir, syncPolicy)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

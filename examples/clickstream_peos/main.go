@@ -11,11 +11,12 @@
 //     encrypted reports over real connections, batch shuffling, and a
 //     mid-stream Snapshot while clicks are still arriving. This is the
 //     single-shuffler trust model of §III, the everyday dashboard.
+//
 //  2. The hardened PEOS protocol (§VI) over the same clicks — secret
 //     shares, DGK encryption, encrypted oblivious shuffle — whose
 //     estimate survives the three collusion scenarios above.
 //
-//	go run ./examples/clickstream_peos
+//     go run ./examples/clickstream_peos
 package main
 
 import (

@@ -170,6 +170,32 @@ func (l *Ledger) mustSpent() composition.Guarantee {
 	return g
 }
 
+// Restore sets the charged-epoch count to k, the recovery path of the
+// durable service (internal/store): a restarted analyzer must resume
+// the ledger where the crashed one left it rather than re-spending the
+// budget from zero. k epochs must fit the total budget — a recorded
+// count the accountant cannot prove means the ledger was restored with
+// the wrong parameters, and loading it would fabricate guarantees.
+// Restoring an exactly-exhausted count (k fits, k+1 does not) is valid:
+// the recovered ledger then refuses the next Charge just as the
+// original did.
+func (l *Ledger) Restore(k int) error {
+	if k < 0 {
+		return errors.New("budget: negative restored epoch count")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ok, err := l.fits(k)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("budget: restored count of %d epochs exceeds the total budget (wrong ledger parameters?)", k)
+	}
+	l.charged = k
+	return nil
+}
+
 // Epochs returns how many epochs have been charged so far.
 func (l *Ledger) Epochs() int {
 	l.mu.Lock()

@@ -197,3 +197,54 @@ func TestConcurrentCharges(t *testing.T) {
 		t.Fatalf("%d concurrent charges succeeded (ledger at %d), want exactly %d", got, l.Epochs(), want)
 	}
 }
+
+// Restore is the recovery path: it must accept any provable count —
+// including an exactly-exhausted one — and refuse counts the
+// accountant cannot prove (wrong ledger parameters).
+func TestLedgerRestore(t *testing.T) {
+	newLedger := func() *Ledger {
+		l, err := NewLedger(
+			composition.Guarantee{Eps: 3, Delta: 3e-9},
+			composition.Guarantee{Eps: 1, Delta: 1e-9},
+			Naive{},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l := newLedger()
+	if err := l.Restore(2); err != nil {
+		t.Fatalf("Restore(2): %v", err)
+	}
+	if got := l.Epochs(); got != 2 {
+		t.Fatalf("Epochs() = %d after Restore(2)", got)
+	}
+	if err := l.Charge(); err != nil {
+		t.Fatalf("charge after restore: %v", err)
+	}
+	if err := l.Charge(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("4th epoch charged: %v", err)
+	}
+
+	// Exactly exhausted restores fine and still refuses the next.
+	l = newLedger()
+	if err := l.Restore(3); err != nil {
+		t.Fatalf("Restore(3): %v", err)
+	}
+	if err := l.Charge(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("charge after exhausted restore: %v", err)
+	}
+
+	// Counts the budget cannot prove are refused.
+	l = newLedger()
+	if err := l.Restore(4); err == nil {
+		t.Fatal("Restore(4) accepted a count past the total budget")
+	}
+	if err := l.Restore(-1); err == nil {
+		t.Fatal("Restore(-1) accepted a negative count")
+	}
+	if got := l.Epochs(); got != 0 {
+		t.Fatalf("failed Restore mutated the ledger to %d epochs", got)
+	}
+}

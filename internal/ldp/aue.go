@@ -114,6 +114,7 @@ type aueAggregator struct {
 	n      int
 }
 
+// Add implements Aggregator.
 func (g *aueAggregator) Add(rep Report) {
 	if len(rep.Bits) != g.a.d {
 		panic("ldp: AUE report has wrong length")
@@ -124,6 +125,7 @@ func (g *aueAggregator) Add(rep Report) {
 	g.n++
 }
 
+// Count implements Aggregator.
 func (g *aueAggregator) Count() int { return g.n }
 
 // Merge implements Aggregator.

@@ -76,12 +76,14 @@ type grrAggregator struct {
 	n      int
 }
 
+// Add implements Aggregator.
 func (a *grrAggregator) Add(rep Report) {
 	validateValue(rep.Value, a.g.d)
 	a.counts[rep.Value]++
 	a.n++
 }
 
+// Count implements Aggregator.
 func (a *grrAggregator) Count() int { return a.n }
 
 // Merge implements Aggregator.

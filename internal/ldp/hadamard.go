@@ -86,6 +86,7 @@ type hadamardAggregator struct {
 	n       int
 }
 
+// Add implements Aggregator.
 func (a *hadamardAggregator) Add(rep Report) {
 	if int(rep.Seed) >= a.h.D {
 		panic("ldp: Hadamard row out of range")
@@ -98,6 +99,7 @@ func (a *hadamardAggregator) Add(rep Report) {
 	a.n++
 }
 
+// Count implements Aggregator.
 func (a *hadamardAggregator) Count() int { return a.n }
 
 // Merge implements Aggregator. Row sums are sums of ±1 terms — exact

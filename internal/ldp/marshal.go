@@ -1,0 +1,282 @@
+package ldp
+
+// Binary state serialization for the aggregators, the foundation of
+// the durable epoch tier (internal/store): every Aggregator implements
+// encoding.BinaryMarshaler / encoding.BinaryUnmarshaler with one shared
+// versioned layout, so a sealed epoch root or the all-time aggregate
+// can be checkpointed to disk and restored bit-identically.
+//
+// Layout (little-endian), stable across builds:
+//
+//	offset  size  field
+//	0       1     format version (aggStateVersion)
+//	1       1     aggregator kind (kindGRR..kindOUE)
+//	2       8     domain size d (Hadamard: matrix order D)
+//	10      8     aux parameter (local hashing: d'; AUE: blanket rounds)
+//	18      8     float64 bits of the defining probability
+//	              (GRR/OLH/SOLH/Hadamard: p; RAP/RAP_R: flip;
+//	              AUE: gamma; OUE: q)
+//	26      8     report count n
+//	34      ...   payload: d int64 counts, or D float64 row sums
+//
+// The kind byte plus the echoed parameters make a blob self-describing
+// enough that UnmarshalBinary can refuse state from a different oracle
+// or parameterization with a clean error instead of folding counts into
+// the wrong estimator. Decoding never panics: every length, version,
+// parameter, and count is validated first (FuzzAggregatorState locks
+// this in). Because the payload is the aggregator's exact integer
+// statistics, UnmarshalBinary(MarshalBinary(agg)) reproduces Estimates
+// bit for bit.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// aggStateVersion is the serialization format version written into
+// every aggregator blob. Bump it when the layout changes; readers
+// refuse versions they do not know (see ErrStateVersion).
+const aggStateVersion = 1
+
+// ErrStateVersion is wrapped by UnmarshalBinary when a blob's format
+// version is not one this build reads — typically state written by a
+// newer build. Callers must treat it as "do not load", never as
+// partially-loadable state.
+var ErrStateVersion = errors.New("ldp: unknown aggregator state version")
+
+// Aggregator kind bytes. Append-only: a kind, once released, keeps its
+// byte forever so old checkpoints stay readable.
+const (
+	kindGRR       = 1
+	kindLocalHash = 2
+	kindHadamard  = 3
+	kindUnary     = 4
+	kindAUE       = 5
+	kindOUE       = 6
+)
+
+// aggHeaderSize is the fixed prefix before the payload.
+const aggHeaderSize = 34
+
+// UnmarshalAggregator restores an aggregator blob produced by
+// Aggregator.MarshalBinary into a fresh aggregator of fo. It is the
+// load-side convenience the durable store uses: the oracle supplies
+// the parameters, the blob supplies the state, and any mismatch
+// between the two errors instead of mis-calibrating.
+func UnmarshalAggregator(fo FrequencyOracle, data []byte) (Aggregator, error) {
+	agg := fo.NewAggregator()
+	if err := agg.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func appendAggHeader(buf []byte, kind byte, d, aux uint64, param float64, n int) []byte {
+	buf = append(buf, aggStateVersion, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, d)
+	buf = binary.LittleEndian.AppendUint64(buf, aux)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(param))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	return buf
+}
+
+// parseAggHeader validates the fixed prefix against the receiver's
+// kind and parameters and returns the report count and payload.
+func parseAggHeader(data []byte, kind byte, d, aux uint64, param float64) (int, []byte, error) {
+	if len(data) < aggHeaderSize {
+		return 0, nil, fmt.Errorf("ldp: aggregator state is %d bytes, header needs %d", len(data), aggHeaderSize)
+	}
+	if v := data[0]; v != aggStateVersion {
+		return 0, nil, fmt.Errorf("%w: blob version %d, this build reads %d", ErrStateVersion, v, aggStateVersion)
+	}
+	if k := data[1]; k != kind {
+		return 0, nil, fmt.Errorf("ldp: aggregator state kind %d, receiver is kind %d", k, kind)
+	}
+	if got := binary.LittleEndian.Uint64(data[2:]); got != d {
+		return 0, nil, fmt.Errorf("ldp: aggregator state domain %d, receiver has %d", got, d)
+	}
+	if got := binary.LittleEndian.Uint64(data[10:]); got != aux {
+		return 0, nil, fmt.Errorf("ldp: aggregator state aux parameter %d, receiver has %d", got, aux)
+	}
+	if got := binary.LittleEndian.Uint64(data[18:]); got != math.Float64bits(param) {
+		return 0, nil, fmt.Errorf("ldp: aggregator state probability %g, receiver has %g",
+			math.Float64frombits(got), param)
+	}
+	n64 := binary.LittleEndian.Uint64(data[26:])
+	if n64 > math.MaxInt64/2 {
+		return 0, nil, fmt.Errorf("ldp: aggregator state report count %d out of range", n64)
+	}
+	return int(n64), data[aggHeaderSize:], nil
+}
+
+// marshalCounts serializes a count-vector aggregator (everything but
+// Hadamard). counts may be nil (an empty local-hash aggregator); the
+// blob then carries d zeros so the encoding is canonical either way.
+func marshalCounts(kind byte, d, aux uint64, param float64, n int, counts []int) []byte {
+	buf := make([]byte, 0, aggHeaderSize+8*int(d))
+	buf = appendAggHeader(buf, kind, d, aux, param, n)
+	for i := 0; i < int(d); i++ {
+		var c int
+		if counts != nil {
+			c = counts[i]
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(c)))
+	}
+	return buf
+}
+
+// unmarshalCounts reverses marshalCounts, validating the header and
+// rejecting payloads of the wrong length or with counts no aggregation
+// run can produce (negative).
+func unmarshalCounts(data []byte, kind byte, d, aux uint64, param float64) (int, []int, error) {
+	n, payload, err := parseAggHeader(data, kind, d, aux, param)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) != 8*int(d) {
+		return 0, nil, fmt.Errorf("ldp: aggregator state payload is %d bytes, want %d", len(payload), 8*int(d))
+	}
+	counts := make([]int, d)
+	for i := range counts {
+		c := int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		if c < 0 {
+			return 0, nil, fmt.Errorf("ldp: aggregator state count[%d] = %d is negative", i, c)
+		}
+		counts[i] = int(c)
+	}
+	return n, counts, nil
+}
+
+// marshalSums serializes the Hadamard row-sum vector. The sums are
+// exact integers stored in float64, so writing the raw bits is both
+// stable and bit-exact.
+func marshalSums(kind byte, d, aux uint64, param float64, n int, sums []float64) []byte {
+	buf := make([]byte, 0, aggHeaderSize+8*len(sums))
+	buf = appendAggHeader(buf, kind, d, aux, param, n)
+	for _, s := range sums {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	return buf
+}
+
+func unmarshalSums(data []byte, kind byte, d, aux uint64, param float64) (int, []float64, error) {
+	n, payload, err := parseAggHeader(data, kind, d, aux, param)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) != 8*int(d) {
+		return 0, nil, fmt.Errorf("ldp: aggregator state payload is %d bytes, want %d", len(payload), 8*int(d))
+	}
+	sums := make([]float64, d)
+	for i := range sums {
+		s := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return 0, nil, fmt.Errorf("ldp: aggregator state row sum[%d] is not finite", i)
+		}
+		sums[i] = s
+	}
+	return n, sums, nil
+}
+
+// MarshalBinary implements Aggregator.
+func (a *grrAggregator) MarshalBinary() ([]byte, error) {
+	return marshalCounts(kindGRR, uint64(a.g.d), 0, a.g.p, a.n, a.counts), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state. The receiver must come from a GRR oracle with the same
+// parameters the blob was written under.
+func (a *grrAggregator) UnmarshalBinary(data []byte) error {
+	n, counts, err := unmarshalCounts(data, kindGRR, uint64(a.g.d), 0, a.g.p)
+	if err != nil {
+		return err
+	}
+	a.n, a.counts = n, counts
+	return nil
+}
+
+// MarshalBinary implements Aggregator. The buffered block is flushed
+// first so the folded counts are the complete state.
+func (a *localHashAggregator) MarshalBinary() ([]byte, error) {
+	a.flush()
+	return marshalCounts(kindLocalHash, uint64(a.l.d), uint64(a.l.dPrime), a.l.p, a.n, a.counts), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state (including any buffered block).
+func (a *localHashAggregator) UnmarshalBinary(data []byte) error {
+	n, counts, err := unmarshalCounts(data, kindLocalHash, uint64(a.l.d), uint64(a.l.dPrime), a.l.p)
+	if err != nil {
+		return err
+	}
+	a.n, a.counts = n, counts
+	a.seeds, a.ys = nil, nil
+	return nil
+}
+
+// MarshalBinary implements Aggregator.
+func (a *hadamardAggregator) MarshalBinary() ([]byte, error) {
+	return marshalSums(kindHadamard, uint64(a.h.D), 0, a.h.p, a.n, a.rowSums), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state.
+func (a *hadamardAggregator) UnmarshalBinary(data []byte) error {
+	n, sums, err := unmarshalSums(data, kindHadamard, uint64(a.h.D), 0, a.h.p)
+	if err != nil {
+		return err
+	}
+	a.n, a.rowSums = n, sums
+	return nil
+}
+
+// MarshalBinary implements Aggregator.
+func (a *unaryAggregator) MarshalBinary() ([]byte, error) {
+	return marshalCounts(kindUnary, uint64(a.u.d), 0, a.u.flip, a.n, a.counts), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state. RAP and RAP_R share the aggregator type; the flip probability
+// in the header is what keeps their state from cross-loading.
+func (a *unaryAggregator) UnmarshalBinary(data []byte) error {
+	n, counts, err := unmarshalCounts(data, kindUnary, uint64(a.u.d), 0, a.u.flip)
+	if err != nil {
+		return err
+	}
+	a.n, a.counts = n, counts
+	return nil
+}
+
+// MarshalBinary implements Aggregator.
+func (g *aueAggregator) MarshalBinary() ([]byte, error) {
+	return marshalCounts(kindAUE, uint64(g.a.d), uint64(g.a.rounds), g.a.gamma, g.n, g.counts), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state.
+func (g *aueAggregator) UnmarshalBinary(data []byte) error {
+	n, counts, err := unmarshalCounts(data, kindAUE, uint64(g.a.d), uint64(g.a.rounds), g.a.gamma)
+	if err != nil {
+		return err
+	}
+	g.n, g.counts = n, counts
+	return nil
+}
+
+// MarshalBinary implements Aggregator.
+func (a *oueAggregator) MarshalBinary() ([]byte, error) {
+	return marshalCounts(kindOUE, uint64(a.o.d), 0, a.o.q, a.n, a.counts), nil
+}
+
+// UnmarshalBinary implements Aggregator, replacing the receiver's
+// state.
+func (a *oueAggregator) UnmarshalBinary(data []byte) error {
+	n, counts, err := unmarshalCounts(data, kindOUE, uint64(a.o.d), 0, a.o.q)
+	if err != nil {
+		return err
+	}
+	a.n, a.counts = n, counts
+	return nil
+}

@@ -1,0 +1,188 @@
+package ldp
+
+import (
+	"bytes"
+	"testing"
+
+	"shuffledp/internal/rng"
+)
+
+// The durability contract: UnmarshalBinary(MarshalBinary(agg)) is
+// estimate- and count-identical for every oracle, the blob is
+// canonical (re-marshaling the restored aggregator reproduces it byte
+// for byte), and the restored aggregator keeps working (Add/Merge land
+// in the right counts).
+func TestAggregatorStateRoundTrip(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			const n = 3000
+			r := rng.New(7)
+			d := fo.Domain()
+			agg := fo.NewAggregator()
+			for i := 0; i < n; i++ {
+				agg.Add(fo.Randomize(i%d, r))
+			}
+			blob, err := agg.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			restored, err := UnmarshalAggregator(fo, blob)
+			if err != nil {
+				t.Fatalf("UnmarshalAggregator: %v", err)
+			}
+			if restored.Count() != agg.Count() {
+				t.Fatalf("restored count %d, want %d", restored.Count(), agg.Count())
+			}
+			want, got := agg.Estimates(), restored.Estimates()
+			for v := range want {
+				if want[v] != got[v] {
+					t.Fatalf("estimate[%d]: restored %v, marshaled %v", v, got[v], want[v])
+				}
+			}
+			blob2, err := restored.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatalf("blob is not canonical: re-marshaling the restored aggregator changed %d -> %d bytes or content",
+					len(blob), len(blob2))
+			}
+
+			// The restored aggregator must stay live: folding the same
+			// extra reports into both sides keeps them identical.
+			extra := fo.NewAggregator()
+			r2 := rng.New(8)
+			for i := 0; i < 100; i++ {
+				rep := fo.Randomize(i%d, r2)
+				agg.Add(rep)
+				extra.Add(rep)
+			}
+			restored.Merge(extra)
+			want, got = agg.Estimates(), restored.Estimates()
+			for v := range want {
+				if want[v] != got[v] {
+					t.Fatalf("post-restore Add/Merge diverged at estimate[%d]", v)
+				}
+			}
+		})
+	}
+}
+
+// An empty aggregator round-trips too (the shape of a freshly rotated
+// epoch root at checkpoint time).
+func TestAggregatorStateRoundTripEmpty(t *testing.T) {
+	for name, fo := range mergeOracles() {
+		t.Run(name, func(t *testing.T) {
+			blob, err := fo.NewAggregator().MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			restored, err := UnmarshalAggregator(fo, blob)
+			if err != nil {
+				t.Fatalf("UnmarshalAggregator: %v", err)
+			}
+			if restored.Count() != 0 {
+				t.Fatalf("restored empty aggregator reports count %d", restored.Count())
+			}
+		})
+	}
+}
+
+// Cross-loading state between oracles — or between different
+// parameterizations of the same oracle — must error, not silently
+// mis-calibrate.
+func TestAggregatorStateRejectsMismatch(t *testing.T) {
+	oracles := mergeOracles()
+	blobs := map[string][]byte{}
+	for name, fo := range oracles {
+		agg := fo.NewAggregator()
+		r := rng.New(3)
+		for i := 0; i < 50; i++ {
+			agg.Add(fo.Randomize(i%fo.Domain(), r))
+		}
+		blob, err := agg.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", name, err)
+		}
+		blobs[name] = blob
+	}
+	for from, blob := range blobs {
+		for to, fo := range oracles {
+			if from == to {
+				continue
+			}
+			if _, err := UnmarshalAggregator(fo, blob); err == nil {
+				t.Errorf("loading %s state into a %s aggregator succeeded", from, to)
+			}
+		}
+	}
+	// Same oracle family, different epsilon: the probability echo in
+	// the header must catch it.
+	blob := blobs["GRR"]
+	if _, err := UnmarshalAggregator(NewGRR(32, 2.5), blob); err == nil {
+		t.Error("loading GRR(eps=1.5) state into GRR(eps=2.5) succeeded")
+	}
+}
+
+// A blob stamped with a future format version is refused with
+// ErrStateVersion and no partial load.
+func TestAggregatorStateFutureVersion(t *testing.T) {
+	fo := NewGRR(8, 1)
+	agg := fo.NewAggregator()
+	agg.Add(Report{Value: 3})
+	blob, err := agg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = aggStateVersion + 1
+	restored := fo.NewAggregator()
+	if err := restored.UnmarshalBinary(blob); err == nil {
+		t.Fatal("future-version blob loaded without error")
+	}
+	if restored.Count() != 0 {
+		t.Fatalf("failed load left partial state: count %d", restored.Count())
+	}
+}
+
+// FuzzAggregatorState: decoding arbitrary bytes into any oracle's
+// aggregator never panics, and whenever it succeeds the accepted blob
+// is canonical (re-marshaling reproduces it).
+func FuzzAggregatorState(f *testing.F) {
+	oracles := []FrequencyOracle{
+		NewGRR(8, 1),
+		NewSOLH(8, 4, 1),
+		NewHadamard(6, 1),
+		NewRAP(8, 1),
+		NewAUE(8, 1, 1e-6, 1000),
+		NewOUE(8, 1),
+	}
+	for _, fo := range oracles {
+		agg := fo.NewAggregator()
+		r := rng.New(1)
+		for i := 0; i < 20; i++ {
+			agg.Add(fo.Randomize(i%fo.Domain(), r))
+		}
+		blob, err := agg.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{aggStateVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, fo := range oracles {
+			agg, err := UnmarshalAggregator(fo, data)
+			if err != nil {
+				continue
+			}
+			blob, err := agg.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: accepted blob failed to re-marshal: %v", fo.Name(), err)
+			}
+			if !bytes.Equal(blob, data) {
+				t.Fatalf("%s: accepted blob is not canonical", fo.Name())
+			}
+		}
+	})
+}

@@ -136,6 +136,8 @@ type localHashAggregator struct {
 	ys     []uint64
 }
 
+// Add implements Aggregator, buffering the report into the staged
+// block and folding a full block through the CountSupport kernel.
 func (a *localHashAggregator) Add(rep Report) {
 	if rep.Value < 0 || rep.Value >= a.l.dPrime {
 		panic("ldp: local hash report outside [0, d')")
@@ -161,6 +163,7 @@ func (a *localHashAggregator) flush() {
 	a.ys = a.ys[:0]
 }
 
+// Count implements Aggregator.
 func (a *localHashAggregator) Count() int { return a.n }
 
 // Merge implements Aggregator.

@@ -89,6 +89,19 @@ type Aggregator interface {
 	// lets a sealed epoch be merged into a sliding-window estimate
 	// without draining the epoch's own state (see internal/service).
 	Clone() Aggregator
+	// MarshalBinary serializes the aggregator's accumulated state into
+	// the stable versioned layout of marshal.go (implementing
+	// encoding.BinaryMarshaler), so epoch roots survive a restart of
+	// the durable service (internal/store).
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary replaces the receiver's state with a blob
+	// written by MarshalBinary under the same oracle parameters
+	// (implementing encoding.BinaryUnmarshaler). The restored
+	// aggregator's Estimates are bit-identical to the marshaled one's;
+	// a blob from a different oracle, parameterization, or a newer
+	// format version is refused with an error (never a panic), the
+	// latter wrapping ErrStateVersion.
+	UnmarshalBinary(data []byte) error
 }
 
 // EstimateAll is a convenience that randomizes every value in values and

@@ -85,6 +85,7 @@ type oueAggregator struct {
 	n      int
 }
 
+// Add implements Aggregator.
 func (a *oueAggregator) Add(rep Report) {
 	if len(rep.Bits) != a.o.d {
 		panic("ldp: OUE report has wrong length")
@@ -97,6 +98,7 @@ func (a *oueAggregator) Add(rep Report) {
 	a.n++
 }
 
+// Count implements Aggregator.
 func (a *oueAggregator) Count() int { return a.n }
 
 // Merge implements Aggregator.
@@ -117,6 +119,8 @@ func (a *oueAggregator) Clone() Aggregator {
 	return &oueAggregator{o: a.o, counts: append([]int(nil), a.counts...), n: a.n}
 }
 
+// Estimates implements Aggregator: calibration with p = 1/2 and
+// q = 1/(e^eps + 1).
 func (a *oueAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, a.o.p, a.o.q)
 }

@@ -108,6 +108,7 @@ type unaryAggregator struct {
 	n      int
 }
 
+// Add implements Aggregator.
 func (a *unaryAggregator) Add(rep Report) {
 	if len(rep.Bits) != a.u.d {
 		panic("ldp: unary report has wrong length")
@@ -120,6 +121,7 @@ func (a *unaryAggregator) Add(rep Report) {
 	a.n++
 }
 
+// Count implements Aggregator.
 func (a *unaryAggregator) Count() int { return a.n }
 
 // Merge implements Aggregator.
@@ -140,6 +142,8 @@ func (a *unaryAggregator) Clone() Aggregator {
 	return &unaryAggregator{u: a.u, counts: append([]int(nil), a.counts...), n: a.n}
 }
 
+// Estimates implements Aggregator: calibration with p = 1 - flip and
+// q = flip.
 func (a *unaryAggregator) Estimates() []float64 {
 	return CalibrateCounts(a.counts, a.n, 1-a.u.flip, a.u.flip)
 }

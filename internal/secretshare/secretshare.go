@@ -23,6 +23,7 @@ type Source interface {
 // cryptoSource reads from crypto/rand.
 type cryptoSource struct{}
 
+// Uint64 implements Source with crypto/rand bytes.
 func (cryptoSource) Uint64() uint64 {
 	var buf [8]byte
 	if _, err := rand.Read(buf[:]); err != nil {

@@ -10,6 +10,7 @@ import (
 	"shuffledp/internal/composition"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/rng"
+	"shuffledp/internal/store"
 )
 
 // EpochCurrent is the frame tag a client stamps when it reports into
@@ -50,6 +51,15 @@ type WindowSnapshot struct {
 	Reports int
 }
 
+// walCounters is a consistent view of the durable service counters:
+// reports write-ahead logged (received), drops logged (late,
+// rejected), and batches forwarded. The shuffler goroutine owns the
+// live copy and snapshots it into the sealing epoch at each rotation
+// boundary, so checkpoints never mix counts from two epochs.
+type walCounters struct {
+	received, late, rejected, batches int64
+}
+
 // epochState is one epoch's aggregation state: a shard aggregator per
 // worker plus the root they gather into. The pending WaitGroup counts
 // batches forwarded to the workers but not yet folded; sealing waits
@@ -66,8 +76,20 @@ type epochState struct {
 	accepted atomic.Int64
 	sealed   bool // guarded by Service.rotateMu
 
+	// bnd is the durable-counter snapshot at this epoch's rotation
+	// boundary; written by the shuffler at the marker (or by Drain
+	// after the shuffler exits), read by seal for the checkpoint.
+	bnd walCounters
+
 	rootMu sync.Mutex
 	root   ldp.Aggregator
+	// frozen flips at seal: from then on gather returns the cached
+	// estimate and never touches root again, so window queries and the
+	// all-time merge can read sealed roots without racing a stale
+	// Snapshot that still holds this epoch's pointer.
+	frozen    bool
+	frozenEst []float64
+	frozenN   int
 }
 
 // shard is one worker's slice of an epoch's aggregate. The mutex is
@@ -95,10 +117,23 @@ func newEpochState(id int, fo ldp.FrequencyOracle, workers int) *epochState {
 // fresh shard aggregators) and returns the root's running estimate.
 // It is the per-epoch form of PR 2's Snapshot swap: a consistent
 // prefix of the epoch's stream at the cost of a pointer swap per
-// shard, never a recompute.
+// shard, never a recompute. On a sealed (frozen) epoch it returns a
+// copy of the frozen estimate instead — a Snapshot that loaded the
+// epoch pointer just before a Rotate sealed it must never mutate, or
+// half-observe, the sealed root.
 func (e *epochState) gather() ([]float64, int) {
 	e.rootMu.Lock()
 	defer e.rootMu.Unlock()
+	if e.frozen {
+		return append([]float64(nil), e.frozenEst...), e.frozenN
+	}
+	e.fold()
+	return e.root.Estimates(), e.root.Count()
+}
+
+// fold drains every non-empty shard into the root. Callers hold
+// rootMu.
+func (e *epochState) fold() {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		if sh.agg.Count() > 0 {
@@ -108,7 +143,23 @@ func (e *epochState) gather() ([]float64, int) {
 		}
 		sh.mu.Unlock()
 	}
-	return e.root.Estimates(), e.root.Count()
+}
+
+// freeze folds the shards one final time, caches the estimate, and
+// marks the epoch sealed: from here on the root is immutable (gather
+// no-ops into the cache), which is what makes cloning it for the
+// all-time merge and the window queries race-free. Idempotent; called
+// by seal with every batch already folded (pending waited out).
+func (e *epochState) freeze() ([]float64, int) {
+	e.rootMu.Lock()
+	defer e.rootMu.Unlock()
+	if !e.frozen {
+		e.fold()
+		e.frozenEst = e.root.Estimates()
+		e.frozenN = e.root.Count()
+		e.frozen = true
+	}
+	return e.frozenEst, e.frozenN
 }
 
 // epochRecord is a sealed epoch in the retained history: the frozen
@@ -177,26 +228,36 @@ func (s *Service) Rotate() (EpochSnapshot, error) {
 	}
 
 	// Wait for every batch routed to the sealed epoch to be folded,
-	// then freeze it.
+	// then freeze it. The charge for the opened epoch (if any) is
+	// already in the ledger, which the seal's checkpoint records.
 	old.pending.Wait()
-	snap := s.seal(old)
+	snap := s.seal(old, next != nil)
 	if chargeErr != nil {
 		return snap, fmt.Errorf("service: epoch %d sealed, next refused: %w", old.id, chargeErr)
 	}
 	return snap, nil
 }
 
-// seal freezes a fully-folded epoch: gather the shards, record the
-// snapshot in the retained history, and fold a clone of the epoch
-// root into the all-time aggregate. Callers hold rotateMu.
-func (s *Service) seal(e *epochState) EpochSnapshot {
+// seal freezes a fully-folded epoch: fold the shards one last time,
+// record the snapshot in the retained history, fold a clone of the
+// epoch root into the all-time aggregate, and — when the service is
+// durable — write the checkpoint that makes the seal survive a crash.
+// openCharged says whether the ledger already holds a charge for the
+// epoch the seal leaves open (true after a successful rotation charge,
+// false for a drain seal and an exhausting rotation); the checkpoint
+// records it so recovery knows whether opening that epoch still costs
+// a guarantee. Callers hold rotateMu. The freeze happens before the
+// root is cloned or shared, so a Snapshot still holding this epoch's
+// pointer can only read the frozen cache, never mutate a sealed root
+// (the Snapshot/Rotate race TestSnapshotDuringRotate locks in).
+func (s *Service) seal(e *epochState, openCharged bool) EpochSnapshot {
 	if e.sealed {
 		// Drain after an exhausting Rotate: the final epoch is already
 		// in the history.
 		return s.lastSealed()
 	}
 	e.sealed = true
-	est, n := e.gather()
+	est, n := e.freeze()
 	snap := EpochSnapshot{
 		Epoch:     e.id,
 		Estimates: est,
@@ -219,7 +280,61 @@ func (s *Service) seal(e *epochState) EpochSnapshot {
 		s.history = append([]epochRecord(nil), s.history[trim:]...)
 	}
 	s.histMu.Unlock()
+
+	if s.st != nil {
+		if err := s.writeCheckpoint(e, openCharged); err != nil {
+			s.fail(fmt.Errorf("service: checkpointing epoch %d seal: %w", e.id, err))
+		}
+	}
 	return snap
+}
+
+// writeCheckpoint snapshots the whole durable state after sealing e:
+// the retained history roots, the all-time aggregate, the ledger's
+// charged count, and the boundary counters the shuffler stamped into
+// e at the rotation marker. Callers hold rotateMu, which orders
+// checkpoints with rotations and Drain's final seal.
+func (s *Service) writeCheckpoint(e *epochState, openCharged bool) error {
+	cp := &store.Checkpoint{
+		OpenEpoch:   e.id + 1,
+		Exhausted:   s.exhausted.Load(),
+		OpenCharged: openCharged,
+		Received:    e.bnd.received,
+		Late:        e.bnd.late,
+		Rejected:    e.bnd.rejected,
+		Batches:     e.bnd.batches,
+	}
+	if s.cfg.Ledger != nil {
+		cp.LedgerCharged = s.cfg.Ledger.Epochs()
+	}
+	s.allMu.Lock()
+	allTime, err := s.allTime.MarshalBinary()
+	s.allMu.Unlock()
+	if err != nil {
+		return err
+	}
+	cp.AllTime = allTime
+	// Marshal the history under histMu, but run the checkpoint's disk
+	// writes (fsync, rename, fsync) outside it: History, EstimateWindow,
+	// and Snapshot must not stall behind a slow disk. rotateMu — which
+	// every seal holds — is what serializes checkpoint writers.
+	s.histMu.Lock()
+	for _, rec := range s.history {
+		root, err := rec.agg.MarshalBinary()
+		if err != nil {
+			s.histMu.Unlock()
+			return err
+		}
+		cp.History = append(cp.History, store.EpochCheckpoint{
+			Epoch:     rec.snap.Epoch,
+			Reports:   rec.snap.Reports,
+			Batches:   rec.snap.Batches,
+			Guarantee: rec.snap.Guarantee,
+			Root:      root,
+		})
+	}
+	s.histMu.Unlock()
+	return s.st.WriteCheckpoint(cp)
 }
 
 // lastSealed returns the most recent history snapshot (zero value if

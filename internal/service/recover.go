@@ -1,0 +1,227 @@
+package service
+
+// Crash recovery: Recover rebuilds a durable service from its data
+// directory — the latest checkpoint plus a replay of the WAL tail —
+// to a state bit-identical to an uninterrupted run over the same
+// durable reports (DESIGN.md §8). The recovery invariants:
+//
+//   - Sealed epochs come from the checkpoint: history roots, the
+//     all-time aggregate, and the ledger's charged count load exactly
+//     as written (aggregator blobs restore bit-identical estimates).
+//   - The open epoch is rebuilt entirely from the WAL tail: every
+//     checkpoint is taken at a rotation boundary, so the tail's report
+//     records are precisely the open epoch's reports.
+//   - A rotation marker in the tail (the crash hit between the marker
+//     and its checkpoint) replays the seal: the rebuilt epoch freezes
+//     into history, the ledger is charged exactly once, and the seal's
+//     checkpoint is re-written — re-durabilizing the rotation the
+//     crash interrupted.
+//   - Privacy budget is never re-spent: the ledger restores to the
+//     recorded charged count, and an exhausted ledger recovers
+//     exhausted — the service keeps refusing ingestion.
+//
+// What recovery deliberately does NOT preserve: reports that were in
+// flight (client buffers, the intake queue, an unflushed WAL buffer)
+// are gone, exactly as the fsync policy allows — clients resume from
+// Snapshot().Received, the count of durably accepted reports. And
+// Snapshot().Batches counts only pre-crash forwarded batches; replayed
+// reports fold directly into the epoch root without re-batching.
+
+import (
+	"errors"
+	"fmt"
+
+	"shuffledp/internal/budget"
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/store"
+)
+
+// Recover rebuilds the durable service persisted under cfg.DataDir
+// and starts it. cfg must carry the same oracle parameters, key, and
+// ledger parameters the original service ran with — the oracle and
+// domain are validated against the checkpoint, the rest is the
+// caller's contract (a fresh budget.Ledger is restored to the
+// recorded charged count via Ledger.Restore). The returned service is
+// running and ready to Serve/Ingest the rest of the stream.
+func Recover(cfg Config) (*Service, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("service: Recover needs Config.DataDir")
+	}
+	s, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, rec, err := store.Open(s.cfg.DataDir, s.storeMeta(), s.cfg.Sync)
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	if err := s.restore(rec); err != nil {
+		st.Close()
+		return nil, err
+	}
+	s.start()
+	// A recovered open epoch may already be past the auto-rotation
+	// threshold (the crash hit after the hint was generated but before
+	// the rotator acted on it); re-arm the hint, since the equality
+	// trigger in the shuffler will not fire again.
+	if s.cfg.EpochReports > 0 && s.cur.Load().accepted.Load() >= int64(s.cfg.EpochReports) {
+		select {
+		case s.rotateHint <- struct{}{}:
+		default:
+		}
+	}
+	return s, nil
+}
+
+// restore applies the checkpoint and replays the WAL tail. It runs
+// before any pipeline goroutine exists, so it mutates state freely.
+func (s *Service) restore(rec *store.Recovered) error {
+	openEpoch := 0
+	exhausted := false
+	if cp := rec.Checkpoint; cp != nil {
+		openEpoch = cp.OpenEpoch
+		exhausted = cp.Exhausted
+		s.wal = walCounters{received: cp.Received, late: cp.Late, rejected: cp.Rejected, batches: cp.Batches}
+		if s.cfg.Ledger != nil {
+			if err := s.cfg.Ledger.Restore(cp.LedgerCharged); err != nil {
+				return fmt.Errorf("service: restoring ledger: %w", err)
+			}
+		}
+		if len(cp.AllTime) > 0 {
+			allTime, err := ldp.UnmarshalAggregator(s.cfg.FO, cp.AllTime)
+			if err != nil {
+				return fmt.Errorf("service: restoring all-time aggregate: %w", err)
+			}
+			s.allTime = allTime
+		}
+		for _, h := range cp.History {
+			root, err := ldp.UnmarshalAggregator(s.cfg.FO, h.Root)
+			if err != nil {
+				return fmt.Errorf("service: restoring epoch %d root: %w", h.Epoch, err)
+			}
+			s.history = append(s.history, epochRecord{
+				snap: EpochSnapshot{
+					Epoch:     h.Epoch,
+					Estimates: root.Estimates(),
+					Reports:   h.Reports,
+					Batches:   h.Batches,
+					Guarantee: h.Guarantee,
+				},
+				agg: root,
+			})
+		}
+	} else if s.cfg.Ledger != nil {
+		// No checkpoint was ever written, but New charged epoch 0
+		// before the crash.
+		if err := s.cfg.Ledger.Restore(1); err != nil {
+			return fmt.Errorf("service: restoring ledger: %w", err)
+		}
+	}
+	if cp := rec.Checkpoint; cp != nil && !exhausted && !cp.OpenCharged && s.cfg.Ledger != nil {
+		// A drain seal wrote this checkpoint: the epoch it left open
+		// was never charged, because in the original process it never
+		// opened. Recovering opens it, so it is charged now — exactly
+		// as New charges epoch 0 — and never re-charged on a later
+		// recovery (the ledger restarts from cp.LedgerCharged each
+		// time). If the budget is already spent, the service recovers
+		// exhausted: queryable, refusing ingestion.
+		if err := s.cfg.Ledger.Charge(); err != nil {
+			if !errors.Is(err, budget.ErrExhausted) {
+				return fmt.Errorf("service: charging recovered epoch %d: %w", cp.OpenEpoch, err)
+			}
+			exhausted = true
+		}
+	}
+
+	cur := newEpochState(openEpoch, s.cfg.FO, s.cfg.Workers)
+	if exhausted {
+		// The stored pointer is only the sealed final epoch kept for
+		// queries; recover its frozen state from the history so
+		// Snapshot answers match the pre-crash service.
+		cur = s.sealedFinalEpoch(openEpoch - 1)
+	}
+	for _, r := range rec.Tail {
+		switch r.Type {
+		case store.RecordReport:
+			if exhausted || r.Epoch != uint32(cur.id) {
+				return fmt.Errorf("service: WAL report for epoch %d while epoch %d is open", r.Epoch, cur.id)
+			}
+			pt, err := ecies.Decrypt(s.cfg.Key, r.Payload)
+			if err != nil {
+				return fmt.Errorf("service: decrypting WAL report: %w", err)
+			}
+			rep, err := s.codec.Unmarshal(pt)
+			if err != nil {
+				return fmt.Errorf("service: decoding WAL report: %w", err)
+			}
+			cur.root.Add(rep)
+			cur.accepted.Add(1)
+			s.wal.received++
+		case store.RecordDrop:
+			if r.Reason == store.DropLate {
+				s.wal.late++
+			} else {
+				s.wal.rejected++
+			}
+		case store.RecordRotate:
+			if int64(cur.id) != int64(r.Epoch) {
+				return fmt.Errorf("service: WAL rotate marker seals epoch %d while epoch %d is open", r.Epoch, cur.id)
+			}
+			// Replay the interrupted rotation: charge, seal (which
+			// re-writes the checkpoint the crash lost), and open the
+			// next epoch — or latch exhaustion, exactly as the live
+			// Rotate would have.
+			var chargeErr error
+			if s.cfg.Ledger != nil {
+				chargeErr = s.cfg.Ledger.Charge()
+				if chargeErr != nil && !errors.Is(chargeErr, budget.ErrExhausted) {
+					return fmt.Errorf("service: recharging epoch %d: %w", r.Epoch+1, chargeErr)
+				}
+			}
+			if r.Next >= 0 && chargeErr != nil {
+				return fmt.Errorf("service: WAL opened epoch %d but the restored ledger refuses it: %w", r.Next, chargeErr)
+			}
+			if r.Next < 0 {
+				if s.cfg.Ledger != nil && chargeErr == nil {
+					return fmt.Errorf("service: WAL records budget exhaustion at epoch %d but the restored ledger still admits epochs", r.Epoch)
+				}
+				exhausted = true
+				s.exhausted.Store(true)
+			}
+			cur.bnd = s.wal
+			s.seal(cur, r.Next >= 0)
+			if r.Next >= 0 {
+				cur = newEpochState(int(r.Next), s.cfg.FO, s.cfg.Workers)
+			}
+		}
+	}
+	if exhausted {
+		s.exhausted.Store(true)
+	}
+	s.cur.Store(cur)
+	s.received.Store(s.wal.received)
+	s.late.Store(s.wal.late)
+	s.rejected.Store(s.wal.rejected)
+	s.shuffled.Store(s.wal.batches)
+	return nil
+}
+
+// sealedFinalEpoch rebuilds the frozen shell of the last sealed epoch
+// for a service recovered in the exhausted state, so queries against
+// the current epoch keep answering with its frozen estimate.
+func (s *Service) sealedFinalEpoch(id int) *epochState {
+	e := newEpochState(id, s.cfg.FO, s.cfg.Workers)
+	e.sealed = true
+	e.frozen = true
+	e.frozenEst = make([]float64, s.cfg.FO.Domain())
+	if n := len(s.history); n > 0 && s.history[n-1].snap.Epoch == id {
+		last := s.history[n-1]
+		e.root = last.agg
+		e.frozenEst = last.snap.Estimates
+		e.frozenN = last.snap.Reports
+		e.batches.Store(last.snap.Batches)
+	}
+	return e
+}

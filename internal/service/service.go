@@ -58,6 +58,8 @@ import (
 	"shuffledp/internal/budget"
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/store"
 	"shuffledp/internal/transport"
 )
 
@@ -73,6 +75,13 @@ const (
 // zero: large enough that a batch is a meaningful anonymity set, small
 // enough that snapshots stay fresh under light traffic.
 const DefaultBatchSize = 512
+
+// rejectedLogCap bounds how many post-exhaustion rejected drops are
+// write-ahead logged (~14 bytes each, so about 2 MiB of WAL at the
+// cap). An exhausted service never checkpoints again, so these
+// records are never pruned; beyond the cap drops are still counted
+// in-memory but no longer durable.
+const rejectedLogCap = 1 << 17
 
 // Config parameterizes a Service.
 type Config struct {
@@ -111,6 +120,18 @@ type Config struct {
 	// History/EstimateWindow; older epochs are dropped (their reports
 	// remain in the all-time drain estimate). 0 retains every epoch.
 	WindowRetain int
+
+	// DataDir, when non-empty, makes the service durable: accepted
+	// report frames are write-ahead logged before any worker
+	// aggregates them, and every epoch seal writes a checkpoint, so a
+	// crashed service restarts with Recover to a state bit-identical
+	// to an uninterrupted run (DESIGN.md §8). New requires the
+	// directory to hold no prior state — recovering over it is
+	// Recover's job, never an accident.
+	DataDir string
+	// Sync is the WAL fsync policy (store.SyncBatch when zero).
+	// Rotation markers and checkpoints are always fsynced.
+	Sync store.SyncPolicy
 }
 
 // Snapshot is the service's state at one instant.
@@ -201,6 +222,12 @@ type Service struct {
 	allMu   sync.Mutex
 	allTime ldp.Aggregator
 
+	// st is the durability layer, nil for an in-memory service. wal is
+	// the shuffler-owned durable-counter mirror (Recover seeds it
+	// before the shuffler starts).
+	st  *store.Store
+	wal walCounters
+
 	received atomic.Int64
 	shuffled atomic.Int64
 	late     atomic.Int64
@@ -211,10 +238,40 @@ type Service struct {
 	drainErr  error
 }
 
-// New validates cfg, charges the ledger for epoch 0, starts the
-// shuffler and worker stages, and returns the running (but not yet
-// listening) service.
+// New validates cfg, charges the ledger for epoch 0, opens the data
+// directory when the service is durable, starts the shuffler and
+// worker stages, and returns the running (but not yet listening)
+// service.
 func New(cfg Config) (*Service, error) {
+	s, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Ledger != nil {
+		if err := s.cfg.Ledger.Charge(); err != nil {
+			return nil, fmt.Errorf("service: charging epoch 0: %w", err)
+		}
+	}
+	if s.cfg.DataDir != "" {
+		st, err := store.Create(s.cfg.DataDir, s.storeMeta(), s.cfg.Sync)
+		if err != nil {
+			if errors.Is(err, store.ErrExists) {
+				return nil, fmt.Errorf("service: %w (restart it with Recover instead of New)", err)
+			}
+			return nil, err
+		}
+		s.st = st
+	}
+	s.cur.Store(newEpochState(0, s.cfg.FO, s.cfg.Workers))
+	s.start()
+	return s, nil
+}
+
+// prepare validates and normalizes cfg and builds the service shell:
+// channels and the all-time aggregate, but no epoch, no ledger charge,
+// no store, and no goroutines. New and Recover share it and differ
+// only in how they produce the initial state.
+func prepare(cfg Config) (*Service, error) {
 	if cfg.FO == nil {
 		return nil, errors.New("service: config needs a frequency oracle")
 	}
@@ -232,13 +289,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
-	if cfg.Ledger != nil {
-		if err := cfg.Ledger.Charge(); err != nil {
-			return nil, fmt.Errorf("service: charging epoch 0: %w", err)
-		}
-	}
-
-	s := &Service{
+	return &Service{
 		cfg:   cfg,
 		codec: codec,
 		// One batch of intake slack keeps readers and the shuffler
@@ -252,20 +303,27 @@ func New(cfg Config) (*Service, error) {
 		shufflerDone: make(chan struct{}),
 		drainStart:   make(chan struct{}),
 		allTime:      cfg.FO.NewAggregator(),
-	}
-	s.cur.Store(newEpochState(0, cfg.FO, cfg.Workers))
+	}, nil
+}
 
+// storeMeta is the configuration fingerprint stamped into checkpoints.
+func (s *Service) storeMeta() store.Meta {
+	return store.Meta{Oracle: s.cfg.FO.Name(), Domain: s.cfg.FO.Domain()}
+}
+
+// start launches the pipeline goroutines over the already-installed
+// current epoch.
+func (s *Service) start() {
 	s.shufflerWG.Add(1)
 	go s.runShuffler()
-	for i := 0; i < cfg.Workers; i++ {
+	for i := 0; i < s.cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.runWorker(i)
 	}
-	if cfg.EpochReports > 0 {
+	if s.cfg.EpochReports > 0 {
 		s.rotatorWG.Add(1)
 		go s.runRotator()
 	}
-	return s, nil
 }
 
 // Serve accepts connections from ln and ingests each until ln is
@@ -349,12 +407,10 @@ func (s *Service) readConn(conn net.Conn) {
 			return
 		}
 		s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
-		if s.exhausted.Load() {
-			// The budget ran out under an open connection: count the
-			// report, never aggregate it.
-			s.rejected.Add(1)
-			continue
-		}
+		// Post-exhaustion frames flow to the shuffler too: it is the
+		// single goroutine that counts AND write-ahead logs rejected
+		// drops, so the Rejected counter survives a crash like the
+		// others.
 		select {
 		case s.intake <- taggedReport{epoch: epoch, ct: frame}:
 			s.received.Add(1)
@@ -375,12 +431,33 @@ func (s *Service) runShuffler() {
 	defer close(s.shufflerDone)
 	defer close(s.batches)
 	cur := s.cur.Load()
-	r := s.shufflerEpochRNG(cur.id)
+	// rejectEpoch is the id the next epoch would have had — the tag
+	// rejected-drop records carry so replay filters them correctly
+	// (they always sort at or past the latest checkpoint's open epoch).
+	rejectEpoch := uint32(cur.id + 1)
+	if s.exhausted.Load() {
+		// A service recovered into the exhausted state has no open
+		// epoch: the stored pointer is the sealed final epoch kept for
+		// queries, and nothing may aggregate into it.
+		cur = nil
+	}
+	var r *rng.Rand
+	if cur != nil {
+		r = s.shufflerEpochRNG(cur.id)
+	}
 	buf := make([][]byte, 0, s.cfg.BatchSize)
 	flush := func() {
 		if len(buf) == 0 || cur == nil {
 			buf = buf[:0]
 			return
+		}
+		// The WAL hits the platters (policy permitting) before the
+		// batch reaches any worker: a report can only influence an
+		// estimate once it is on its way to disk.
+		if s.st != nil {
+			if err := s.st.Commit(); err != nil {
+				s.fail(fmt.Errorf("service: committing WAL batch: %w", err))
+			}
 		}
 		r.Shuffle(len(buf), func(i, j int) {
 			buf[i], buf[j] = buf[j], buf[i]
@@ -397,6 +474,7 @@ func (s *Service) runShuffler() {
 		case s.batches <- epochBatch{ep: cur, cts: batch}:
 			s.shuffled.Add(1)
 			cur.batches.Add(1)
+			s.wal.batches++
 			s.cfg.Meter.Send(PartyShuffler, PartyServer, n)
 		case <-s.stop:
 			cur.pending.Done()
@@ -407,14 +485,47 @@ func (s *Service) runShuffler() {
 		// drop counters, so Received / Late / Rejected stay disjoint
 		// and the Snapshot backlog arithmetic holds.
 		if cur == nil {
+			// The budget ran out: count the report, log the drop (the
+			// service has stopped checkpointing, so the WAL is the only
+			// thing that carries Rejected across a restart), never
+			// aggregate it. Logging stops at rejectedLogCap: an
+			// exhausted service writes no more checkpoints, so nothing
+			// would ever prune these records, and a client flooding a
+			// still-open connection must not grow the WAL (or the next
+			// recovery's replay) without bound. Past the cap the
+			// recovered Rejected count is a lower bound.
 			s.rejected.Add(1)
 			s.received.Add(-1)
+			if s.st != nil && s.wal.rejected < rejectedLogCap {
+				if err := s.st.AppendDrop(rejectEpoch, store.DropRejected); err != nil {
+					s.fail(err)
+				}
+				// No batch flush will ever run again (nothing
+				// aggregates), so commit the drop record now — the
+				// exhausted service has no other work to slow down.
+				if err := s.st.Commit(); err != nil {
+					s.fail(err)
+				}
+				s.wal.rejected++
+			}
 			return
 		}
 		if tr.epoch != EpochCurrent && tr.epoch != uint32(cur.id) {
 			s.late.Add(1)
 			s.received.Add(-1)
+			if s.st != nil {
+				if err := s.st.AppendDrop(uint32(cur.id), store.DropLate); err != nil {
+					s.fail(err)
+				}
+				s.wal.late++
+			}
 			return
+		}
+		if s.st != nil {
+			if err := s.st.AppendReport(uint32(cur.id), tr.ct); err != nil {
+				s.fail(err)
+			}
+			s.wal.received++
 		}
 		buf = append(buf, tr.ct)
 		accepted := cur.accepted.Add(1)
@@ -456,10 +567,26 @@ func (s *Service) runShuffler() {
 			}
 			flush()
 			old := cur
+			if s.st != nil && old != nil {
+				// The marker and everything before it go durable now:
+				// no record of the next epoch can reach disk ahead of
+				// the boundary that separates the epochs, and the
+				// sealing checkpoint gets a counter snapshot taken
+				// exactly at the cut.
+				next := int64(-1)
+				if req.next != nil {
+					next = int64(req.next.id)
+				}
+				if err := s.st.Rotate(uint32(old.id), next); err != nil {
+					s.fail(fmt.Errorf("service: WAL rotate marker: %w", err))
+				}
+				old.bnd = s.wal
+			}
 			cur = req.next
 			if cur != nil {
 				s.cur.Store(cur)
 				r = s.shufflerEpochRNG(cur.id)
+				rejectEpoch = uint32(cur.id + 1)
 			}
 			// A hint generated by the epoch that just closed is stale;
 			// dropping it here (the rotator re-checks anyway) keeps the
@@ -552,7 +679,19 @@ func (s *Service) Drain() (Snapshot, error) {
 		// exhausting Rotate already did).
 		s.rotateMu.Lock()
 		e := s.cur.Load()
-		s.seal(e)
+		if s.st != nil {
+			// The shuffler has exited, so its counter mirror is final:
+			// the drain seal's checkpoint covers the whole stream. The
+			// epoch the checkpoint leaves "open" only ever opens if the
+			// directory is recovered — and is charged then, not now.
+			e.bnd = s.wal
+		}
+		s.seal(e, false)
+		if s.st != nil {
+			if err := s.st.Close(); err != nil {
+				s.fail(fmt.Errorf("service: closing WAL: %w", err))
+			}
+		}
 		s.rotateMu.Unlock()
 		s.allMu.Lock()
 		s.drainSnap = Snapshot{
@@ -572,9 +711,26 @@ func (s *Service) Drain() (Snapshot, error) {
 
 // Close aborts the pipeline: listeners and active connections close,
 // readers, shuffler, and workers exit at the next opportunity,
-// in-flight reports may be dropped. Safe to call after Drain (it is
-// then a no-op).
+// in-flight reports may be dropped. A durable service flushes and
+// closes its WAL (after the shuffler exits), so Close is an orderly
+// stop — for the simulated power cut, use Crash. Safe to call after
+// Drain (it is then a no-op).
 func (s *Service) Close() error {
+	s.shutdown(false)
+	return nil
+}
+
+// Crash hard-stops a durable service the way a power cut would: the
+// pipeline aborts and the WAL is closed WITHOUT flushing, so records
+// still buffered in-process are torn away and only what the fsync
+// policy already made durable survives. The recovery tests and
+// examples/durable_monitor restart the data directory with Recover
+// afterwards. On an in-memory service Crash behaves like Close.
+func (s *Service) Crash() {
+	s.shutdown(true)
+}
+
+func (s *Service) shutdown(crash bool) {
 	s.mu.Lock()
 	s.draining.Store(true)
 	s.mu.Unlock()
@@ -585,7 +741,22 @@ func (s *Service) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	return nil
+	if s.st == nil {
+		return
+	}
+	// Wait out the shuffler (it exits promptly on the stop signal) so
+	// the WAL teardown below cannot interleave with its appends, then
+	// serialize with any in-flight checkpoint through rotateMu.
+	s.shufflerWG.Wait()
+	s.rotateMu.Lock()
+	defer s.rotateMu.Unlock()
+	if crash {
+		s.st.Abort()
+		return
+	}
+	if err := s.st.Close(); err != nil {
+		s.fail(fmt.Errorf("service: closing WAL: %w", err))
+	}
 }
 
 // Err returns the first pipeline failure, if any.

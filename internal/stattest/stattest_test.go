@@ -174,4 +174,3 @@ func TestMSEPanicsOnLengthMismatch(t *testing.T) {
 	}()
 	MSE(make([]float64, 3), make([]float64, 4))
 }
-

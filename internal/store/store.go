@@ -1,0 +1,297 @@
+// Package store is the durability layer of the continual-observation
+// service (internal/service): a write-ahead log for accepted report
+// frames plus checkpoint snapshots taken at every epoch rotation, so a
+// restarted analyzer recovers to a state bit-identical to an
+// uninterrupted run — the prerequisite for re-starting without
+// re-spending privacy budget.
+//
+// On-disk layout under one data directory:
+//
+//	wal-00000001.log    WAL segments: CRC32C-framed records
+//	ckpt-00000001.snap  checkpoint snapshots, highest index wins
+//
+// Each WAL record is a transport.WriteCheckedFrame (length prefix +
+// payload + CRC32C trailer) whose payload starts with a record-type
+// byte: an accepted report ciphertext tagged with the epoch it was
+// routed to, a counted drop (late or rejected), or a rotation marker
+// sealing one epoch and naming the next. The service appends report
+// records before any worker aggregates them, so every report that can
+// influence an estimate is on its way to disk first.
+//
+// A checkpoint is written at every epoch seal and captures the whole
+// durable state: sealed-epoch history roots (ldp aggregator blobs),
+// the all-time aggregate, the budget ledger's charged-epoch count, and
+// the service counters at the rotation boundary. Segments are cut at
+// rotation markers, so once a checkpoint with open epoch E is durable
+// every segment holding only records of epochs before E is deleted —
+// the WAL never grows past roughly one epoch of traffic.
+//
+// Recovery (Open on a non-empty directory) loads the newest valid
+// checkpoint and replays the WAL tail: records for epochs the
+// checkpoint already covers are skipped, a torn final record (a crash
+// mid-write) truncates the tail cleanly, and state written by a newer
+// format version is refused with ErrFutureVersion rather than loaded
+// partially. See DESIGN.md §8 for the recovery invariants.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"shuffledp/internal/composition"
+)
+
+// SyncPolicy selects when the WAL is fsynced. Checkpoints and rotation
+// markers are always fsynced regardless of policy — only per-record
+// durability is negotiable.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs at Commit, which the service
+	// calls at every shuffle-batch boundary: a crash loses at most the
+	// partial batch since the last flush.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every appended record: no acknowledged
+	// report is ever lost, at a large per-report cost.
+	SyncAlways
+	// SyncNone flushes records to the OS at Commit but never fsyncs
+	// between checkpoints: a process crash loses nothing, a power cut
+	// may lose everything since the last rotation.
+	SyncNone
+)
+
+// String implements flag.Value-style printing ("batch", "always",
+// "none").
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, batch, or none)", s)
+}
+
+// formatVersion is the on-disk format version stamped into every WAL
+// segment header and checkpoint. Readers refuse newer versions with
+// ErrFutureVersion.
+const formatVersion = 1
+
+// ErrFutureVersion is returned when a segment or checkpoint was
+// written by a newer format version than this build reads. The state
+// is intact — run it through the newer build — but nothing is loaded.
+var ErrFutureVersion = errors.New("store: state written by a newer format version")
+
+// ErrExists is returned by Create when the directory already holds
+// durable state; a fresh service must not silently overwrite it (use
+// Open / service.Recover).
+var ErrExists = errors.New("store: directory already holds durable state")
+
+// ErrNoState is returned by Open when the directory holds no durable
+// state to recover.
+var ErrNoState = errors.New("store: directory holds no durable state")
+
+// Meta identifies the service configuration a data directory belongs
+// to. It is stamped into every checkpoint and validated on recovery so
+// state cannot be replayed under a different oracle.
+type Meta struct {
+	// Oracle is the frequency oracle's Name().
+	Oracle string
+	// Domain is the oracle's value-domain size d.
+	Domain int
+}
+
+// Record types. Append-only: a released type keeps its byte forever.
+const (
+	// RecordReport is one accepted report: the epoch it was routed to
+	// plus its ciphertext frame (reports are logged encrypted — the
+	// WAL never holds plaintext reports).
+	RecordReport byte = 1
+	// RecordDrop is one dropped report, counted but never aggregated.
+	RecordDrop byte = 2
+	// RecordRotate seals one epoch and names the next (or none, when
+	// the budget ledger refused it).
+	RecordRotate byte = 3
+)
+
+// Drop reasons carried by RecordDrop.
+const (
+	// DropLate marks a report asserting an epoch that is not open.
+	DropLate byte = 0
+	// DropRejected marks a report refused after budget exhaustion.
+	DropRejected byte = 1
+)
+
+// Record is one WAL entry.
+type Record struct {
+	// Type is one of RecordReport, RecordDrop, RecordRotate.
+	Type byte
+	// Epoch is the epoch a report or drop was accounted to, or the
+	// epoch a rotation sealed.
+	Epoch uint32
+	// Next is the epoch a rotation opened, -1 when the ledger refused
+	// to open one (budget exhausted). Meaningful only for RecordRotate.
+	Next int64
+	// Reason is the drop reason (DropLate, DropRejected). Meaningful
+	// only for RecordDrop.
+	Reason byte
+	// Payload is the report's ciphertext frame. Meaningful only for
+	// RecordReport.
+	Payload []byte
+}
+
+// EpochCheckpoint is one sealed epoch inside a Checkpoint: the frozen
+// snapshot fields plus the marshaled root aggregator the window
+// queries clone-merge from.
+type EpochCheckpoint struct {
+	// Epoch is the sealed epoch's id.
+	Epoch int
+	// Reports is how many reports the epoch aggregated.
+	Reports int
+	// Batches is how many shuffled batches the epoch received.
+	Batches int64
+	// Guarantee is the per-epoch privacy guarantee charged for it.
+	Guarantee composition.Guarantee
+	// Root is the epoch root aggregator's MarshalBinary blob.
+	Root []byte
+}
+
+// Checkpoint is the durable state snapshot written at every epoch
+// seal. Restoring it plus replaying the WAL tail reproduces the
+// service bit-identically.
+type Checkpoint struct {
+	// Meta echoes the service configuration for validation on load.
+	Meta Meta
+	// OpenEpoch is the id of the epoch open after the seal this
+	// checkpoint recorded (when Exhausted, the id the next epoch would
+	// have had).
+	OpenEpoch int
+	// Exhausted records that the budget ledger refused to open another
+	// epoch: a recovered service must keep refusing ingestion.
+	Exhausted bool
+	// OpenCharged records whether the ledger already holds a charge
+	// for OpenEpoch. True for checkpoints written by a rotation (the
+	// charge precedes the marker); false for a drain seal, whose
+	// "next" epoch only ever opens — and must then be charged — if
+	// the directory is recovered.
+	OpenCharged bool
+	// LedgerCharged is how many epochs the budget ledger had charged
+	// (0 when the service runs without a ledger).
+	LedgerCharged int
+	// Received, Late, Rejected, and Batches are the durable service
+	// counters at the rotation boundary.
+	Received, Late, Rejected, Batches int64
+	// AllTime is the all-time aggregate's MarshalBinary blob.
+	AllTime []byte
+	// History is the retained sealed-epoch records, oldest first.
+	History []EpochCheckpoint
+}
+
+// Recovered is what Open found on disk: the newest checkpoint (nil if
+// none was ever written) and the WAL tail past it, already filtered to
+// the records the checkpoint does not cover.
+type Recovered struct {
+	// Checkpoint is the newest valid checkpoint, nil if none exists.
+	Checkpoint *Checkpoint
+	// Tail holds the WAL records not covered by Checkpoint, in append
+	// order.
+	Tail []Record
+	// TornTail reports that the final WAL record was torn (a crash
+	// mid-write) and the tail was truncated at the last whole record.
+	TornTail bool
+}
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	ckptPrefix     = "ckpt-"
+	ckptSuffix     = ".snap"
+	segmentMagic   = "SDPW"
+	ckptMagic      = "SDPC"
+	maxNameLen     = 256
+	maxHistoryLen  = 1 << 20
+	maxBlobLen     = 1 << 30
+	segHeaderExtra = 8 // epoch open at segment creation
+)
+
+// --- record encoding ---
+
+func encodeRecord(rec Record) []byte {
+	switch rec.Type {
+	case RecordReport:
+		buf := make([]byte, 0, 5+len(rec.Payload))
+		buf = append(buf, RecordReport)
+		buf = binary.LittleEndian.AppendUint32(buf, rec.Epoch)
+		return append(buf, rec.Payload...)
+	case RecordDrop:
+		buf := make([]byte, 0, 6)
+		buf = append(buf, RecordDrop)
+		buf = binary.LittleEndian.AppendUint32(buf, rec.Epoch)
+		return append(buf, rec.Reason)
+	case RecordRotate:
+		buf := make([]byte, 0, 13)
+		buf = append(buf, RecordRotate)
+		buf = binary.LittleEndian.AppendUint32(buf, rec.Epoch)
+		return binary.LittleEndian.AppendUint64(buf, uint64(rec.Next))
+	}
+	panic(fmt.Sprintf("store: encoding unknown record type %d", rec.Type))
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, errors.New("store: empty WAL record")
+	}
+	switch payload[0] {
+	case RecordReport:
+		if len(payload) < 5 {
+			return Record{}, errors.New("store: truncated report record")
+		}
+		return Record{
+			Type:    RecordReport,
+			Epoch:   binary.LittleEndian.Uint32(payload[1:]),
+			Payload: append([]byte(nil), payload[5:]...),
+		}, nil
+	case RecordDrop:
+		if len(payload) != 6 {
+			return Record{}, errors.New("store: malformed drop record")
+		}
+		if r := payload[5]; r != DropLate && r != DropRejected {
+			return Record{}, fmt.Errorf("store: unknown drop reason %d", r)
+		}
+		return Record{
+			Type:   RecordDrop,
+			Epoch:  binary.LittleEndian.Uint32(payload[1:]),
+			Reason: payload[5],
+		}, nil
+	case RecordRotate:
+		if len(payload) != 13 {
+			return Record{}, errors.New("store: malformed rotate record")
+		}
+		next := int64(binary.LittleEndian.Uint64(payload[5:]))
+		if next < -1 || next > math.MaxUint32 {
+			return Record{}, fmt.Errorf("store: rotate record next epoch %d out of range", next)
+		}
+		return Record{
+			Type:  RecordRotate,
+			Epoch: binary.LittleEndian.Uint32(payload[1:]),
+			Next:  next,
+		}, nil
+	}
+	return Record{}, fmt.Errorf("store: unknown WAL record type %d", payload[0])
+}

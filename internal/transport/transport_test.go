@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -264,5 +266,54 @@ func TestEncodeDecodeUint64s(t *testing.T) {
 	}
 	if _, err := DecodeUint64s([]byte{1, 2, 3}); err == nil {
 		t.Fatal("ragged payload should error")
+	}
+}
+
+// Checked frames (the WAL record framing) round-trip, detect
+// corruption as ErrChecksum, and report a torn tail as
+// io.ErrUnexpectedEOF — the distinction internal/store's recovery
+// leans on.
+func TestCheckedFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7}, 1000)} {
+		var buf bytes.Buffer
+		if err := WriteCheckedFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCheckedFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed %d-byte payload", len(payload))
+		}
+	}
+}
+
+func TestCheckedFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckedFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[6] ^= 0x01 // flip a payload bit
+	if _, err := ReadCheckedFrame(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestCheckedFrameTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckedFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, err := ReadCheckedFrame(bytes.NewReader(whole[:len(whole)-cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if _, err := ReadCheckedFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
 	}
 }

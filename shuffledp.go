@@ -51,6 +51,8 @@ const (
 	SOLH
 )
 
+// String returns the mechanism's short name as used in the paper's
+// figures.
 func (k MechanismKind) String() string {
 	switch k {
 	case Auto:
