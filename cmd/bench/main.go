@@ -5,8 +5,11 @@
 //     seed revision's sequential baseline -> BENCH_aggregate.json
 //   - the service suite times the streaming ingestion tier end to end
 //     at several client counts -> BENCH_service.json
+//   - the peos suite times the cryptographic path (Algorithm 1) both
+//     in process and as the role-separated TCP cluster
+//     -> BENCH_peos.json
 //
-// Select with -suite aggregate|service|all (default all).
+// Select with -suite aggregate|service|peos|all (default all).
 //
 // In the aggregate suite, three variants run over the same
 // pre-randomized reports:
@@ -82,19 +85,37 @@ func main() {
 	serviceBatch := flag.Int("service-batch", 512, "service-suite shuffle-batch size")
 	serviceD := flag.Int("service-d", 64, "service-suite domain size")
 	serviceOut := flag.String("service-out", "BENCH_service.json", "service-suite output JSON path")
+	peosN := flag.Int("peos-n", 400, "peos-suite users per run")
+	peosD := flag.Int("peos-d", 16, "peos-suite domain size")
+	peosNR := flag.Int("peos-nr", 24, "peos-suite joint fake reports")
+	peosKeyBits := flag.Int("peos-keybits", 1024, "peos-suite DGK modulus bits")
+	peosRs := flag.String("peos-r", "2,3", "comma-separated shuffler counts for the peos suite")
+	peosOut := flag.String("peos-out", "BENCH_peos.json", "peos-suite output JSON path")
 	flag.Parse()
-	if *n < 1 || *serviceN < 1 {
-		log.Fatal("-n and -service-n must be >= 1")
+	if *n < 1 || *serviceN < 1 || *peosN < 1 {
+		log.Fatal("-n, -service-n, and -peos-n must be >= 1")
 	}
 	if *baselineN < 1 || *baselineN > *n {
 		*baselineN = *n
 	}
 	runAggregate := *suite == "all" || *suite == "aggregate"
 	runService := *suite == "all" || *suite == "service"
-	if !runAggregate && !runService {
-		log.Fatalf("unknown -suite %q (want aggregate, service, or all)", *suite)
+	runPeos := *suite == "all" || *suite == "peos"
+	if !runAggregate && !runService && !runPeos {
+		log.Fatalf("unknown -suite %q (want aggregate, service, peos, or all)", *suite)
 	}
 
+	if runPeos {
+		rs, err := parseInts(*peosRs)
+		if err != nil {
+			log.Fatalf("bad -peos-r: %v", err)
+		}
+		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, *peosKeyBits, rs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*peosOut, rep)
+	}
 	if runService {
 		counts, err := parseInts(*serviceClients)
 		if err != nil {

@@ -1,0 +1,180 @@
+package main
+
+// The peos suite times the cryptographic path — Algorithm 1 end to
+// end — in both deployment shapes so the crypto cost enters the perf
+// trajectory next to the aggregation and service suites:
+//
+//   - in-process: protocol.PEOS.Run (the simulator), with the paper's
+//     per-party cost accounting (transport.Meter bytes).
+//   - cluster: the role-separated tier of internal/cluster — R real
+//     shuffler nodes + analyzer node over loopback TCP, real framing,
+//     real DGK ciphertext (de)serialization on every hop.
+//
+// The delta between the two is the real price of the network layer;
+// the absolute numbers trace the DGK/EOS cost model of Table III.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/transport"
+)
+
+type peosCase struct {
+	R       int `json:"r"`
+	N       int `json:"n"`
+	NR      int `json:"nr"`
+	D       int `json:"d"`
+	KeyBits int `json:"key_bits"`
+	// In-process Algorithm 1 (protocol.PEOS.Run).
+	InProcessSeconds     float64 `json:"in_process_seconds"`
+	InProcessNsPerReport float64 `json:"in_process_ns_per_report"`
+	// Role-separated cluster over loopback TCP (internal/cluster).
+	ClusterSeconds     float64 `json:"cluster_seconds"`
+	ClusterNsPerReport float64 `json:"cluster_ns_per_report"`
+	// Per-party communication of the in-process run (Table III view).
+	UserSentBytes     int64 `json:"user_sent_bytes"`
+	ShufflerSentBytes int64 `json:"shuffler0_sent_bytes"`
+	ServerRecvBytes   int64 `json:"server_recv_bytes"`
+}
+
+type peosReport struct {
+	Benchmark   string     `json:"benchmark"`
+	GeneratedBy string     `json:"generated_by"`
+	Note        string     `json:"note"`
+	Cases       []peosCase `json:"cases"`
+}
+
+func runPEOSSuite(n, d, nr, keyBits int, rs []int) (*peosReport, error) {
+	priv, err := ahe.GenerateDGK(keyBits, 64)
+	if err != nil {
+		return nil, err
+	}
+	fo := ldp.NewGRR(d, 2)
+	src := rng.New(11)
+	values := make([]int, n)
+	for i := range values {
+		values[i] = src.Intn(d)
+	}
+	rep := &peosReport{
+		Benchmark:   "PEOS",
+		GeneratedBy: "cmd/bench",
+		Note: "in_process is protocol.PEOS.Run; cluster is internal/cluster " +
+			"(R shuffler nodes + analyzer over loopback TCP); one warm key pair, " +
+			"estimates of the two paths are bit-identical by the conformance tests",
+	}
+	for _, r := range rs {
+		c := peosCase{R: r, N: n, NR: nr, D: d, KeyBits: keyBits}
+
+		var meter *transport.Meter
+		inNs := timeIt(func() {
+			p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(21))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := p.Run(values, rng.New(22))
+			if err != nil {
+				log.Fatal(err)
+			}
+			meter = res.Meter
+			sink(res.Estimates)
+		})
+		c.InProcessSeconds = inNs / 1e9
+		c.InProcessNsPerReport = inNs / float64(n)
+		c.UserSentBytes = meter.Stats(protocol.PartyUsers).SentBytes
+		c.ShufflerSentBytes = meter.Stats(protocol.ShufflerName(0)).SentBytes
+		c.ServerRecvBytes = meter.Stats(protocol.PartyServer).RecvBytes
+
+		clNs, err := timePEOSCluster(fo, priv, values, r, nr)
+		if err != nil {
+			return nil, err
+		}
+		c.ClusterSeconds = clNs / 1e9
+		c.ClusterNsPerReport = clNs / float64(n)
+
+		fmt.Printf("peos r=%d n=%d nr=%d key=%d: in-process %.2fs (%.0f ns/report)  cluster %.2fs (%.0f ns/report)\n",
+			r, n, nr, keyBits, c.InProcessSeconds, c.InProcessNsPerReport, c.ClusterSeconds, c.ClusterNsPerReport)
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep, nil
+}
+
+// timePEOSCluster stands up a fresh loopback cluster and times one
+// full collection round (client submission through served estimate).
+func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr int) (float64, error) {
+	lns := make([]net.Listener, r)
+	topo := cluster.Topology{Shufflers: make([]string, r)}
+	for j := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		lns[j] = ln
+		topo.Shufflers[j] = ln.Addr().String()
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	topo.Analyzer = aln.Addr().String()
+	analyzer, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{
+		Topology:       topo,
+		Listener:       aln,
+		FO:             fo,
+		NR:             nr,
+		Priv:           priv,
+		CollectTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer analyzer.Close()
+	shufflers := make([]*cluster.Shuffler, r)
+	for j := 0; j < r; j++ {
+		sh, err := cluster.NewShuffler(cluster.ShufflerConfig{
+			Index:       j,
+			Topology:    topo,
+			Listener:    lns[j],
+			NR:          nr,
+			Pub:         ahe.PublicKey(priv),
+			Source:      rng.New(100 + uint64(j)),
+			SealTimeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return 0, err
+		}
+		shufflers[j] = sh
+		go sh.Run()
+	}
+	defer func() {
+		for _, sh := range shufflers {
+			sh.Close()
+		}
+	}()
+
+	start := time.Now()
+	cl, err := cluster.DialClient(topo, fo, ahe.PublicKey(priv), rng.New(31), 0)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	if err := cl.SendValues(0, values, rng.New(22)); err != nil {
+		return 0, err
+	}
+	if err := cl.Flush(); err != nil {
+		return 0, err
+	}
+	col, err := analyzer.Collect(len(values))
+	if err != nil {
+		return 0, err
+	}
+	sink(col.Estimates)
+	return float64(time.Since(start).Nanoseconds()), nil
+}

@@ -22,11 +22,19 @@
 // epoch's reports come back bit-identical — and the run resumes from
 // there instead of re-spending budget (DESIGN.md §8).
 //
+// Role subcommands grow the binary into the PEOS security tier
+// (§VI-A3): `shuffled analyzer`, `shuffled shuffler`, and
+// `shuffled client` each run one party of the role-separated cluster
+// (internal/cluster) as its own process — see cluster.go in this
+// directory for the multi-terminal walkthrough. Without a subcommand
+// the binary keeps its original single-node streaming behavior below.
+//
 // Usage:
 //
 //	shuffled [-n users] [-d domain] [-eps epsC] [-seed s] [-clients c] [-batch b]
 //	         [-epochs e] [-total-eps B] [-accountant naive|advanced] [-window k]
 //	         [-data-dir dir] [-fsync always|batch|none]
+//	shuffled analyzer|shuffler|client [role flags; -h lists them]
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -50,6 +59,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyzer":
+			runAnalyzer(os.Args[2:])
+			return
+		case "shuffler":
+			runShuffler(os.Args[2:])
+			return
+		case "client":
+			runClient(os.Args[2:])
+			return
+		}
+	}
 	n := flag.Int("n", 20000, "number of users")
 	d := flag.Int("d", 64, "domain size")
 	epsC := flag.Float64("eps", 1, "per-epoch central privacy budget")

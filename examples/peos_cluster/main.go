@@ -1,0 +1,316 @@
+// PEOS cluster: the paper's hardened protocol (§VI, Algorithm 1) run
+// the way it would be deployed — one process-equivalent node per
+// party, chained over real TCP listeners on loopback. R shuffler nodes
+// accept secret-share columns from the clients, inject their joint
+// fake-report shares, run the encrypted oblivious shuffle among
+// themselves (hide-and-seek rounds as real peer messages), and forward
+// the post-shuffle vectors to the analyzer node, which decrypts with
+// the DGK private key and serves estimates. Nobody but the analyzer
+// ever holds the private key; nobody but a single shuffler ever holds
+// a share column.
+//
+// The demo asserts the security refactor changed nothing about the
+// math: every collection's estimate must be BIT-IDENTICAL to the
+// in-process reference protocol.PEOS.Run for the same seeds, and the
+// cumulative estimate must equal the protocol estimator over all
+// rounds' reports. Any drift exits non-zero.
+//
+// With -kill, the demo instead rehearses the failure drill the CI
+// smoke job runs: one shuffler is hard-killed mid-stream, the round
+// must fail with a clean protocol error (no hang, no partial
+// estimate), and a rerun on a fresh cluster must complete and match
+// the reference.
+//
+//	go run ./examples/peos_cluster [-n 400] [-d 16] [-shufflers 2] [-fakes 24]
+//	                               [-collections 2] [-keybits 512] [-seed 1] [-kill]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+)
+
+var (
+	nFlag       = flag.Int("n", 400, "users per collection round")
+	dFlag       = flag.Int("d", 16, "value domain size")
+	rFlag       = flag.Int("shufflers", 2, "shuffler nodes (R >= 2)")
+	nrFlag      = flag.Int("fakes", 24, "joint fake reports per round")
+	colFlag     = flag.Int("collections", 2, "collection rounds")
+	keyBits     = flag.Int("keybits", 512, "DGK modulus bits (paper deploys 3072)")
+	seedFlag    = flag.Uint64("seed", 1, "base seed for all deterministic streams")
+	killFlag    = flag.Bool("kill", false, "kill shuffler 0 mid-stream, expect a clean error, rerun to completion")
+	timeoutFlag = flag.Duration("timeout", 60*time.Second, "per-phase safety timeout")
+)
+
+// nodes is one running cluster: listeners bound first so the topology
+// carries real ports, then one goroutine per role.
+type nodes struct {
+	topo      cluster.Topology
+	analyzer  *cluster.Analyzer
+	shufflers []*cluster.Shuffler
+	runErr    []chan error
+}
+
+// startNodes boots an analyzer and R shufflers on loopback. Collection
+// c of shuffler j draws its fake shares from substream c*R+j of seed,
+// the convention the in-process reference mirrors.
+func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int) (*nodes, error) {
+	r := *rFlag
+	lns := make([]net.Listener, r)
+	topo := cluster.Topology{Shufflers: make([]string, r)}
+	for j := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[j] = ln
+		topo.Shufflers[j] = ln.Addr().String()
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	topo.Analyzer = aln.Addr().String()
+
+	analyzer, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{
+		Topology:       topo,
+		Listener:       aln,
+		FO:             fo,
+		NR:             *nrFlag,
+		Priv:           priv,
+		CollectTimeout: *timeoutFlag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns := &nodes{topo: topo, analyzer: analyzer}
+	for j := 0; j < r; j++ {
+		sh, err := cluster.NewShuffler(cluster.ShufflerConfig{
+			Index:       j,
+			Topology:    topo,
+			Listener:    lns[j],
+			NR:          *nrFlag,
+			Pub:         ahe.PublicKey(priv),
+			Source:      rng.Substream(*seedFlag, 5000+uint64(j)),
+			FakeSource:  fakeSource(collection, j),
+			SealTimeout: *timeoutFlag,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ns.shufflers = append(ns.shufflers, sh)
+		errc := make(chan error, 1)
+		ns.runErr = append(ns.runErr, errc)
+		go func() { errc <- sh.Run() }()
+	}
+	return ns, nil
+}
+
+func (ns *nodes) stop() {
+	ns.analyzer.Close()
+	for _, sh := range ns.shufflers {
+		sh.Close()
+	}
+	for _, errc := range ns.runErr {
+		select {
+		case <-errc:
+		case <-time.After(*timeoutFlag):
+			log.Fatal("FAIL: a shuffler node did not shut down")
+		}
+	}
+}
+
+// fakeSource is the per-(collection, shuffler) fake-share stream.
+func fakeSource(collection, j int) *rng.Rand {
+	return rng.Substream(*seedFlag, uint64(collection*(*rFlag)+j))
+}
+
+// refRun is the in-process Algorithm 1 with fakes drawn from the
+// given per-shuffler sources — aligned by the caller with the state of
+// the cluster nodes' own fake streams.
+func refRun(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, values []int, fs func(j int) secretshare.Source, collection int) (*protocol.Result, error) {
+	p, err := protocol.NewPEOS(fo, *rFlag, *nrFlag, priv, rng.Substream(*seedFlag, 9000))
+	if err != nil {
+		return nil, err
+	}
+	p.FakeSource = fs
+	return p.Run(values, rng.Substream(*seedFlag, 8000+uint64(collection)))
+}
+
+func synthValues(collection int) []int {
+	src := rng.Substream(*seedFlag, 7000+uint64(collection))
+	values := make([]int, *nFlag)
+	for i := range values {
+		values[i] = src.Intn(*dFlag)
+	}
+	return values
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	flag.Parse()
+	if *rFlag < 2 {
+		log.Fatal("PEOS needs at least 2 shufflers")
+	}
+	fo := ldp.NewGRR(*dFlag, 2)
+	fmt.Printf("generating DGK-%d key pair...\n", *keyBits)
+	priv, err := ahe.GenerateDGK(*keyBits, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *killFlag {
+		runKillDrill(priv, fo)
+		return
+	}
+
+	fmt.Printf("cluster: %d shufflers + analyzer on loopback TCP, %d fakes/round, %d users/round\n",
+		*rFlag, *nrFlag, *nFlag)
+	ns, err := startNodes(priv, fo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ns.stop()
+	client, err := cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6000), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// The shuffler nodes live across rounds, so their fake streams
+	// continue from round to round; the reference mirrors that with
+	// one persistent source per shuffler, handed to every refRun.
+	refSrcs := make([]secretshare.Source, *rFlag)
+	for j := range refSrcs {
+		refSrcs[j] = fakeSource(0, j)
+	}
+	refFS := func(j int) secretshare.Source { return refSrcs[j] }
+	var refAll []ldp.Report
+	for c := 0; c < *colFlag; c++ {
+		values := synthValues(c)
+		client.SetCollection(c)
+		if err := client.SendValues(0, values, rng.Substream(*seedFlag, 8000+uint64(c))); err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		col, err := ns.analyzer.Collect(*nFlag)
+		if err != nil {
+			log.Fatalf("collection %d: %v", c, err)
+		}
+		ref, err := refRun(priv, fo, values, refFS, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !equal(col.Estimates, ref.Estimates) {
+			log.Fatalf("FAIL: collection %d estimates diverged from protocol.PEOS.Run", c)
+		}
+		refAll = append(refAll, ref.Reports...)
+		top := 4
+		if top > len(col.Estimates) {
+			top = len(col.Estimates)
+		}
+		fmt.Printf("  collection %d: %d users + %d fakes, est[:%d] = %.4f  == in-process PEOS ✓\n",
+			c, col.Reports, col.Fakes, top, col.Estimates[:top])
+	}
+	wantCum := protocol.Estimate(fo, refAll, *colFlag**nFlag, *colFlag**nrFlag)
+	if !equal(ns.analyzer.Estimates(), wantCum) {
+		log.Fatal("FAIL: cumulative estimate diverged from the protocol estimator")
+	}
+	fmt.Printf("cumulative over %d rounds bit-identical to the in-process reference ✓\n", *colFlag)
+}
+
+// runKillDrill is the CI failure rehearsal: kill one shuffler
+// mid-stream, demand a clean protocol error, then rerun to completion
+// on a fresh cluster and demand bit-identity.
+func runKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
+	fmt.Println("kill drill: shuffler 0 dies mid-stream")
+	ns, err := startNodes(priv, fo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6000), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := synthValues(0)
+	if err := client.SendValues(0, values[:len(values)/2], rng.Substream(*seedFlag, 8000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	ns.shufflers[0].Close()
+
+	type res struct {
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		_, err := ns.analyzer.Collect(*nFlag)
+		done <- res{err}
+	}()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			log.Fatal("FAIL: Collect succeeded with a dead shuffler")
+		}
+		fmt.Printf("  round failed cleanly: %v\n", r.err)
+	case <-time.After(*timeoutFlag):
+		log.Fatal("FAIL: Collect hung on a dead shuffler")
+	}
+	client.Close()
+	ns.stop()
+
+	fmt.Println("rerun on a fresh cluster:")
+	ns, err = startNodes(priv, fo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ns.stop()
+	client, err = cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6001), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SendValues(0, values, rng.Substream(*seedFlag, 8000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	col, err := ns.analyzer.Collect(*nFlag)
+	if err != nil {
+		log.Fatalf("rerun failed: %v", err)
+	}
+	ref, err := refRun(priv, fo, values, func(j int) secretshare.Source { return fakeSource(0, j) }, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !equal(col.Estimates, ref.Estimates) {
+		log.Fatal("FAIL: rerun estimates diverged from protocol.PEOS.Run")
+	}
+	fmt.Println("  rerun completed, estimates bit-identical to the in-process reference ✓")
+}

@@ -118,7 +118,15 @@ func GenerateDGK(keyBits, plaintextBits int) (*DGKPrivateKey, error) {
 		l:   plaintextBits,
 		rnd: dgkSubgroupBits * 5 / 2,
 	}
-	gamma := new(big.Int).Exp(new(big.Int).Mod(g, p), vp, p)
+	return finishDGKPrivateKey(pub, p, vp)
+}
+
+// finishDGKPrivateKey derives the decryption accelerators (gamma and
+// its power tables) from the key material (pub, p, vp). Key generation
+// and private-key deserialization share it, so a restored key decrypts
+// exactly like the original.
+func finishDGKPrivateKey(pub DGKPublicKey, p, vp *big.Int) (*DGKPrivateKey, error) {
+	gamma := new(big.Int).Exp(new(big.Int).Mod(pub.g, p), vp, p)
 	gammaInv := new(big.Int).ModInverse(gamma, p)
 	if gammaInv == nil {
 		return nil, errors.New("ahe: gamma not invertible")
@@ -131,11 +139,11 @@ func GenerateDGK(keyBits, plaintextBits int) (*DGKPrivateKey, error) {
 	}
 	// Precompute gamma^(2^i) and gamma^(-2^i) for the bitwise discrete
 	// log (one ModInverse at keygen instead of one per decrypted bit).
-	priv.gammaP = make([]*big.Int, plaintextBits)
-	priv.gammaInvP = make([]*big.Int, plaintextBits)
+	priv.gammaP = make([]*big.Int, pub.l)
+	priv.gammaInvP = make([]*big.Int, pub.l)
 	cur := new(big.Int).Set(gamma)
 	curInv := new(big.Int).Set(gammaInv)
-	for i := 0; i < plaintextBits; i++ {
+	for i := 0; i < pub.l; i++ {
 		priv.gammaP[i] = new(big.Int).Set(cur)
 		priv.gammaInvP[i] = new(big.Int).Set(curInv)
 		cur = new(big.Int).Mod(new(big.Int).Mul(cur, cur), p)

@@ -1,0 +1,121 @@
+package ahe
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDGKPublicKeyRoundTrip(t *testing.T) {
+	priv, err := GenerateDGK(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := MarshalDGKPublicKey(&priv.DGKPublicKey)
+	pub, err := UnmarshalDGKPublicKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ciphertext produced under the restored public key must decrypt
+	// under the original private key.
+	c, err := pub.Encrypt(0xdeadbeefcafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := priv.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0xdeadbeefcafe {
+		t.Fatalf("decrypted %x", m)
+	}
+	// Homomorphic ops and fixed-size serialization survive the trip.
+	if pub.CiphertextBytes() != priv.CiphertextBytes() {
+		t.Fatalf("ciphertext size changed: %d vs %d", pub.CiphertextBytes(), priv.CiphertextBytes())
+	}
+	c2, err := pub.AddPlain(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := priv.Decrypt(c2); m != 0xdeadbeefcafe+1 {
+		t.Fatalf("homomorphic add under restored key: %x", m)
+	}
+	// The restored key must serialize/deserialize ciphertexts
+	// compatibly with the original.
+	rt, err := priv.Deserialize(pub.Serialize(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := priv.Decrypt(rt); m != 0xdeadbeefcafe {
+		t.Fatalf("ciphertext round trip through restored key: %x", m)
+	}
+}
+
+func TestDGKPrivateKeyRoundTrip(t *testing.T) {
+	priv, err := GenerateDGK(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalDGKPrivateKey(MarshalDGKPrivateKey(priv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encrypt under the original, decrypt under the restored key (and
+	// the other way around).
+	for i, enc := range []PublicKey{priv, restored} {
+		dec := []PrivateKey{restored, priv}[i]
+		c, err := enc.Encrypt(uint64(1234567 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dec.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != uint64(1234567+i) {
+			t.Fatalf("cross decrypt %d: got %d", i, m)
+		}
+	}
+	// The marshaled forms are identical (pure function of the key).
+	if !bytes.Equal(MarshalDGKPrivateKey(priv), MarshalDGKPrivateKey(restored)) {
+		t.Fatal("restored key marshals differently")
+	}
+}
+
+func TestDGKKeyUnmarshalRejectsCorruption(t *testing.T) {
+	priv, err := GenerateDGK(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubBlob := MarshalDGKPublicKey(&priv.DGKPublicKey)
+	privBlob := MarshalDGKPrivateKey(priv)
+
+	cases := map[string][]byte{
+		"empty":             nil,
+		"bad magic":         append([]byte("NOPE"), pubBlob[4:]...),
+		"truncated":         pubBlob[:len(pubBlob)/2],
+		"trailing":          append(append([]byte(nil), pubBlob...), 0),
+		"future version":    append([]byte(dgkPubMagic+"\x02"), pubBlob[5:]...),
+		"private as public": privBlob,
+	}
+	for name, blob := range cases {
+		if _, err := UnmarshalDGKPublicKey(blob); !errors.Is(err, ErrKeyFormat) {
+			t.Errorf("%s: want ErrKeyFormat, got %v", name, err)
+		}
+	}
+	if _, err := UnmarshalDGKPrivateKey(pubBlob); !errors.Is(err, ErrKeyFormat) {
+		t.Errorf("public as private: want ErrKeyFormat, got %v", err)
+	}
+	// A private blob whose p belongs to a different key must be
+	// refused, not silently produce a key that decrypts garbage.
+	other, err := GenerateDGK(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append([]byte(dgkPrivMagic), MarshalDGKPublicKey(&priv.DGKPublicKey)[4:]...)
+	mixed = appendBigInt(mixed, other.p)
+	mixed = appendBigInt(mixed, other.vp)
+	if _, err := UnmarshalDGKPrivateKey(mixed); !errors.Is(err, ErrKeyFormat) {
+		t.Errorf("mixed key halves: want ErrKeyFormat, got %v", err)
+	}
+}

@@ -1,0 +1,657 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/budget"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/oblivious"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/secretshare"
+	"shuffledp/internal/store"
+	"shuffledp/internal/transport"
+)
+
+// AnalyzerConfig parameterizes the analyzer node.
+type AnalyzerConfig struct {
+	// Topology names every role's address.
+	Topology Topology
+	// Listener optionally supplies a pre-bound listener (overriding
+	// Topology.Analyzer); the node closes it.
+	Listener net.Listener
+	// FO is the frequency oracle the clients report through (GRR or a
+	// hashing oracle — the word-encodable PEOS set).
+	FO ldp.FrequencyOracle
+	// NR is the joint fake-report count per collection.
+	NR int
+	// Priv is the AHE key pair; only the analyzer ever holds the
+	// private half.
+	Priv ahe.PrivateKey
+	// Workers sizes the decryption fan-out (<1 means GOMAXPROCS), the
+	// paper's parallel-decryption server (§VII-D).
+	Workers int
+	// Ledger, when non-nil, is charged one per-collection guarantee at
+	// every Collect; once it refuses, Collect returns an error wrapping
+	// budget.ErrExhausted and the analyzer stays queryable.
+	Ledger *budget.Ledger
+	// DataDir, when non-empty, makes the analyzer durable: each sealed
+	// collection's decoded words are write-ahead logged and the
+	// cumulative counts checkpointed, so RecoverAnalyzer restores a
+	// crashed analyzer bit-identically. (The log holds post-shuffle
+	// DECODED reports — exactly what the analyzer role legitimately
+	// sees; it never holds anything linkable to a client.)
+	DataDir string
+	// Sync is the WAL fsync policy (store.SyncBatch when zero);
+	// rotation markers and checkpoints are always fsynced.
+	Sync store.SyncPolicy
+	// CollectTimeout bounds each phase of a Collect: the wait for all
+	// shufflers to be connected and each vector read. 0 means no bound.
+	CollectTimeout time.Duration
+}
+
+func (cfg *AnalyzerConfig) validate() error {
+	if err := cfg.Topology.validate(); err != nil {
+		return err
+	}
+	if cfg.FO == nil {
+		return errors.New("cluster: analyzer needs a frequency oracle")
+	}
+	if cfg.NR < 0 {
+		return errors.New("cluster: negative fake-report count")
+	}
+	if cfg.Priv == nil {
+		return errors.New("cluster: analyzer needs the AHE private key")
+	}
+	if cfg.Priv.PlaintextBits() != 64 {
+		return fmt.Errorf("cluster: PEOS requires a Z_{2^64} AHE plaintext space, got 2^%d", cfg.Priv.PlaintextBits())
+	}
+	return nil
+}
+
+// Collection is one sealed collection round's outcome.
+type Collection struct {
+	// Collection is the round's id, starting at 0.
+	Collection int
+	// Reports is the round's user-report count n.
+	Reports int
+	// Fakes is the round's joint fake-report count.
+	Fakes int
+	// Estimates is the round's own calibrated estimate (fake mass
+	// subtracted) — bit-identical to protocol.PEOS.Run over the same
+	// reports and fakes.
+	Estimates []float64
+	// Cumulative is the all-collections estimate after this round.
+	Cumulative []float64
+}
+
+// Analyzer is the running analyzer node. Create with NewAnalyzer (or
+// RecoverAnalyzer over a durable directory), drive rounds with
+// Collect, query with Estimates/Totals, and stop with Close (orderly)
+// or Crash (simulated power cut).
+type Analyzer struct {
+	cfg AnalyzerConfig
+	enc *ldp.WordEncoder
+	mod secretshare.Modulus
+	ln  net.Listener
+	st  *store.Store
+
+	mu       sync.Mutex
+	conns    []net.Conn            // by shuffler index
+	pending  map[net.Conn]struct{} // accepted, hello not yet read
+	connMore chan struct{}
+	closed   bool
+
+	stateMu     sync.Mutex
+	counts      []int
+	reals       int
+	fakes       int
+	collections int
+}
+
+// NewAnalyzer validates cfg, binds the listener, creates the durable
+// store when configured (the directory must hold no prior state —
+// recovering is RecoverAnalyzer's job, never an accident), and starts
+// accepting shuffler connections.
+func NewAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
+	a, err := prepareAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataDir != "" {
+		st, err := store.Create(cfg.DataDir, a.storeMeta(), cfg.Sync)
+		if err != nil {
+			a.ln.Close()
+			if errors.Is(err, store.ErrExists) {
+				return nil, fmt.Errorf("cluster: %w (restart it with RecoverAnalyzer instead of NewAnalyzer)", err)
+			}
+			return nil, err
+		}
+		a.st = st
+	}
+	go a.acceptLoop()
+	return a, nil
+}
+
+// prepareAnalyzer builds the shell shared by NewAnalyzer and
+// RecoverAnalyzer: validation, listener, zeroed cumulative state, no
+// store and no goroutines.
+func prepareAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	enc, err := ldp.NewWordEncoder(cfg.FO)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	ln, err := listenOrUse(cfg.Listener, cfg.Topology.Analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		cfg:      cfg,
+		enc:      enc,
+		mod:      secretshare.NewModulus(64),
+		ln:       ln,
+		conns:    make([]net.Conn, cfg.Topology.R()),
+		pending:  make(map[net.Conn]struct{}),
+		connMore: make(chan struct{}, 1),
+		counts:   make([]int, cfg.FO.Domain()),
+	}, nil
+}
+
+func (a *Analyzer) storeMeta() store.Meta {
+	return store.Meta{Oracle: a.cfg.FO.Name(), Domain: a.cfg.FO.Domain()}
+}
+
+// Addr returns the bound listen address.
+func (a *Analyzer) Addr() string { return a.ln.Addr().String() }
+
+// acceptLoop registers shuffler connections by their hello index. A
+// reconnecting shuffler (say, restarted after the analyzer recovered)
+// replaces its old link.
+func (a *Analyzer) acceptLoop() {
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			// Track the connection before the hello (so Close can
+			// unblock this read) and bound the hello wait itself.
+			a.mu.Lock()
+			if a.closed {
+				a.mu.Unlock()
+				conn.Close()
+				return
+			}
+			a.pending[conn] = struct{}{}
+			a.mu.Unlock()
+			drop := func() {
+				a.mu.Lock()
+				delete(a.pending, conn)
+				a.mu.Unlock()
+				conn.Close()
+			}
+			conn.SetReadDeadline(time.Now().Add(helloTimeout))
+			tag, payload, err := transport.ReadTaggedFrame(conn)
+			if err != nil || tag != tagShufflerHello {
+				drop()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			idx, err := parseHelloIndex(payload, a.cfg.Topology.R())
+			if err != nil {
+				drop()
+				return
+			}
+			a.mu.Lock()
+			delete(a.pending, conn)
+			if a.closed {
+				a.mu.Unlock()
+				conn.Close()
+				return
+			}
+			if old := a.conns[idx]; old != nil {
+				old.Close()
+			}
+			a.conns[idx] = conn
+			a.mu.Unlock()
+			select {
+			case a.connMore <- struct{}{}:
+			default:
+			}
+		}(conn)
+	}
+}
+
+// awaitShufflers blocks until every shuffler link exists.
+func (a *Analyzer) awaitShufflers() ([]net.Conn, error) {
+	var deadline <-chan time.Time
+	if a.cfg.CollectTimeout > 0 {
+		t := time.NewTimer(a.cfg.CollectTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		a.mu.Lock()
+		missing := 0
+		for _, c := range a.conns {
+			if c == nil {
+				missing++
+			}
+		}
+		conns := append([]net.Conn(nil), a.conns...)
+		closed := a.closed
+		a.mu.Unlock()
+		if closed {
+			return nil, errors.New("cluster: analyzer closed")
+		}
+		if missing == 0 {
+			return conns, nil
+		}
+		select {
+		case <-a.connMore:
+		case <-deadline:
+			return nil, fmt.Errorf("cluster: %d shuffler(s) never connected", missing)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Collect drives one collection round over n user reports: charge the
+// ledger, broadcast the seal, await every shuffler's post-shuffle
+// vector, reconstruct (decrypting the ciphertext column in parallel),
+// decode, and fold the round's support counts into the cumulative
+// state — durably, when configured. The caller must have flushed the
+// clients' shares for the round before sealing it; the shufflers wait
+// out in-flight frames, but a share that was never sent fails the
+// round at their SealTimeout.
+//
+// A Collect error means the round is lost (a shuffler died, timed out,
+// or broke protocol): nothing was aggregated or charged durably, and
+// the clean way out is to Close the analyzer — the control-link EOF
+// unblocks every surviving shuffler's Run — and start a fresh cluster,
+// a durable analyzer recovering its sealed history. The kill-one-
+// shuffler smoke test (examples/peos_cluster -kill) exercises exactly
+// this path.
+func (a *Analyzer) Collect(n int) (Collection, error) {
+	if n <= 0 {
+		return Collection{}, errors.New("cluster: Collect needs n > 0")
+	}
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return Collection{}, errors.New("cluster: analyzer closed")
+	}
+	conns, err := a.awaitShufflers()
+	if err != nil {
+		return Collection{}, err
+	}
+	// Charge only once every shuffler is reachable: a round that
+	// cannot even start must not burn in-memory budget (the charge
+	// still precedes the seal broadcast, the first actual disclosure).
+	if a.cfg.Ledger != nil {
+		if err := a.cfg.Ledger.Charge(); err != nil {
+			return Collection{}, fmt.Errorf("cluster: charging collection %d: %w", a.Collections(), err)
+		}
+	}
+	a.stateMu.Lock()
+	collection := uint32(a.collections)
+	a.stateMu.Unlock()
+	for j, conn := range conns {
+		if err := writeSealFrame(conn, collection, n); err != nil {
+			return Collection{}, fmt.Errorf("cluster: sealing with shuffler %d: %w", j, err)
+		}
+	}
+	words, err := a.awaitVectors(conns, collection, n)
+	if err != nil {
+		return Collection{}, err
+	}
+	return a.seal(collection, n, words, true)
+}
+
+// awaitVectors reads one vector frame per shuffler, reconstructs the
+// share sum, and decrypts the encrypted column.
+func (a *Analyzer) awaitVectors(conns []net.Conn, collection uint32, n int) ([]uint64, error) {
+	r := a.cfg.Topology.R()
+	total := n + a.cfg.NR
+	st := &oblivious.State{Plain: make([][]uint64, r), EncHolder: -1}
+	for j, conn := range conns {
+		if a.cfg.CollectTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(a.cfg.CollectTimeout)); err != nil {
+				return nil, err
+			}
+		}
+		tag, payload, err := transport.ReadTaggedFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reading shuffler %d vector: %w", j, err)
+		}
+		col, body, err := splitPrefixed(payload)
+		if err != nil {
+			return nil, err
+		}
+		if col != collection {
+			return nil, fmt.Errorf("%w: shuffler %d answered collection %d, want %d", errBadFrame, j, col, collection)
+		}
+		switch tag {
+		case tagVector:
+			words, err := transport.DecodeUint64s(body)
+			if err != nil {
+				return nil, err
+			}
+			if len(words) != total {
+				return nil, fmt.Errorf("%w: shuffler %d vector has %d words, want %d", errBadFrame, j, len(words), total)
+			}
+			st.Plain[j] = words
+		case tagEncVector:
+			if st.EncHolder >= 0 {
+				return nil, fmt.Errorf("%w: shufflers %d and %d both sent ciphertext vectors", errBadFrame, st.EncHolder, j)
+			}
+			cts, err := decodeCiphertexts(ahe.PublicKey(a.cfg.Priv), body)
+			if err != nil {
+				return nil, err
+			}
+			if len(cts) != total {
+				return nil, fmt.Errorf("%w: shuffler %d ciphertext vector has %d elements, want %d", errBadFrame, j, len(cts), total)
+			}
+			st.Enc = cts
+			st.EncHolder = j
+		case tagFail:
+			return nil, fmt.Errorf("cluster: shuffler %d failed collection %d: %s", j, collection, body)
+		default:
+			return nil, fmt.Errorf("%w: shuffler %d sent tag %d, want a vector", errBadFrame, j, tag)
+		}
+	}
+	if st.EncHolder < 0 {
+		return nil, errors.New("cluster: no shuffler delivered the encrypted column")
+	}
+	return oblivious.RevealParallel(st, a.mod, a.cfg.Priv, a.cfg.Workers)
+}
+
+// seal makes one collection's decoded words durable (WAL + rotation
+// marker + checkpoint when configured) and folds them into the
+// cumulative counts. persist=false is the recovery replay, which
+// re-seals from the already-durable WAL tail.
+func (a *Analyzer) seal(collection uint32, n int, words []uint64, persist bool) (Collection, error) {
+	if persist && a.st != nil {
+		// The round's words reach the platters before they can
+		// influence any served estimate, mirroring the service's
+		// WAL-before-aggregate invariant.
+		if err := a.st.AppendReport(collection, transport.EncodeUint64s(words)); err != nil {
+			return Collection{}, err
+		}
+		if err := a.st.Commit(); err != nil {
+			return Collection{}, err
+		}
+		if err := a.st.Rotate(collection, int64(collection)+1); err != nil {
+			return Collection{}, err
+		}
+	}
+	reports := make([]ldp.Report, len(words))
+	for i, w := range words {
+		reports[i] = a.enc.Decode(w)
+	}
+	colCounts := ldp.SupportCounts(a.cfg.FO, reports)
+	a.stateMu.Lock()
+	for v, c := range colCounts {
+		a.counts[v] += c
+	}
+	a.reals += n
+	a.fakes += a.cfg.NR
+	a.collections = int(collection) + 1
+	cum := protocol.EstimateCounts(a.cfg.FO, a.counts, a.reals, a.fakes)
+	a.stateMu.Unlock()
+	if a.st != nil {
+		if err := a.writeCheckpoint(); err != nil {
+			return Collection{}, err
+		}
+	}
+	return Collection{
+		Collection: int(collection),
+		Reports:    n,
+		Fakes:      a.cfg.NR,
+		Estimates:  protocol.EstimateCounts(a.cfg.FO, colCounts, n, a.cfg.NR),
+		Cumulative: cum,
+	}, nil
+}
+
+// Estimates returns the cumulative calibrated estimate over every
+// sealed collection (all zeros before the first).
+func (a *Analyzer) Estimates() []float64 {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	return protocol.EstimateCounts(a.cfg.FO, a.counts, a.reals, a.fakes)
+}
+
+// Totals returns the cumulative user-report and fake-report counts.
+func (a *Analyzer) Totals() (reports, fakes int) {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	return a.reals, a.fakes
+}
+
+// Collections returns how many collection rounds have sealed.
+func (a *Analyzer) Collections() int {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	return a.collections
+}
+
+// Close shuts the node down in an orderly way: the listener and every
+// shuffler link drop (shufflers read EOF and exit their Run cleanly),
+// and the durable store is flushed and closed.
+func (a *Analyzer) Close() error {
+	a.shutdown(false)
+	return nil
+}
+
+// Crash hard-stops a durable analyzer the way a power cut would: the
+// WAL is closed without flushing, so only what the fsync policy made
+// durable survives for RecoverAnalyzer. On an in-memory analyzer it
+// behaves like Close.
+func (a *Analyzer) Crash() { a.shutdown(true) }
+
+func (a *Analyzer) shutdown(crash bool) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	conns := append([]net.Conn(nil), a.conns...)
+	for c := range a.pending {
+		conns = append(conns, c)
+	}
+	a.mu.Unlock()
+	a.ln.Close()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if a.st == nil {
+		return
+	}
+	if crash {
+		a.st.Abort()
+		return
+	}
+	a.st.Close()
+}
+
+// --- durable state blob ---
+
+// stateMagic/stateVersion frame the cumulative-counts blob stored in
+// the checkpoint's aggregate slot.
+const (
+	stateMagic   = "PEOA"
+	stateVersion = 1
+)
+
+// marshalState encodes (NR, reals, fakes, collections, counts). NR is
+// recorded so a recovery with a mismatched fake-report count is
+// refused (it would silently mis-calibrate every estimate) instead of
+// loaded. Callers hold stateMu.
+func (a *Analyzer) marshalState() []byte {
+	buf := append([]byte(nil), stateMagic...)
+	buf = append(buf, stateVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.cfg.NR))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.reals))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.fakes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.collections))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.counts)))
+	for _, c := range a.counts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	return buf
+}
+
+func (a *Analyzer) unmarshalState(data []byte) error {
+	const hdr = 4 + 1 + 4 + 8 + 8 + 8 + 4
+	if len(data) < hdr || string(data[:4]) != stateMagic {
+		return errors.New("cluster: malformed analyzer state blob")
+	}
+	if data[4] != stateVersion {
+		return fmt.Errorf("cluster: analyzer state version %d (this build reads %d)", data[4], stateVersion)
+	}
+	nr := int(binary.LittleEndian.Uint32(data[5:]))
+	if nr != a.cfg.NR {
+		return fmt.Errorf("cluster: durable state was collected with NR=%d fakes per round, config says %d", nr, a.cfg.NR)
+	}
+	reals := binary.LittleEndian.Uint64(data[9:])
+	fakes := binary.LittleEndian.Uint64(data[17:])
+	collections := binary.LittleEndian.Uint64(data[25:])
+	d := int(binary.LittleEndian.Uint32(data[33:]))
+	if d != a.cfg.FO.Domain() {
+		return fmt.Errorf("cluster: state blob covers domain %d, oracle has %d", d, a.cfg.FO.Domain())
+	}
+	if len(data) != hdr+8*d {
+		return errors.New("cluster: truncated analyzer state blob")
+	}
+	a.reals = int(reals)
+	a.fakes = int(fakes)
+	a.collections = int(collections)
+	for v := range a.counts {
+		a.counts[v] = int(binary.LittleEndian.Uint64(data[hdr+8*v:]))
+	}
+	return nil
+}
+
+// writeCheckpoint snapshots the cumulative state. Only OpenEpoch (the
+// next collection id, which also drives WAL segment pruning), the
+// ledger's charged count, and the state blob are meaningful for the
+// analyzer; the service-specific counter slots stay zero.
+func (a *Analyzer) writeCheckpoint() error {
+	a.stateMu.Lock()
+	cp := &store.Checkpoint{
+		OpenEpoch: a.collections,
+		AllTime:   a.marshalState(),
+	}
+	a.stateMu.Unlock()
+	if a.cfg.Ledger != nil {
+		cp.LedgerCharged = a.cfg.Ledger.Epochs()
+	}
+	return a.st.WriteCheckpoint(cp)
+}
+
+// RecoverAnalyzer rebuilds a durable analyzer from cfg.DataDir — the
+// newest checkpoint plus a replay of the WAL tail — to a state
+// bit-identical to an uninterrupted run over the same sealed
+// collections, without re-spending privacy budget. cfg must carry the
+// same oracle, NR, and key material as the original run (the oracle,
+// domain, and NR are validated against the checkpoint; the AHE key
+// must be the persisted one — see ahe.MarshalDGKPrivateKey — or
+// future ciphertext columns will not decrypt). A collection whose words were
+// logged but whose rotation marker never became durable is dropped:
+// its Collect never returned success.
+func RecoverAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("cluster: RecoverAnalyzer needs AnalyzerConfig.DataDir")
+	}
+	a, err := prepareAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, rec, err := store.Open(cfg.DataDir, a.storeMeta(), cfg.Sync)
+	if err != nil {
+		a.ln.Close()
+		return nil, err
+	}
+	a.st = st
+	if err := a.restore(rec); err != nil {
+		st.Close()
+		a.ln.Close()
+		return nil, err
+	}
+	go a.acceptLoop()
+	return a, nil
+}
+
+// restore applies the checkpoint and replays the WAL tail. It runs
+// before the accept loop exists, so it mutates state freely.
+func (a *Analyzer) restore(rec *store.Recovered) error {
+	if cp := rec.Checkpoint; cp != nil {
+		if err := a.unmarshalState(cp.AllTime); err != nil {
+			return err
+		}
+		if a.cfg.Ledger != nil {
+			if err := a.cfg.Ledger.Restore(cp.LedgerCharged); err != nil {
+				return fmt.Errorf("cluster: restoring ledger: %w", err)
+			}
+		}
+	}
+	// The tail holds, per interrupted collection, one words record and
+	// — if the seal got as far as the marker — the rotation marker.
+	// Marker present: replay the seal (charging the ledger exactly as
+	// the live Collect did before the crash lost its in-memory
+	// charge). Marker absent: the collection never completed; drop it.
+	pending := map[uint32][]uint64{}
+	for _, r := range rec.Tail {
+		switch r.Type {
+		case store.RecordReport:
+			words, err := transport.DecodeUint64s(r.Payload)
+			if err != nil {
+				return fmt.Errorf("cluster: WAL words for collection %d: %w", r.Epoch, err)
+			}
+			// A later words record supersedes an earlier one for the
+			// same collection: a crash between a seal's Commit and its
+			// marker leaves an orphan words record that a recovery
+			// drops — but the orphan stays in the log, and the re-run
+			// round writes the authoritative record behind it. Only a
+			// marker turns pending words into state, so keeping the
+			// last record is always correct.
+			pending[r.Epoch] = words
+		case store.RecordRotate:
+			words, ok := pending[r.Epoch]
+			if !ok {
+				return fmt.Errorf("cluster: WAL seals collection %d without its words", r.Epoch)
+			}
+			delete(pending, r.Epoch)
+			if int(r.Epoch) != a.collections {
+				return fmt.Errorf("cluster: WAL seals collection %d while %d collections are sealed", r.Epoch, a.collections)
+			}
+			n := len(words) - a.cfg.NR
+			if n <= 0 {
+				return fmt.Errorf("cluster: WAL collection %d has %d words for %d fakes", r.Epoch, len(words), a.cfg.NR)
+			}
+			if a.cfg.Ledger != nil {
+				if err := a.cfg.Ledger.Charge(); err != nil {
+					return fmt.Errorf("cluster: recharging collection %d: %w", r.Epoch, err)
+				}
+			}
+			if _, err := a.seal(r.Epoch, n, words, false); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected WAL record type %d in an analyzer log", r.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+)
+
+// Client submits secret-shared reports to every shuffler of a cluster
+// (Algorithm 1, "User i"): each randomized report is encoded to a
+// 64-bit word, additively split into R shares, and one share goes to
+// each shuffler — the last one AHE-encrypted so even all R shufflers
+// together cannot reconstruct it. A Client is not safe for concurrent
+// use; run one per goroutine.
+type Client struct {
+	fo    ldp.FrequencyOracle
+	enc   *ldp.WordEncoder
+	pub   ahe.PublicKey
+	src   secretshare.Source
+	mod   secretshare.Modulus
+	conns []net.Conn
+	w     []*bufio.Writer
+	col   uint32
+}
+
+// DialClient connects to every shuffler in the topology and performs
+// the client hellos. pub is the analyzer's AHE public key; src drives
+// the share splits (secretshare.Crypto in production, a seeded rng in
+// tests — the split randomness never influences estimates, only
+// hiding).
+func DialClient(topo Topology, fo ldp.FrequencyOracle, pub ahe.PublicKey, src secretshare.Source, dialTimeout time.Duration) (*Client, error) {
+	if err := topo.validate(); err != nil {
+		return nil, err
+	}
+	if fo == nil || pub == nil || src == nil {
+		return nil, errors.New("cluster: client needs an oracle, the AHE public key, and randomness")
+	}
+	enc, err := ldp.NewWordEncoder(fo)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Client{
+		fo:  fo,
+		enc: enc,
+		pub: pub,
+		src: src,
+		mod: secretshare.NewModulus(64),
+	}
+	for _, addr := range topo.Shufflers {
+		conn, err := dialRetry(addr, dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, conn)
+		w := bufio.NewWriter(conn)
+		c.w = append(c.w, w)
+		if err := writeHello(w, tagClientHello, 0); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SetCollection stamps subsequent reports with a collection round id
+// (new clients start at round 0).
+func (c *Client) SetCollection(id int) { c.col = uint32(id) }
+
+// SendReport shares an already-randomized report as user `index` of
+// the current collection. Every user index in [0, n) must be reported
+// exactly once before the analyzer seals the round at n.
+func (c *Client) SendReport(index int, rep ldp.Report) error {
+	word := c.enc.Encode(rep)
+	shares := secretshare.Split(word, len(c.conns), c.mod, c.src)
+	for j := 0; j < len(c.conns)-1; j++ {
+		if err := writeReportFrame(c.w[j], c.col, uint32(index), shares[j]); err != nil {
+			return fmt.Errorf("cluster: client to shuffler %d: %w", j, err)
+		}
+	}
+	last := len(c.conns) - 1
+	ct, err := c.pub.Encrypt(shares[last])
+	if err != nil {
+		return fmt.Errorf("cluster: client encrypt: %w", err)
+	}
+	if err := writeEncReportFrame(c.w[last], c.col, uint32(index), c.pub.Serialize(ct)); err != nil {
+		return fmt.Errorf("cluster: client to shuffler %d: %w", last, err)
+	}
+	return nil
+}
+
+// Send randomizes v with ldpRand and shares the report as user index.
+func (c *Client) Send(index, v int, ldpRand *rng.Rand) error {
+	return c.SendReport(index, c.fo.Randomize(v, ldpRand))
+}
+
+// SendValues randomizes values sequentially with ldpRand and shares
+// value i as user base+i — the same randomization order as
+// protocol.PEOS.Run's user loop, which is what makes a single-client
+// cluster run bit-identical to the in-process reference for a shared
+// seed.
+func (c *Client) SendValues(base int, values []int, ldpRand *rng.Rand) error {
+	for i, v := range values {
+		if err := c.Send(base+i, v, ldpRand); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered frames to every shuffler. Call it before the
+// analyzer seals the round.
+func (c *Client) Flush() error {
+	for j, w := range c.w {
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("cluster: client flush to shuffler %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every shuffler connection (EOF is the
+// client's "done"). Safe on a partially-dialed client.
+func (c *Client) Close() error {
+	var first error
+	for j, w := range c.w {
+		if err := w.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("cluster: client flush to shuffler %d: %w", j, err)
+		}
+	}
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,105 @@
+// Package cluster runs the PEOS security tier (§VI-A3, Algorithm 1)
+// as real networked roles — the deployable face of the protocol that
+// internal/protocol simulates in process. One collection round spans
+// R+1 processes plus the reporting clients:
+//
+//	client    randomize value -> encode to a 64-bit word -> additively
+//	          secret-share into R shares -> one plain share to each of
+//	          shufflers 0..R-2, the last share AHE-encrypted under the
+//	          analyzer's key to shuffler R-1
+//	shuffler  collect its share column, append its own share of every
+//	          joint fake report, run the encrypted oblivious shuffle
+//	          with its peers (oblivious.RunParty over the TCP mesh),
+//	          forward the resulting vector to the analyzer
+//	analyzer  combine the R vectors, decrypt the ciphertext column with
+//	          the AHE private key, decode, aggregate, estimate — and,
+//	          when durable, write-ahead log and checkpoint each sealed
+//	          collection so a crashed analyzer recovers bit-identically
+//	          (store reuse from the streaming service, DESIGN.md §8/§9)
+//
+// Trust boundaries are real process boundaries: a shuffler only ever
+// holds one share column (its own fakes included), so no coalition of
+// fewer than all R shufflers learns a report; the analyzer receives
+// only post-shuffle vectors, so it cannot link a report to a client;
+// and the encrypted column keeps even an all-shuffler coalition blind
+// (§VI-A2). The estimates are bit-identical to protocol.PEOS.Run for
+// matching seeds — the cross-conformance tests and examples/peos_cluster
+// assert it — because the estimator (protocol.Estimate) consumes an
+// order-independent integer statistic of the same report multiset.
+//
+// Collections are the continual-observation unit: the analyzer drives
+// one Collect per round, charges its budget.Ledger per collection, and
+// accumulates support counts across rounds exactly (integers merge
+// bit-identically in any order).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Topology names the cluster's listen addresses: Shufflers[j] is
+// shuffler j's address (R = len(Shufflers)), Analyzer the analyzer's.
+// Every role is configured with the same Topology, agreed out of band
+// like the protocol parameters themselves.
+type Topology struct {
+	// Shufflers holds the shuffler listen addresses, indexed by role.
+	Shufflers []string
+	// Analyzer is the analyzer's listen address.
+	Analyzer string
+}
+
+// R returns the shuffler count.
+func (t Topology) R() int { return len(t.Shufflers) }
+
+func (t Topology) validate() error {
+	if len(t.Shufflers) < 2 {
+		return errors.New("cluster: PEOS needs at least 2 shufflers")
+	}
+	if t.Analyzer == "" {
+		return errors.New("cluster: topology needs the analyzer address")
+	}
+	return nil
+}
+
+// DefaultDialTimeout bounds how long a role retries dialing a peer
+// that has not started listening yet (cluster processes start in no
+// particular order).
+const DefaultDialTimeout = 10 * time.Second
+
+// helloTimeout bounds the wait for an inbound connection's hello
+// frame: a connection that sends nothing identifies as nothing and is
+// dropped, so it can neither pin its handshake goroutine nor survive
+// the node's teardown unnoticed.
+const helloTimeout = 30 * time.Second
+
+// dialRetry dials addr, retrying with a short backoff until timeout —
+// roles of one cluster start concurrently and must tolerate peers that
+// are not listening yet.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: dialing %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// listenOrUse binds the configured address unless the caller already
+// bound a listener (tests and examples bind first to learn the port).
+func listenOrUse(ln net.Listener, addr string) (net.Listener, error) {
+	if ln != nil {
+		return ln, nil
+	}
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,450 @@
+package cluster_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+	"shuffledp/internal/transport"
+)
+
+// testTimeout bounds every wait in the cluster tests so a protocol
+// bug shows up as a failure, never a hung CI job.
+const testTimeout = 30 * time.Second
+
+// testKey is generated once; DGK keygen is probabilistic-prime search
+// and need not be repeated per test.
+var testKey *ahe.DGKPrivateKey
+
+func sharedKey(t *testing.T) *ahe.DGKPrivateKey {
+	t.Helper()
+	if testKey == nil {
+		priv, err := ahe.GenerateDGK(512, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testKey = priv
+	}
+	return testKey
+}
+
+// harness spins up an R-shuffler + analyzer cluster on loopback
+// listeners.
+type harness struct {
+	topo      cluster.Topology
+	analyzer  *cluster.Analyzer
+	shufflers []*cluster.Shuffler
+	runErr    []chan error
+}
+
+// bindTopology reserves loopback listeners for every role so the
+// topology carries real addresses before any node starts.
+func bindTopology(t *testing.T, r int) (cluster.Topology, []net.Listener, net.Listener) {
+	t.Helper()
+	lns := make([]net.Listener, r)
+	topo := cluster.Topology{Shufflers: make([]string, r)}
+	for j := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[j] = ln
+		topo.Shufflers[j] = ln.Addr().String()
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Analyzer = aln.Addr().String()
+	return topo, lns, aln
+}
+
+// startCluster builds and runs the cluster. fakeSeed aligns each
+// shuffler's fake shares with an in-process reference; mutate tweaks
+// configs before the nodes start.
+func startCluster(t *testing.T, r, nr int, fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, fakeSeed uint64, mutateA func(*cluster.AnalyzerConfig), mutateS func(int, *cluster.ShufflerConfig)) *harness {
+	t.Helper()
+	topo, lns, aln := bindTopology(t, r)
+	acfg := cluster.AnalyzerConfig{
+		Topology:       topo,
+		Listener:       aln,
+		FO:             fo,
+		NR:             nr,
+		Priv:           priv,
+		CollectTimeout: testTimeout,
+	}
+	if mutateA != nil {
+		mutateA(&acfg)
+	}
+	analyzer, err := cluster.NewAnalyzer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{topo: topo, analyzer: analyzer}
+	for j := 0; j < r; j++ {
+		scfg := cluster.ShufflerConfig{
+			Index:       j,
+			Topology:    topo,
+			Listener:    lns[j],
+			NR:          nr,
+			Pub:         ahe.PublicKey(priv),
+			Source:      rng.Substream(fakeSeed, 1000+uint64(j)),
+			FakeSource:  rng.Substream(fakeSeed, uint64(j)),
+			SealTimeout: testTimeout,
+		}
+		if mutateS != nil {
+			mutateS(j, &scfg)
+		}
+		sh, err := cluster.NewShuffler(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.shufflers = append(h.shufflers, sh)
+		errc := make(chan error, 1)
+		h.runErr = append(h.runErr, errc)
+		go func() { errc <- sh.Run() }()
+	}
+	t.Cleanup(func() {
+		h.analyzer.Close()
+		for _, sh := range h.shufflers {
+			sh.Close()
+		}
+	})
+	return h
+}
+
+// refFakeSource returns the FakeSource hook that mirrors the cluster
+// harness's per-shuffler fake substreams into protocol.PEOS — the
+// sources persist across Run calls, exactly like a long-lived node.
+func refFakeSource(fakeSeed uint64, r int) func(j int) secretshare.Source {
+	srcs := make([]secretshare.Source, r)
+	for j := range srcs {
+		srcs[j] = rng.Substream(fakeSeed, uint64(j))
+	}
+	return func(j int) secretshare.Source { return srcs[j] }
+}
+
+func synthValues(n, d int, seed uint64) []int {
+	src := rng.New(seed)
+	values := make([]int, n)
+	for i := range values {
+		values[i] = src.Intn(d)
+	}
+	return values
+}
+
+func estimatesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The networked cluster must reproduce protocol.PEOS.Run
+// bit-identically for matched seeds — with r=3 the run exercises
+// seekers, encrypted-column hops, and all three hide-and-seek rounds
+// over real TCP connections.
+func TestClusterMatchesInProcessPEOSThreeShufflers(t *testing.T) {
+	const (
+		r        = 3
+		n        = 40
+		d        = 8
+		nr       = 6
+		fakeSeed = 21
+		ldpSeed  = 22
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	values := synthValues(n, d, 23)
+
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, nil, nil)
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendValues(0, values, rng.New(ldpSeed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	col, err := h.analyzer.Collect(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FakeSource = refFakeSource(fakeSeed, r)
+	ref, err := p.Run(values, rng.New(ldpSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !estimatesEqual(col.Estimates, ref.Estimates) {
+		t.Fatalf("cluster estimates diverged from PEOS.Run:\n net %v\n ref %v", col.Estimates, ref.Estimates)
+	}
+	if !estimatesEqual(h.analyzer.Estimates(), ref.Estimates) {
+		t.Fatal("cumulative estimate diverged after one collection")
+	}
+}
+
+// Two collection rounds accumulate exactly: the cumulative estimate
+// equals the protocol-layer estimator over both rounds' reports.
+func TestClusterMultiCollectionAccumulates(t *testing.T) {
+	const (
+		r        = 2
+		n        = 30
+		d        = 8
+		nr       = 4
+		fakeSeed = 31
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, nil, nil)
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FakeSource = refFakeSource(fakeSeed, r)
+
+	var allRef []ldp.Report
+	for round := 0; round < 2; round++ {
+		values := synthValues(n, d, 40+uint64(round))
+		cl.SetCollection(round)
+		if err := cl.SendValues(0, values, rng.New(50+uint64(round))); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		col, err := h.analyzer.Collect(n)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ref, err := p.Run(values, rng.New(50+uint64(round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !estimatesEqual(col.Estimates, ref.Estimates) {
+			t.Fatalf("round %d estimates diverged", round)
+		}
+		allRef = append(allRef, ref.Reports...)
+	}
+	if h.analyzer.Collections() != 2 {
+		t.Fatalf("want 2 collections, got %d", h.analyzer.Collections())
+	}
+	wantCum := protocol.Estimate(fo, allRef, 2*n, 2*nr)
+	if !estimatesEqual(h.analyzer.Estimates(), wantCum) {
+		t.Fatalf("cumulative estimate diverged:\n net %v\n ref %v", h.analyzer.Estimates(), wantCum)
+	}
+	reals, fakes := h.analyzer.Totals()
+	if reals != 2*n || fakes != 2*nr {
+		t.Fatalf("totals (%d, %d), want (%d, %d)", reals, fakes, 2*n, 2*nr)
+	}
+}
+
+// Killing a shuffler mid-stream must fail the round with a clean
+// protocol error at the analyzer and at the surviving shufflers —
+// never a hang (the CI smoke job drives the same scenario through
+// examples/peos_cluster).
+func TestClusterKilledShufflerFailsCleanly(t *testing.T) {
+	const (
+		r  = 2
+		n  = 30
+		d  = 8
+		nr = 4
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, 61, nil, func(_ int, cfg *cluster.ShufflerConfig) {
+		cfg.SealTimeout = 2 * time.Second
+	})
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Half the round arrives, then shuffler 0 dies.
+	if err := cl.SendValues(0, synthValues(n/2, d, 62), rng.New(63)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h.shufflers[0].Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.analyzer.Collect(n)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Collect succeeded with a dead shuffler")
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("Collect hung on a dead shuffler")
+	}
+	// A failed round ends the run: tearing the analyzer down unblocks
+	// every surviving shuffler (control-link EOF), so no Run hangs.
+	h.analyzer.Close()
+	for j, errcj := range h.runErr {
+		select {
+		case <-errcj:
+		case <-time.After(testTimeout):
+			t.Fatalf("shuffler %d 's Run hung after the kill", j)
+		}
+	}
+}
+
+// A client that stalls on a shuffler connection is dropped by the
+// ingest idle deadline; a healthy client then completes the round.
+func TestClusterShufflerDropsIdleClient(t *testing.T) {
+	const (
+		r  = 2
+		n  = 20
+		d  = 8
+		nr = 2
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, 71, nil, func(_ int, cfg *cluster.ShufflerConfig) {
+		cfg.IdleTimeout = 100 * time.Millisecond
+	})
+	// The stalled client: hello, then silence, never closed.
+	stalled, err := net.Dial("tcp", h.topo.Shufflers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if err := transport.WriteTaggedFrame(stalled, 3 /* clientHello */, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendValues(0, synthValues(n, d, 72), rng.New(73)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.analyzer.Collect(n); err != nil {
+		t.Fatalf("round failed despite healthy client: %v", err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(4, 1)
+	goodTopo := cluster.Topology{Shufflers: []string{"a", "b"}, Analyzer: "c"}
+	if _, err := cluster.NewShuffler(cluster.ShufflerConfig{Index: 5, Topology: goodTopo, Pub: ahe.PublicKey(priv), Source: rng.New(1)}); err == nil {
+		t.Fatal("accepted out-of-range shuffler index")
+	}
+	if _, err := cluster.NewShuffler(cluster.ShufflerConfig{Index: 0, Topology: cluster.Topology{Shufflers: []string{"a"}, Analyzer: "c"}, Pub: ahe.PublicKey(priv), Source: rng.New(1)}); err == nil {
+		t.Fatal("accepted a 1-shuffler cluster")
+	}
+	if _, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{Topology: goodTopo, FO: fo, Priv: priv, NR: -1}); err == nil {
+		t.Fatal("accepted negative fakes")
+	}
+	if _, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{Topology: goodTopo, FO: ldp.NewRAP(4, 1), Priv: priv}); err == nil ||
+		!strings.Contains(err.Error(), "word encoding") {
+		t.Fatalf("accepted a non-word-encodable oracle: %v", err)
+	}
+	if _, err := cluster.RecoverAnalyzer(cluster.AnalyzerConfig{Topology: goodTopo, FO: fo, Priv: priv}); err == nil {
+		t.Fatal("RecoverAnalyzer accepted an empty DataDir")
+	}
+}
+
+// A fresh NewAnalyzer over a directory that already holds durable
+// state must refuse and point at RecoverAnalyzer.
+func TestAnalyzerRefusesExistingState(t *testing.T) {
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(4, 1)
+	dir := t.TempDir()
+	topo, lns, aln := bindTopology(t, 2)
+	for _, ln := range lns {
+		ln.Close()
+	}
+	a, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{Topology: topo, Listener: aln, FO: fo, Priv: priv, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{Topology: topo, FO: fo, Priv: priv, DataDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "RecoverAnalyzer") {
+		t.Fatalf("want an ErrExists error pointing at RecoverAnalyzer, got %v", err)
+	}
+}
+
+// A client flooding shares past the node's buffer cap is disconnected
+// without taking the shuffler down.
+func TestClusterShufflerCapsFloodingClient(t *testing.T) {
+	const (
+		r  = 2
+		d  = 8
+		nr = 2
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, 91, nil, func(_ int, cfg *cluster.ShufflerConfig) {
+		cfg.MaxBuffered = 25
+	})
+	flood, err := net.Dial("tcp", h.topo.Shufflers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flood.Close()
+	if err := transport.WriteTaggedFrame(flood, 3 /* clientHello */, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	// 40 shares for a collection that will never seal: the node must
+	// cut the connection once its buffer cap (25) is reached.
+	var payload [16]byte
+	wrote := 0
+	for i := 0; i < 40; i++ {
+		payload[3] = 99 // collection 99 (big-endian u32)
+		payload[7] = byte(i)
+		if err := transport.WriteTaggedFrame(flood, 4 /* report */, payload[:]); err != nil {
+			break
+		}
+		wrote++
+	}
+	// The node drops the connection; observe it as a read error/EOF.
+	flood.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := flood.Read(make([]byte, 1)); err == nil {
+		t.Fatal("flooding connection was not dropped")
+	}
+	// The node itself must still be alive (its Run has not returned).
+	select {
+	case err := <-h.runErr[0]:
+		t.Fatalf("shuffler died on a flooding client: %v", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	_ = wrote
+}

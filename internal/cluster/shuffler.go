@@ -1,0 +1,592 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/oblivious"
+	"shuffledp/internal/pipeline"
+	"shuffledp/internal/secretshare"
+	"shuffledp/internal/transport"
+)
+
+// ShufflerConfig parameterizes one shuffler node.
+type ShufflerConfig struct {
+	// Index is this shuffler's role id in [0, R). Shuffler R-1 is the
+	// encrypted column's initial holder: clients send it AHE
+	// ciphertexts instead of plain shares.
+	Index int
+	// Topology names every role's address.
+	Topology Topology
+	// Listener optionally supplies a pre-bound listener (overriding
+	// Topology.Shufflers[Index]); the node closes it.
+	Listener net.Listener
+	// NR is the number of joint fake reports; this node contributes
+	// one share of each (Algorithm 1, "Shuffler j").
+	NR int
+	// Pub is the analyzer's AHE public key. Every shuffler needs it:
+	// any party can become the ciphertext holder during the shuffle.
+	Pub ahe.PublicKey
+	// Source is this node's own protocol randomness (share splits,
+	// permutation seeds, holder choices). Use secretshare.Crypto in
+	// production; a seeded rng in tests.
+	Source secretshare.Source
+	// FakeSource, when non-nil, draws the node's fake shares instead
+	// of Source — the hook the conformance tests use to align fakes
+	// with an in-process protocol.PEOS reference.
+	FakeSource secretshare.Source
+	// FastShuffle disables ciphertext rerandomization (Table III cost
+	// model; see oblivious.Config.SkipRerandomize for the caveat).
+	FastShuffle bool
+	// IdleTimeout bounds the silence tolerated on a client connection
+	// between report frames (0 = none); stalled clients are dropped.
+	IdleTimeout time.Duration
+	// SealTimeout bounds (a) the wait for a sealed collection's report
+	// set to complete and (b) each peer message exchange during the
+	// shuffle. 0 means no bound.
+	SealTimeout time.Duration
+	// MaxBuffered caps the total client shares held across all
+	// not-yet-sealed collections (0 = DefaultMaxBuffered). A client
+	// streaming shares for rounds that never seal must not grow the
+	// node without bound; past the cap its connection is dropped.
+	// Shares buffered for rounds that never seal stay held until the
+	// node restarts, so size the cap to cover the deployment's open
+	// rounds with headroom.
+	MaxBuffered int
+	// DialTimeout bounds connection establishment to peers and the
+	// analyzer (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+}
+
+// collectionBuf buffers one collection's share column as it streams in
+// from clients.
+type collectionBuf struct {
+	plain  map[uint32]uint64
+	encCt  map[uint32][]byte
+	notify chan struct{}
+}
+
+func newCollectionBuf() *collectionBuf {
+	return &collectionBuf{
+		plain:  make(map[uint32]uint64),
+		encCt:  make(map[uint32][]byte),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+func (c *collectionBuf) size() int { return len(c.plain) + len(c.encCt) }
+
+// Shuffler is one running shuffler node. Create it with NewShuffler,
+// drive it with Run (which blocks for the node's lifetime), and stop
+// it with Close — ungracefully, which is exactly what the
+// kill-a-shuffler smoke test does.
+type Shuffler struct {
+	cfg ShufflerConfig
+	ln  net.Listener
+	mod secretshare.Modulus
+
+	mu       sync.Mutex
+	peers    []net.Conn // by shuffler index, nil at own slot
+	peerMore chan struct{}
+	analyzer net.Conn
+	conns    map[net.Conn]struct{} // client (and handshaking) connections
+	cols     map[uint32]*collectionBuf
+	doneCols map[uint32]bool // one bool per sealed round — negligible growth
+	buffered int             // total shares across s.cols, bounded by MaxBuffered
+	closed   bool
+	firstErr error
+}
+
+// DefaultMaxBuffered is the ShufflerConfig.MaxBuffered default: at
+// ~16-130 bytes per buffered share (plain word vs. serialized
+// ciphertext) it bounds a node's client-driven memory to low hundreds
+// of megabytes in the worst case — the cluster analogue of the
+// service's rejectedLogCap hardening.
+const DefaultMaxBuffered = 1 << 20
+
+// errBufferFull marks a client that exceeded the node's share-buffer
+// cap; its connection is dropped without failing the node.
+var errBufferFull = errors.New("cluster: client share buffer cap exceeded")
+
+// NewShuffler validates the configuration and binds the listener; the
+// node does nothing else until Run.
+func NewShuffler(cfg ShufflerConfig) (*Shuffler, error) {
+	if err := cfg.Topology.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Topology.R() {
+		return nil, fmt.Errorf("cluster: shuffler index %d out of range [0, %d)", cfg.Index, cfg.Topology.R())
+	}
+	if cfg.NR < 0 {
+		return nil, errors.New("cluster: negative fake-report count")
+	}
+	if cfg.Pub == nil {
+		return nil, errors.New("cluster: shuffler needs the analyzer's AHE public key")
+	}
+	if cfg.Pub.PlaintextBits() != 64 {
+		return nil, fmt.Errorf("cluster: PEOS requires a Z_{2^64} AHE plaintext space, got 2^%d", cfg.Pub.PlaintextBits())
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("cluster: shuffler needs a randomness source")
+	}
+	ln, err := listenOrUse(cfg.Listener, cfg.Topology.Shufflers[cfg.Index])
+	if err != nil {
+		return nil, err
+	}
+	return &Shuffler{
+		cfg:      cfg,
+		ln:       ln,
+		mod:      secretshare.NewModulus(64),
+		peers:    make([]net.Conn, cfg.Topology.R()),
+		peerMore: make(chan struct{}, 1),
+		conns:    make(map[net.Conn]struct{}),
+		cols:     make(map[uint32]*collectionBuf),
+		doneCols: make(map[uint32]bool),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Shuffler) Addr() string { return s.ln.Addr().String() }
+
+// encHolder reports whether this node starts each collection holding
+// the encrypted column.
+func (s *Shuffler) encHolder() bool { return s.cfg.Index == s.cfg.Topology.R()-1 }
+
+// Run connects the node into the cluster and serves collections until
+// the analyzer closes its connection (clean shutdown, returns nil),
+// Close is called, or a protocol error occurs. The connection plan is
+// deterministic: this node dials every lower-index shuffler and the
+// analyzer, and accepts connections from higher-index shufflers and
+// from clients.
+func (s *Shuffler) Run() error {
+	defer s.teardown()
+	go s.acceptLoop()
+
+	// Dial downwards and identify ourselves.
+	for j := 0; j < s.cfg.Index; j++ {
+		conn, err := dialRetry(s.cfg.Topology.Shufflers[j], s.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		if err := writeHello(conn, tagPeerHello, s.cfg.Index); err != nil {
+			conn.Close()
+			return err
+		}
+		s.mu.Lock()
+		s.peers[j] = conn
+		s.mu.Unlock()
+	}
+	analyzer, err := dialRetry(s.cfg.Topology.Analyzer, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.analyzer = analyzer
+	s.mu.Unlock()
+	if err := writeHello(analyzer, tagShufflerHello, s.cfg.Index); err != nil {
+		return err
+	}
+	if err := s.awaitPeers(); err != nil {
+		return err
+	}
+
+	// Control loop: the analyzer drives collections with seal frames.
+	for {
+		tag, payload, err := transport.ReadTaggedFrame(analyzer)
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return s.errOrNil()
+		}
+		if err != nil {
+			if s.isClosed() {
+				return s.errOrNil()
+			}
+			return fmt.Errorf("cluster: shuffler %d analyzer link: %w", s.cfg.Index, err)
+		}
+		if tag != tagSeal {
+			return fmt.Errorf("%w: analyzer sent tag %d, want seal", errBadFrame, tag)
+		}
+		collection, n, err := parseSealFrame(payload)
+		if err != nil {
+			return err
+		}
+		if err := s.runCollection(collection, n); err != nil {
+			// Tell the analyzer why before going down: Collect should
+			// fail with the cause, not a bare connection reset.
+			_ = transport.WriteTaggedFrame(analyzer, tagFail, prefixed(collection, []byte(err.Error())))
+			return fmt.Errorf("cluster: shuffler %d collection %d: %w", s.cfg.Index, collection, err)
+		}
+	}
+}
+
+// awaitPeers blocks until every peer link exists (higher-index peers
+// dial in through the accept loop).
+func (s *Shuffler) awaitPeers() error {
+	deadline := time.Now().Add(maxDuration(s.cfg.DialTimeout, DefaultDialTimeout))
+	for {
+		s.mu.Lock()
+		missing := 0
+		for j, c := range s.peers {
+			if j != s.cfg.Index && c == nil {
+				missing++
+			}
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if missing == 0 {
+			return nil
+		}
+		if closed {
+			return errors.New("cluster: shuffler closed")
+		}
+		select {
+		case <-s.peerMore:
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("cluster: shuffler %d: %d peer link(s) never connected", s.cfg.Index, missing)
+		}
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// acceptLoop classifies inbound connections by their hello frame:
+// higher-index peers join the mesh, clients get a report reader.
+func (s *Shuffler) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by teardown/Close
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Shuffler) handleConn(conn net.Conn) {
+	// Track the connection from its first byte — teardown must be able
+	// to close it (unblocking this goroutine) even before the hello
+	// identifies it — and bound the hello wait itself.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	tag, payload, err := transport.ReadTaggedFrame(conn)
+	if err != nil {
+		s.dropConn(conn)
+		return
+	}
+	// The role loops below manage their own deadlines.
+	conn.SetReadDeadline(time.Time{})
+	switch tag {
+	case tagPeerHello:
+		from, err := parseHelloIndex(payload, s.cfg.Topology.R())
+		if err != nil || from <= s.cfg.Index {
+			s.dropConn(conn)
+			return
+		}
+		s.mu.Lock()
+		if s.peers[from] != nil {
+			s.mu.Unlock()
+			s.dropConn(conn)
+			return
+		}
+		s.peers[from] = conn
+		delete(s.conns, conn) // now owned by the peer mesh
+		s.mu.Unlock()
+		select {
+		case s.peerMore <- struct{}{}:
+		default:
+		}
+	case tagClientHello:
+		s.readClient(conn)
+	default:
+		s.dropConn(conn)
+	}
+}
+
+// dropConn untracks and closes a connection that failed its handshake.
+func (s *Shuffler) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// readClient is the node's ingest stage: the same deadline-guarded
+// pipeline.Reader the streaming service uses, feeding the collection
+// buffers.
+func (s *Shuffler) readClient(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	rd := &pipeline.Reader{
+		Conn:        conn,
+		IdleTimeout: s.cfg.IdleTimeout,
+		Handle: func(tag uint32, frame []byte) error {
+			if tag != tagReport && tag != tagEncReport {
+				return fmt.Errorf("%w: client sent tag %d", errBadFrame, tag)
+			}
+			rf, err := parseReportFrame(tag, frame)
+			if err != nil {
+				return err
+			}
+			return s.storeShare(tag == tagEncReport, rf)
+		},
+	}
+	switch err := rd.Run(); {
+	case err == nil || errors.Is(err, pipeline.ErrIdleTimeout) || errors.Is(err, errBufferFull):
+		// EOF is the client's "done"; a stalled or flooding client is
+		// simply dropped — its delivered shares stay valid and the
+		// node keeps serving everyone else.
+	default:
+		if !s.isClosed() {
+			s.fail(err)
+		}
+	}
+}
+
+// storeShare buffers one client share. The encrypted holder accepts
+// only ciphertext frames and vice versa; duplicate indices are a
+// protocol violation surfaced at the seal.
+func (s *Shuffler) storeShare(enc bool, rf reportFrame) error {
+	if enc != s.encHolder() {
+		return fmt.Errorf("%w: share kind does not match shuffler role %d", errBadFrame, s.cfg.Index)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.doneCols[rf.collection] {
+		// The collection already shuffled and forwarded: a late or
+		// re-sent frame must neither re-open its buffer (which would
+		// leak and defeat duplicate detection) nor fail the node —
+		// it is simply late, and dropped.
+		return nil
+	}
+	max := s.cfg.MaxBuffered
+	if max <= 0 {
+		max = DefaultMaxBuffered
+	}
+	if s.buffered >= max {
+		return errBufferFull
+	}
+	col := s.cols[rf.collection]
+	if col == nil {
+		col = newCollectionBuf()
+		s.cols[rf.collection] = col
+	}
+	if _, dup := col.plain[rf.index]; !dup {
+		_, dup = col.encCt[rf.index]
+		if !dup {
+			if enc {
+				col.encCt[rf.index] = rf.ct
+			} else {
+				col.plain[rf.index] = rf.share
+			}
+			s.buffered++
+			select {
+			case col.notify <- struct{}{}:
+			default:
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: duplicate share for collection %d index %d", rf.collection, rf.index)
+}
+
+// runCollection executes one sealed collection: wait for the column to
+// complete, append this node's fake shares, shuffle with the peers,
+// forward the result to the analyzer.
+func (s *Shuffler) runCollection(collection uint32, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: seal with %d users", n)
+	}
+	col, err := s.awaitColumn(collection, n)
+	if err != nil {
+		return err
+	}
+
+	fakeSrc := s.cfg.FakeSource
+	if fakeSrc == nil {
+		fakeSrc = s.cfg.Source
+	}
+	total := n + s.cfg.NR
+	var plain []uint64
+	var enc []*ahe.Ciphertext
+	if s.encHolder() {
+		enc = make([]*ahe.Ciphertext, total)
+		for i := 0; i < n; i++ {
+			c, err := s.cfg.Pub.Deserialize(col.encCt[uint32(i)])
+			if err != nil {
+				return fmt.Errorf("cluster: client ciphertext %d: %w", i, err)
+			}
+			enc[i] = c
+		}
+		for k := 0; k < s.cfg.NR; k++ {
+			c, err := s.cfg.Pub.Encrypt(s.mod.Random(fakeSrc))
+			if err != nil {
+				return err
+			}
+			enc[n+k] = c
+		}
+	} else {
+		plain = make([]uint64, total)
+		for i := 0; i < n; i++ {
+			plain[i] = col.plain[uint32(i)]
+		}
+		for k := 0; k < s.cfg.NR; k++ {
+			plain[n+k] = s.mod.Random(fakeSrc)
+		}
+	}
+
+	s.mu.Lock()
+	peers := append([]net.Conn(nil), s.peers...)
+	analyzer := s.analyzer
+	s.mu.Unlock()
+	tr := newConnTransport(peers, s.cfg.Pub, s.cfg.SealTimeout)
+	outPlain, outEnc, err := oblivious.RunParty(oblivious.PartyConfig{
+		Index:           s.cfg.Index,
+		Parties:         s.cfg.Topology.R(),
+		Mod:             s.mod,
+		Source:          s.cfg.Source,
+		Pub:             s.cfg.Pub,
+		SkipRerandomize: s.cfg.FastShuffle,
+	}, tr, plain, enc)
+	if err != nil {
+		return err
+	}
+
+	// Forward stage: the post-shuffle vector goes to the analyzer.
+	if outEnc != nil {
+		return transport.WriteTaggedFrame(analyzer, tagEncVector, prefixed(collection, encodeCiphertexts(s.cfg.Pub, outEnc)))
+	}
+	return transport.WriteTaggedFrame(analyzer, tagVector, prefixed(collection, transport.EncodeUint64s(outPlain)))
+}
+
+// awaitColumn blocks until the collection holds exactly the shares of
+// users 0..n-1 (clients may still be flushing when the analyzer
+// seals). An index at or past n is a protocol violation: the analyzer
+// sealed a smaller round than some client reported into.
+func (s *Shuffler) awaitColumn(collection uint32, n int) (*collectionBuf, error) {
+	var deadline <-chan time.Time
+	if s.cfg.SealTimeout > 0 {
+		t := time.NewTimer(s.cfg.SealTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	s.mu.Lock()
+	col := s.cols[collection]
+	if col == nil {
+		col = newCollectionBuf()
+		s.cols[collection] = col
+	}
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		size := col.size()
+		closed := s.closed
+		err := s.firstErr
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if closed {
+			return nil, errors.New("cluster: shuffler closed")
+		}
+		if size >= n {
+			break
+		}
+		select {
+		case <-col.notify:
+		case <-deadline:
+			return nil, fmt.Errorf("cluster: collection %d sealed at %d users but only %d shares arrived", collection, n, size)
+		case <-time.After(50 * time.Millisecond):
+			// Re-check closed/firstErr even with no traffic.
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cols, collection)
+	s.doneCols[collection] = true
+	s.buffered -= col.size()
+	if col.size() != n {
+		return nil, fmt.Errorf("cluster: collection %d has %d shares for %d sealed users", collection, col.size(), n)
+	}
+	for i := 0; i < n; i++ {
+		_, okP := col.plain[uint32(i)]
+		_, okE := col.encCt[uint32(i)]
+		if !okP && !okE {
+			return nil, fmt.Errorf("cluster: collection %d is missing user %d (an index past the sealed count was reported)", collection, i)
+		}
+	}
+	return col, nil
+}
+
+// Close tears the node down ungracefully: every connection and the
+// listener drop, in-flight collections fail. This is the induced fault
+// of the kill-a-shuffler smoke test.
+func (s *Shuffler) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.teardown()
+	return nil
+}
+
+func (s *Shuffler) teardown() {
+	s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.peers {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if s.analyzer != nil {
+		s.analyzer.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Shuffler) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Shuffler) errOrNil() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+func (s *Shuffler) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	// Wake any column wait so the failure surfaces promptly.
+	for _, col := range s.cols {
+		select {
+		case col.notify <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}

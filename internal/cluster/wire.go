@@ -1,0 +1,264 @@
+package cluster
+
+// Wire format. Every cluster message is one transport tagged frame:
+// the 32-bit tag is the message kind, the payload layouts are below
+// (integers big-endian, share words little-endian via
+// transport.EncodeUint64s, matching the rest of the repository).
+//
+//	peerHello      [from u8]                       shuffler -> shuffler
+//	shufflerHello  [index u8]                      shuffler -> analyzer
+//	clientHello    []                              client   -> shuffler
+//	report         [collection u32][index u32][share u64le]
+//	encReport      [collection u32][index u32][ct ...]
+//	seal           [collection u32][n u32]         analyzer -> shuffler
+//	vector         [collection u32][words ...]     shuffler -> analyzer
+//	encVector      [collection u32][cts ...]       shuffler -> analyzer
+//	fail           [collection u32][utf8 message]  shuffler -> analyzer
+//	roundPlain     [round u32][words ...]          EOS peer traffic
+//	roundEnc       [round u32][cts ...]            EOS peer traffic
+//	roundSeed      [round u32][seed u64be]         EOS peer traffic
+//
+// Ciphertext vectors are the fixed-size ahe serialization
+// concatenated, so the element count is implied by the payload length.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/oblivious"
+	"shuffledp/internal/transport"
+)
+
+// Message kinds (frame tags).
+const (
+	tagPeerHello uint32 = iota + 1
+	tagShufflerHello
+	tagClientHello
+	tagReport
+	tagEncReport
+	tagSeal
+	tagVector
+	tagEncVector
+	tagFail
+	tagRoundPlain
+	tagRoundEnc
+	tagRoundSeed
+)
+
+// errBadFrame wraps every malformed-payload failure so callers can
+// distinguish protocol violations from transport errors.
+var errBadFrame = errors.New("cluster: malformed frame")
+
+func writeHello(w io.Writer, tag uint32, index int) error {
+	return transport.WriteTaggedFrame(w, tag, []byte{byte(index)})
+}
+
+func parseHelloIndex(payload []byte, limit int) (int, error) {
+	if len(payload) != 1 || int(payload[0]) >= limit {
+		return 0, fmt.Errorf("%w: bad hello index", errBadFrame)
+	}
+	return int(payload[0]), nil
+}
+
+func writeReportFrame(w io.Writer, collection, index uint32, share uint64) error {
+	var payload [16]byte
+	binary.BigEndian.PutUint32(payload[0:], collection)
+	binary.BigEndian.PutUint32(payload[4:], index)
+	binary.LittleEndian.PutUint64(payload[8:], share)
+	return transport.WriteTaggedFrame(w, tagReport, payload[:])
+}
+
+func writeEncReportFrame(w io.Writer, collection, index uint32, ct []byte) error {
+	payload := make([]byte, 8+len(ct))
+	binary.BigEndian.PutUint32(payload[0:], collection)
+	binary.BigEndian.PutUint32(payload[4:], index)
+	copy(payload[8:], ct)
+	return transport.WriteTaggedFrame(w, tagEncReport, payload)
+}
+
+// reportFrame is one parsed client share frame.
+type reportFrame struct {
+	collection uint32
+	index      uint32
+	share      uint64 // tagReport
+	ct         []byte // tagEncReport
+}
+
+func parseReportFrame(tag uint32, payload []byte) (reportFrame, error) {
+	if len(payload) < 8 {
+		return reportFrame{}, fmt.Errorf("%w: short report frame", errBadFrame)
+	}
+	rf := reportFrame{
+		collection: binary.BigEndian.Uint32(payload[0:]),
+		index:      binary.BigEndian.Uint32(payload[4:]),
+	}
+	if tag == tagReport {
+		if len(payload) != 16 {
+			return reportFrame{}, fmt.Errorf("%w: plain share frame has %d bytes", errBadFrame, len(payload))
+		}
+		rf.share = binary.LittleEndian.Uint64(payload[8:])
+		return rf, nil
+	}
+	if len(payload) == 8 {
+		return reportFrame{}, fmt.Errorf("%w: empty ciphertext frame", errBadFrame)
+	}
+	rf.ct = append([]byte(nil), payload[8:]...)
+	return rf, nil
+}
+
+func writeSealFrame(w io.Writer, collection uint32, n int) error {
+	var payload [8]byte
+	binary.BigEndian.PutUint32(payload[0:], collection)
+	binary.BigEndian.PutUint32(payload[4:], uint32(n))
+	return transport.WriteTaggedFrame(w, tagSeal, payload[:])
+}
+
+func parseSealFrame(payload []byte) (collection uint32, n int, err error) {
+	if len(payload) != 8 {
+		return 0, 0, fmt.Errorf("%w: bad seal frame", errBadFrame)
+	}
+	return binary.BigEndian.Uint32(payload[0:]), int(binary.BigEndian.Uint32(payload[4:])), nil
+}
+
+// prefixed returns a payload of [collection u32][body].
+func prefixed(collection uint32, body []byte) []byte {
+	payload := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(payload, collection)
+	copy(payload[4:], body)
+	return payload
+}
+
+func splitPrefixed(payload []byte) (uint32, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("%w: missing collection prefix", errBadFrame)
+	}
+	return binary.BigEndian.Uint32(payload), payload[4:], nil
+}
+
+// encodeCiphertexts concatenates the fixed-size serializations.
+func encodeCiphertexts(pub ahe.PublicKey, cts []*ahe.Ciphertext) []byte {
+	size := pub.CiphertextBytes()
+	out := make([]byte, 0, size*len(cts))
+	for _, c := range cts {
+		out = append(out, pub.Serialize(c)...)
+	}
+	return out
+}
+
+func decodeCiphertexts(pub ahe.PublicKey, data []byte) ([]*ahe.Ciphertext, error) {
+	size := pub.CiphertextBytes()
+	if size <= 0 || len(data)%size != 0 {
+		return nil, fmt.Errorf("%w: ciphertext vector length %d not a multiple of %d", errBadFrame, len(data), size)
+	}
+	out := make([]*ahe.Ciphertext, len(data)/size)
+	for i := range out {
+		c, err := pub.Deserialize(data[i*size : (i+1)*size])
+		if err != nil {
+			return nil, fmt.Errorf("%w: ciphertext %d: %v", errBadFrame, i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// connTransport adapts the shuffler's peer connections to
+// oblivious.Transport. peers[j] is the connection to party j (nil at
+// the own index). Sends and receives for one peer never run
+// concurrently with each other from the engine (per-phase discipline),
+// but a send goroutine and the receive loop run at once for DIFFERENT
+// peers, so each direction only needs per-connection serialization.
+type connTransport struct {
+	peers   []net.Conn
+	pub     ahe.PublicKey
+	timeout time.Duration // per-message I/O deadline, 0 = none
+	sendMu  []sync.Mutex
+}
+
+func newConnTransport(peers []net.Conn, pub ahe.PublicKey, timeout time.Duration) *connTransport {
+	return &connTransport{peers: peers, pub: pub, timeout: timeout, sendMu: make([]sync.Mutex, len(peers))}
+}
+
+func (t *connTransport) conn(p int) (net.Conn, error) {
+	if p < 0 || p >= len(t.peers) || t.peers[p] == nil {
+		return nil, fmt.Errorf("cluster: no connection to shuffler %d", p)
+	}
+	return t.peers[p], nil
+}
+
+// Send implements oblivious.Transport.
+func (t *connTransport) Send(to int, m oblivious.Msg) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	t.sendMu[to].Lock()
+	defer t.sendMu[to].Unlock()
+	if t.timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(t.timeout)); err != nil {
+			return err
+		}
+	}
+	var round [4]byte
+	binary.BigEndian.PutUint32(round[:], uint32(m.Round))
+	switch m.Kind {
+	case oblivious.MsgPlain:
+		return transport.WriteTaggedFrame(conn, tagRoundPlain, append(round[:], transport.EncodeUint64s(m.Words)...))
+	case oblivious.MsgEnc:
+		return transport.WriteTaggedFrame(conn, tagRoundEnc, append(round[:], encodeCiphertexts(t.pub, m.Enc)...))
+	case oblivious.MsgSeed:
+		payload := make([]byte, 12)
+		copy(payload, round[:])
+		binary.BigEndian.PutUint64(payload[4:], m.Seed)
+		return transport.WriteTaggedFrame(conn, tagRoundSeed, payload)
+	}
+	return fmt.Errorf("cluster: unknown message kind %d", m.Kind)
+}
+
+// Recv implements oblivious.Transport.
+func (t *connTransport) Recv(from int) (oblivious.Msg, error) {
+	conn, err := t.conn(from)
+	if err != nil {
+		return oblivious.Msg{}, err
+	}
+	if t.timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
+			return oblivious.Msg{}, err
+		}
+	}
+	tag, payload, err := transport.ReadTaggedFrame(conn)
+	if err != nil {
+		return oblivious.Msg{}, err
+	}
+	if len(payload) < 4 {
+		return oblivious.Msg{}, fmt.Errorf("%w: short round message", errBadFrame)
+	}
+	m := oblivious.Msg{Round: int(binary.BigEndian.Uint32(payload))}
+	body := payload[4:]
+	switch tag {
+	case tagRoundPlain:
+		m.Kind = oblivious.MsgPlain
+		if m.Words, err = transport.DecodeUint64s(body); err != nil {
+			return oblivious.Msg{}, err
+		}
+	case tagRoundEnc:
+		m.Kind = oblivious.MsgEnc
+		if m.Enc, err = decodeCiphertexts(t.pub, body); err != nil {
+			return oblivious.Msg{}, err
+		}
+	case tagRoundSeed:
+		m.Kind = oblivious.MsgSeed
+		if len(body) != 8 {
+			return oblivious.Msg{}, fmt.Errorf("%w: bad seed message", errBadFrame)
+		}
+		m.Seed = binary.BigEndian.Uint64(body)
+	default:
+		return oblivious.Msg{}, fmt.Errorf("%w: unexpected tag %d during the shuffle", errBadFrame, tag)
+	}
+	return m, nil
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/transport"
+)
+
+func TestReportFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeReportFrame(&buf, 3, 17, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err := transport.ReadTaggedFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != tagReport {
+		t.Fatalf("tag %d", tag)
+	}
+	rf, err := parseReportFrame(tag, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.collection != 3 || rf.index != 17 || rf.share != 0xfeedface {
+		t.Fatalf("parsed %+v", rf)
+	}
+
+	buf.Reset()
+	if err := writeEncReportFrame(&buf, 4, 18, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, _ = transport.ReadTaggedFrame(&buf)
+	rf, err = parseReportFrame(tag, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.collection != 4 || rf.index != 18 || !bytes.Equal(rf.ct, []byte{9, 9, 9}) {
+		t.Fatalf("parsed %+v", rf)
+	}
+}
+
+func TestWireParseRejectsMalformedFrames(t *testing.T) {
+	if _, err := parseReportFrame(tagReport, []byte{1, 2}); !errors.Is(err, errBadFrame) {
+		t.Fatalf("short report: %v", err)
+	}
+	if _, err := parseReportFrame(tagReport, make([]byte, 17)); !errors.Is(err, errBadFrame) {
+		t.Fatalf("long plain share: %v", err)
+	}
+	if _, err := parseReportFrame(tagEncReport, make([]byte, 8)); !errors.Is(err, errBadFrame) {
+		t.Fatalf("empty ciphertext: %v", err)
+	}
+	if _, _, err := parseSealFrame([]byte{1}); !errors.Is(err, errBadFrame) {
+		t.Fatalf("short seal: %v", err)
+	}
+	if _, _, err := splitPrefixed([]byte{1, 2}); !errors.Is(err, errBadFrame) {
+		t.Fatalf("short prefix: %v", err)
+	}
+	if _, err := parseHelloIndex([]byte{5}, 3); err == nil {
+		t.Fatal("out-of-range hello index accepted")
+	}
+	if _, err := parseHelloIndex(nil, 3); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+}
+
+func TestCiphertextVectorCodec(t *testing.T) {
+	priv, err := ahe.GenerateDGK(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := ahe.PublicKey(priv)
+	cts := make([]*ahe.Ciphertext, 3)
+	for i := range cts {
+		c, err := pub.Encrypt(uint64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = c
+	}
+	blob := encodeCiphertexts(pub, cts)
+	out, err := decodeCiphertexts(pub, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range out {
+		m, err := priv.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != uint64(100+i) {
+			t.Fatalf("element %d decrypts to %d", i, m)
+		}
+	}
+	if _, err := decodeCiphertexts(pub, blob[:len(blob)-1]); !errors.Is(err, errBadFrame) {
+		t.Fatalf("truncated vector: %v", err)
+	}
+}

@@ -20,6 +20,15 @@
 // reference parties for that wire format; the production path —
 // concurrent connections, streaming batches, mid-stream snapshots —
 // lives in internal/service, and RunPipeline runs on top of it.
+//
+// This package covers only the BASIC one-shuffler model. The paper's
+// hardened protocol — PEOS, with R >= 2 shufflers, secret-shared
+// reports, joint fake injection, and the encrypted oblivious shuffle
+// (§VI, Algorithm 1) — has its own deployable face in
+// internal/cluster: real shuffler and analyzer nodes exchanging the
+// protocol's messages over TCP, driven by cmd/shuffled's
+// shuffler/analyzer/client subcommands and demonstrated by
+// examples/peos_cluster.
 package netproto
 
 import (

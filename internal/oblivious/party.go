@@ -1,0 +1,432 @@
+package oblivious
+
+// Distributed party engine: the same hide-and-seek EOS as Run, but
+// executed from the perspective of ONE shuffler exchanging messages
+// with its peers instead of a simulator mutating the joint state. The
+// round schedule (Hiders, Combinations) and the share arithmetic are
+// shared with the in-process simulator, so the two express one
+// protocol; what RunParty adds is the message discipline — who sends
+// what to whom in each phase, and in which order a party may block on
+// its peers. internal/cluster runs R of these engines over real TCP
+// connections to form the networked PEOS shuffler tier.
+//
+// Per round (hider set H, |H| = t, seekers S = [r] \ H):
+//
+//	hide     seeker s splits its vector into t parts, one per hider
+//	         (the encrypted seeker: t-1 plaintext parts plus the
+//	         ciphertext remainder to one hider). Hiders accumulate.
+//	shuffle  hiders[0] samples a permutation seed and sends it to the
+//	         other hiders; every hider applies the permutation (the
+//	         ciphertext hider also rerandomizes).
+//	reshare  each hider splits its vector into r parts, one per party
+//	         (the ciphertext hider: r-1 plaintext parts plus the
+//	         remainder to one party, who becomes the next holder).
+//	         Every party sums what it received into its new vector.
+//
+// Message counts per phase are structural — a hider hears from every
+// seeker, a non-lead hider hears one seed, everyone hears from every
+// hider in reshare — so a party always knows exactly which peers to
+// block on, and FIFO order per peer pair is the only transport
+// guarantee required. Each phase's sends run concurrently with its
+// receives (two parties sending large vectors to each other must not
+// deadlock on full transport buffers).
+
+import (
+	"errors"
+	"fmt"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+)
+
+// MsgKind discriminates the distributed-shuffle messages.
+type MsgKind uint8
+
+const (
+	// MsgPlain carries a plaintext share vector (a hide-phase part, a
+	// reshare part, or a party's final vector).
+	MsgPlain MsgKind = iota + 1
+	// MsgEnc carries an AHE ciphertext vector (the encrypted remainder
+	// moving to its next holder).
+	MsgEnc
+	// MsgSeed carries the hiders' joint permutation seed.
+	MsgSeed
+)
+
+// Msg is one party-to-party message of the distributed oblivious
+// shuffle.
+type Msg struct {
+	// Kind selects which payload field is meaningful.
+	Kind MsgKind
+	// Round is the hide-and-seek round the message belongs to; both
+	// ends validate it so a desynchronized peer is an error, not a
+	// corrupted shuffle.
+	Round int
+	// Words is the plaintext share vector (MsgPlain).
+	Words []uint64
+	// Enc is the ciphertext vector (MsgEnc).
+	Enc []*ahe.Ciphertext
+	// Seed is the joint permutation seed (MsgSeed).
+	Seed uint64
+}
+
+// Transport delivers messages between the r parties of one shuffle.
+// Implementations must preserve order per (sender, receiver) pair —
+// that is the only delivery guarantee the engine relies on. Send may
+// block (the engine never sends and receives from the same goroutine
+// within a phase); Recv blocks until the next message from that peer
+// arrives.
+type Transport interface {
+	// Send delivers m to party `to`.
+	Send(to int, m Msg) error
+	// Recv returns the next message sent by party `from`.
+	Recv(from int) (Msg, error)
+}
+
+// PartyConfig parameterizes one shuffler's engine.
+type PartyConfig struct {
+	// Index is this party's id in [0, Parties).
+	Index int
+	// Parties is r, the number of shufflers.
+	Parties int
+	// Mod is the share ring Z_{2^l}.
+	Mod secretshare.Modulus
+	// Source is this party's own randomness (its share splits, its
+	// permutation seeds when it leads a round, its holder choices).
+	// Unlike the simulator's single joint source, every party draws
+	// only from its own.
+	Source secretshare.Source
+	// Pub is the server's AHE key. Every party needs it: any party can
+	// become the ciphertext holder through resharing.
+	Pub ahe.PublicKey
+	// SkipRerandomize reproduces the paper's Table III cost model (see
+	// Config.SkipRerandomize for the caveat).
+	SkipRerandomize bool
+	// Rounds overrides the number of hide-and-seek rounds (0 means the
+	// full C(r, t) schedule, required for the security guarantee).
+	Rounds int
+}
+
+func (cfg PartyConfig) validate(plain []uint64, enc []*ahe.Ciphertext) error {
+	if cfg.Parties < 2 {
+		return errors.New("oblivious: need at least 2 shufflers")
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Parties {
+		return fmt.Errorf("oblivious: party index %d out of range [0, %d)", cfg.Index, cfg.Parties)
+	}
+	if cfg.Source == nil {
+		return errors.New("oblivious: PartyConfig.Source is required")
+	}
+	if cfg.Pub == nil {
+		return errors.New("oblivious: PartyConfig.Pub is required (any party can become the ciphertext holder)")
+	}
+	if plain != nil && enc != nil {
+		return errors.New("oblivious: a party holds a plaintext or a ciphertext vector, not both")
+	}
+	if plain == nil && enc == nil {
+		return errors.New("oblivious: party holds no vector")
+	}
+	return nil
+}
+
+// RunParty executes the distributed encrypted oblivious shuffle for
+// one party. plain is this party's share vector, or nil when it enters
+// holding the ciphertext vector enc (exactly one party of the run
+// does). It returns the party's post-shuffle vector: plain shares for
+// most parties, the ciphertext vector for the final holder.
+func RunParty(cfg PartyConfig, tr Transport, plain []uint64, enc []*ahe.Ciphertext) ([]uint64, []*ahe.Ciphertext, error) {
+	if err := cfg.validate(plain, enc); err != nil {
+		return nil, nil, err
+	}
+	r := cfg.Parties
+	t := Hiders(r)
+	partitions := Combinations(r, t)
+	rounds := cfg.Rounds
+	if rounds <= 0 || rounds > len(partitions) {
+		rounds = len(partitions)
+	}
+	n := len(plain)
+	if enc != nil {
+		n = len(enc)
+	}
+	icfg := Config{Mod: cfg.Mod, Source: cfg.Source, Pub: cfg.Pub, SkipRerandomize: cfg.SkipRerandomize}
+	for round := 0; round < rounds; round++ {
+		var err error
+		plain, enc, err = runPartyRound(cfg, icfg, tr, round, partitions[round], n, plain, enc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("oblivious: party %d round %d: %w", cfg.Index, round, err)
+		}
+	}
+	return plain, enc, nil
+}
+
+// sendAll runs sends in a goroutine so a phase's sends never block its
+// receives; the returned channel yields the first send error.
+func sendAll(fn func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	return errc
+}
+
+// expectMsg receives the next message from a peer and validates the
+// round; the caller validates the kind, since a receiver cannot know
+// in advance whether a peer forwards plaintext or the ciphertext
+// remainder.
+func expectMsg(tr Transport, from, round int) (Msg, error) {
+	m, err := tr.Recv(from)
+	if err != nil {
+		return Msg{}, fmt.Errorf("recv from party %d: %w", from, err)
+	}
+	if m.Round != round {
+		return Msg{}, fmt.Errorf("party %d sent round %d inside round %d", from, m.Round, round)
+	}
+	return m, nil
+}
+
+func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders []int, n int, plain []uint64, enc []*ahe.Ciphertext) ([]uint64, []*ahe.Ciphertext, error) {
+	r, t, me := cfg.Parties, len(hiders), cfg.Index
+	isHider := make([]bool, r)
+	for _, h := range hiders {
+		isHider[h] = true
+	}
+
+	// --- Hide phase. ---
+	var acc []uint64             // my accumulated plaintext mass (hiders only)
+	var encAcc []*ahe.Ciphertext // the ciphertext vector, if I hold it
+	if isHider[me] {
+		if enc != nil {
+			acc = make([]uint64, n)
+			encAcc = enc
+		} else {
+			acc = append([]uint64(nil), plain...)
+		}
+		recvHide := func() error {
+			for s := 0; s < r; s++ {
+				if isHider[s] {
+					continue
+				}
+				m, err := expectMsg(tr, s, round)
+				if err != nil {
+					return err
+				}
+				switch m.Kind {
+				case MsgPlain:
+					if len(m.Words) != n {
+						return fmt.Errorf("party %d hide part has length %d, want %d", s, len(m.Words), n)
+					}
+					addInto(acc, m.Words, cfg.Mod)
+				case MsgEnc:
+					if encAcc != nil {
+						return fmt.Errorf("party %d sent a second ciphertext vector", s)
+					}
+					if len(m.Enc) != n {
+						return fmt.Errorf("party %d ciphertext vector has length %d, want %d", s, len(m.Enc), n)
+					}
+					encAcc = m.Enc
+				default:
+					return fmt.Errorf("party %d sent kind %d in the hide phase", s, m.Kind)
+				}
+			}
+			return nil
+		}
+		if err := recvHide(); err != nil {
+			return nil, nil, err
+		}
+		// Fold accumulated plaintext mass into the ciphertext vector so
+		// this hider holds exactly one vector (Figure 2, "Hide").
+		if encAcc != nil {
+			if err := addPlainAll(encAcc, acc, cfg.Mod, cfg.Pub); err != nil {
+				return nil, nil, err
+			}
+			acc = nil
+		}
+	} else {
+		// Seeker: split and send everything away.
+		var sendErr <-chan error
+		if enc != nil {
+			target := hiders[rng.New(cfg.Source.Uint64()).Intn(t)]
+			parts, rem, err := splitEncrypted(enc, t, icfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			sendErr = sendAll(func() error {
+				pi := 0
+				for _, h := range hiders {
+					if h == target {
+						continue
+					}
+					if err := tr.Send(h, Msg{Kind: MsgPlain, Round: round, Words: parts[pi]}); err != nil {
+						return err
+					}
+					pi++
+				}
+				return tr.Send(target, Msg{Kind: MsgEnc, Round: round, Enc: rem})
+			})
+		} else {
+			parts := splitPlain(plain, t, icfg)
+			sendErr = sendAll(func() error {
+				for i, h := range hiders {
+					if err := tr.Send(h, Msg{Kind: MsgPlain, Round: round, Words: parts[i]}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if err := <-sendErr; err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// --- Shuffle phase (hiders only). ---
+	if isHider[me] {
+		var seed uint64
+		if me == hiders[0] {
+			seed = cfg.Source.Uint64()
+			sendErr := sendAll(func() error {
+				for _, h := range hiders[1:] {
+					if err := tr.Send(h, Msg{Kind: MsgSeed, Round: round, Seed: seed}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err := <-sendErr; err != nil {
+				return nil, nil, err
+			}
+		} else {
+			m, err := expectMsg(tr, hiders[0], round)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m.Kind != MsgSeed {
+				return nil, nil, fmt.Errorf("lead hider %d sent kind %d, want the permutation seed", hiders[0], m.Kind)
+			}
+			seed = m.Seed
+		}
+		perm := rng.New(seed).Perm(n)
+		if acc != nil {
+			acc = applyPermUint64(acc, perm)
+		} else {
+			encAcc = applyPermCipher(encAcc, perm)
+			if !cfg.SkipRerandomize {
+				if err := rerandomizeAll(encAcc, cfg.Pub); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+
+	// --- Reshare phase. ---
+	// My new vector starts from the parts I keep for myself.
+	newPlain := make([]uint64, n)
+	var newEnc []*ahe.Ciphertext
+	var sendErr <-chan error
+	if isHider[me] {
+		if acc != nil {
+			parts := splitPlain(acc, r, icfg)
+			copy(newPlain, parts[me])
+			sendErr = sendAll(func() error {
+				for j := 0; j < r; j++ {
+					if j == me {
+						continue
+					}
+					if err := tr.Send(j, Msg{Kind: MsgPlain, Round: round, Words: parts[j]}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		} else {
+			target := rng.New(cfg.Source.Uint64() ^ 0x5bd1e995).Intn(r)
+			parts, rem, err := splitEncrypted(encAcc, r, icfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			// parts[pi] walks the non-target parties in index order,
+			// mirroring the simulator's distribution.
+			var keepPlain []uint64
+			sends := make([]struct {
+				to int
+				m  Msg
+			}, 0, r)
+			pi := 0
+			for j := 0; j < r; j++ {
+				if j == target {
+					continue
+				}
+				if j == me {
+					keepPlain = parts[pi]
+				} else {
+					sends = append(sends, struct {
+						to int
+						m  Msg
+					}{j, Msg{Kind: MsgPlain, Round: round, Words: parts[pi]}})
+				}
+				pi++
+			}
+			if target == me {
+				newEnc = rem
+			} else {
+				sends = append(sends, struct {
+					to int
+					m  Msg
+				}{target, Msg{Kind: MsgEnc, Round: round, Enc: rem}})
+			}
+			if keepPlain != nil {
+				copy(newPlain, keepPlain)
+			}
+			sendErr = sendAll(func() error {
+				for _, s := range sends {
+					if err := tr.Send(s.to, s.m); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+	for _, h := range hiders {
+		if h == me {
+			continue
+		}
+		m, err := expectMsg(tr, h, round)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch m.Kind {
+		case MsgPlain:
+			if len(m.Words) != n {
+				return nil, nil, fmt.Errorf("party %d reshare part has length %d, want %d", h, len(m.Words), n)
+			}
+			addInto(newPlain, m.Words, cfg.Mod)
+		case MsgEnc:
+			if newEnc != nil {
+				return nil, nil, fmt.Errorf("party %d sent a second ciphertext remainder", h)
+			}
+			if len(m.Enc) != n {
+				return nil, nil, fmt.Errorf("party %d ciphertext remainder has length %d, want %d", h, len(m.Enc), n)
+			}
+			newEnc = m.Enc
+		default:
+			return nil, nil, fmt.Errorf("party %d sent kind %d in the reshare phase", h, m.Kind)
+		}
+	}
+	if sendErr != nil {
+		if err := <-sendErr; err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// The new ciphertext holder folds its plaintext reshare mass into
+	// the ciphertext vector so every party exits the round holding
+	// exactly one vector.
+	if newEnc != nil {
+		if err := addPlainAll(newEnc, newPlain, cfg.Mod, cfg.Pub); err != nil {
+			return nil, nil, err
+		}
+		return nil, newEnc, nil
+	}
+	return newPlain, nil, nil
+}

@@ -1,0 +1,163 @@
+// Package pipeline provides the composable stage primitives the
+// networked tiers are assembled from. The streaming service
+// (internal/service) and the role-separated PEOS cluster nodes
+// (internal/cluster) share the same stage vocabulary:
+//
+//	ingest   — Reader: one framed-report loop per connection, with an
+//	           idle deadline so a stalled peer can never pin a
+//	           goroutine (and, transitively, a graceful drain) forever.
+//	batch    — Batcher: accumulate items to a size bound.
+//	shuffle  — Batcher again: each full batch is permuted before the
+//	           flush callback sees it, so downstream stages only ever
+//	           observe reports in shuffled order.
+//	aggregate/forward — the stage behind the flush callback: the
+//	           service's decrypt/aggregate worker Pool, or a cluster
+//	           node forwarding share vectors to the next hop.
+//
+// The primitives deliberately carry no protocol knowledge: framing is
+// transport's, report semantics are the caller's. What they fix is the
+// concurrency shape — deadline-guarded reads, permute-before-flush,
+// counted worker fan-out — so every tier gets the same hardening.
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"shuffledp/internal/rng"
+	"shuffledp/internal/transport"
+)
+
+// ErrIdleTimeout is returned by Reader.Run when the connection stayed
+// silent past the configured idle deadline. The caller decides policy:
+// the service closes the connection and counts it, a cluster node
+// fails the collection.
+var ErrIdleTimeout = errors.New("pipeline: connection idle past deadline")
+
+// Reader is the ingest stage: it reads tagged frames off one
+// connection until EOF and hands each to Handle. It is the shared
+// connection-reader of the service's readConn and the cluster nodes'
+// ingest loops.
+type Reader struct {
+	// Conn is the connection to read. Reader never closes it.
+	Conn net.Conn
+	// IdleTimeout bounds the silence between frames; 0 means no bound.
+	// When the peer sends nothing for this long, Run returns
+	// ErrIdleTimeout instead of blocking forever.
+	IdleTimeout time.Duration
+	// Handle is called with each frame's tag and payload. A non-nil
+	// return stops the loop and is returned by Run verbatim (use a
+	// sentinel to distinguish "stop wanted" from failure).
+	Handle func(tag uint32, frame []byte) error
+}
+
+// Run reads frames until EOF (returning nil), an idle timeout
+// (returning ErrIdleTimeout), a transport error, or a Handle error.
+func (r *Reader) Run() error {
+	for {
+		if r.IdleTimeout > 0 {
+			if err := r.Conn.SetReadDeadline(time.Now().Add(r.IdleTimeout)); err != nil {
+				return err
+			}
+		}
+		tag, frame, err := transport.ReadTaggedFrame(r.Conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return ErrIdleTimeout
+			}
+			return err
+		}
+		if err := r.Handle(tag, frame); err != nil {
+			return err
+		}
+	}
+}
+
+// Batcher is the batch + shuffle stage: it accumulates byte-slice
+// items and, once Size is reached (or FlushNow is called), permutes
+// the batch with Rand and hands a freshly-allocated copy to Flush.
+// Permute-before-flush is the stage's invariant: no downstream stage
+// ever sees arrival order inside a batch. A Batcher is not safe for
+// concurrent use — it belongs to the single shuffler goroutine of its
+// tier.
+type Batcher struct {
+	// Size is the flush threshold; Add flushes when the buffer reaches
+	// it. It must be > 0.
+	Size int
+	// Rand drives the batch permutations (one Shuffle call per flushed
+	// batch). A nil Rand flushes in arrival order — only tests and
+	// forward-only stages should do that.
+	Rand *rng.Rand
+	// Flush receives each permuted batch. The slice is owned by the
+	// callee.
+	Flush func(batch [][]byte)
+
+	buf [][]byte
+}
+
+// Add appends one item, flushing if the buffer reaches Size.
+func (b *Batcher) Add(item []byte) {
+	if b.buf == nil {
+		b.buf = make([][]byte, 0, b.Size)
+	}
+	b.buf = append(b.buf, item)
+	if len(b.buf) >= b.Size {
+		b.FlushNow()
+	}
+}
+
+// Len returns the number of buffered (unflushed) items.
+func (b *Batcher) Len() int { return len(b.buf) }
+
+// SetRand switches the permutation stream (the service does this at
+// every epoch rotation so each epoch shuffles from its own substream).
+func (b *Batcher) SetRand(r *rng.Rand) { b.Rand = r }
+
+// FlushNow flushes the buffered partial batch, if any: permute, copy,
+// hand off, reset. The epoch cut and the graceful drain both end with
+// one FlushNow.
+func (b *Batcher) FlushNow() {
+	if len(b.buf) == 0 {
+		return
+	}
+	if b.Rand != nil {
+		b.Rand.Shuffle(len(b.buf), func(i, j int) {
+			b.buf[i], b.buf[j] = b.buf[j], b.buf[i]
+		})
+	}
+	batch := make([][]byte, len(b.buf))
+	copy(batch, b.buf)
+	b.buf = b.buf[:0]
+	b.Flush(batch)
+}
+
+// Reset drops any buffered items without flushing them (abort path).
+func (b *Batcher) Reset() { b.buf = b.buf[:0] }
+
+// Pool is the aggregate stage's worker fan-out: n copies of one loop,
+// joined by Wait. It exists so every tier counts its workers the same
+// way instead of hand-rolling a WaitGroup per stage.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// Go starts fn(i) for i in [0, n) as pool goroutines.
+func (p *Pool) Go(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func(i int) {
+			defer p.wg.Done()
+			fn(i)
+		}(i)
+	}
+}
+
+// Wait blocks until every goroutine started by Go has returned.
+func (p *Pool) Wait() { p.wg.Wait() }

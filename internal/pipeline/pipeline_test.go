@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"shuffledp/internal/rng"
+	"shuffledp/internal/transport"
+)
+
+func TestReaderDeliversFramesUntilEOF(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	go func() {
+		transport.WriteTaggedFrame(c1, 7, []byte("a"))
+		transport.WriteTaggedFrame(c1, 9, []byte("bc"))
+		c1.Close()
+	}()
+	var tags []uint32
+	var payloads []string
+	r := &Reader{Conn: c2, Handle: func(tag uint32, frame []byte) error {
+		tags = append(tags, tag)
+		payloads = append(payloads, string(frame))
+		return nil
+	}}
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(tags) != 2 || tags[0] != 7 || tags[1] != 9 || payloads[0] != "a" || payloads[1] != "bc" {
+		t.Fatalf("got tags %v payloads %v", tags, payloads)
+	}
+}
+
+func TestReaderIdleTimeout(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	// Send one frame, then stall forever.
+	go transport.WriteTaggedFrame(c1, 1, []byte("x"))
+	got := 0
+	r := &Reader{Conn: c2, IdleTimeout: 50 * time.Millisecond, Handle: func(uint32, []byte) error {
+		got++
+		return nil
+	}}
+	start := time.Now()
+	err := r.Run()
+	if !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("want ErrIdleTimeout, got %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("want 1 frame before the stall, got %d", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("idle timeout took %v", elapsed)
+	}
+}
+
+func TestReaderHandleErrorStopsLoop(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		transport.WriteTaggedFrame(c1, 1, []byte("x"))
+		transport.WriteTaggedFrame(c1, 2, []byte("y"))
+	}()
+	sentinel := errors.New("stop")
+	r := &Reader{Conn: c2, Handle: func(uint32, []byte) error { return sentinel }}
+	if err := r.Run(); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+func TestBatcherFlushesPermutedFullBatches(t *testing.T) {
+	var batches [][][]byte
+	b := &Batcher{Size: 4, Rand: rng.New(3), Flush: func(batch [][]byte) {
+		batches = append(batches, batch)
+	}}
+	for i := 0; i < 10; i++ {
+		b.Add([]byte{byte(i)})
+	}
+	if len(batches) != 2 {
+		t.Fatalf("want 2 full batches, got %d", len(batches))
+	}
+	if b.Len() != 2 {
+		t.Fatalf("want 2 buffered, got %d", b.Len())
+	}
+	b.FlushNow()
+	if len(batches) != 3 || b.Len() != 0 {
+		t.Fatalf("partial flush: %d batches, %d buffered", len(batches), b.Len())
+	}
+	// Every item must come out exactly once.
+	seen := map[byte]bool{}
+	total := 0
+	for _, batch := range batches {
+		for _, it := range batch {
+			seen[it[0]] = true
+			total++
+		}
+	}
+	if total != 10 || len(seen) != 10 {
+		t.Fatalf("lost or duplicated items: total=%d distinct=%d", total, len(seen))
+	}
+	// The permutation stream must match a direct Shuffle of the same
+	// arrival order (the service's determinism contract).
+	want := [][]byte{{0}, {1}, {2}, {3}}
+	rng.New(3).Shuffle(4, func(i, j int) { want[i], want[j] = want[j], want[i] })
+	for i := range want {
+		if batches[0][i][0] != want[i][0] {
+			t.Fatalf("batch 0 permutation diverged at %d: got %d want %d", i, batches[0][i][0], want[i][0])
+		}
+	}
+}
+
+func TestBatcherFlushNowEmptyIsNoop(t *testing.T) {
+	calls := 0
+	b := &Batcher{Size: 4, Flush: func([][]byte) { calls++ }}
+	b.FlushNow()
+	if calls != 0 {
+		t.Fatalf("empty FlushNow called Flush %d times", calls)
+	}
+	b.Add([]byte{1})
+	b.Reset()
+	b.FlushNow()
+	if calls != 0 || b.Len() != 0 {
+		t.Fatalf("Reset did not drop the buffer (calls=%d len=%d)", calls, b.Len())
+	}
+}
+
+func TestPoolRunsAndJoins(t *testing.T) {
+	var p Pool
+	results := make([]int, 8)
+	p.Go(8, func(i int) { results[i] = i + 1 })
+	p.Wait()
+	for i, v := range results {
+		if v != i+1 {
+			t.Fatalf("worker %d did not run", i)
+		}
+	}
+}

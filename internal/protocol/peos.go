@@ -33,6 +33,15 @@ type PEOS struct {
 	// share words. Honest shufflers pass through to the uniform
 	// sampler.
 	MaliciousFakes func(j int) []uint64
+	// FakeSource, if non-nil, gives shuffler j its own randomness for
+	// honest fake-share sampling instead of the run's shared Source —
+	// the trust model of the role-separated deployment, where every
+	// shuffler process draws only from its own generator. The
+	// cluster/in-process conformance tests rely on it: seeding shuffler
+	// j's node and FakeSource(j) from the same substream makes the two
+	// runs' fake reports — and therefore their estimates —
+	// bit-identical. MaliciousFakes, when set, still takes precedence.
+	FakeSource func(j int) secretshare.Source
 	// FastShuffle runs the oblivious shuffle with ciphertext
 	// rerandomization disabled — the paper's Table III cost model.
 	// See oblivious.Config.SkipRerandomize for the security caveat.
@@ -191,7 +200,7 @@ func (p *PEOS) Run(values []int, ldpRand *rng.Rand) (*Result, error) {
 		for i, w := range words {
 			reports[i] = p.enc.Decode(w)
 		}
-		est = estimateFromReports(p.FO, reports, n, p.NR)
+		est = Estimate(p.FO, reports, n, p.NR)
 	})
 	return &Result{Estimates: est, Reports: reports, Meter: meter}, nil
 }
@@ -210,9 +219,13 @@ func (p *PEOS) fakeShares(j int) []uint64 {
 			return shares
 		}
 	}
+	src := p.Source
+	if p.FakeSource != nil {
+		src = p.FakeSource(j)
+	}
 	out := make([]uint64, p.NR)
 	for k := range out {
-		out[k] = p.mod.Random(p.Source)
+		out[k] = p.mod.Random(src)
 	}
 	return out
 }

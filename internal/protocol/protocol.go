@@ -45,11 +45,20 @@ type Result struct {
 	Meter *transport.Meter
 }
 
-// estimateFromReports aggregates shuffled reports and calibrates,
-// subtracting nr fake reports' expected mass (generalized Equation 6;
-// nr = 0 reduces to Equations (2)/(3)).
-func estimateFromReports(fo ldp.FrequencyOracle, reports []ldp.Report, n, nr int) []float64 {
-	counts := ldp.SupportCounts(fo, reports)
+// Estimate aggregates shuffled reports from n users plus nr uniform
+// fakes and calibrates, subtracting the fakes' expected mass
+// (generalized Equation 6; nr = 0 reduces to Equations (2)/(3)). It is
+// THE server-side estimator of every protocol here, exported so the
+// networked analyzer node (internal/cluster) computes bit-identical
+// estimates to the in-process runs.
+func Estimate(fo ldp.FrequencyOracle, reports []ldp.Report, n, nr int) []float64 {
+	return EstimateCounts(fo, ldp.SupportCounts(fo, reports), n, nr)
+}
+
+// EstimateCounts is Estimate over pre-computed support counts — the
+// form a continually-observing analyzer uses, since integer counts
+// (unlike float estimates) merge exactly across collection rounds.
+func EstimateCounts(fo ldp.FrequencyOracle, counts []int, n, nr int) []float64 {
 	p, q, _ := ldp.SupportProbabilities(fo)
 	if nr == 0 {
 		return ldp.CalibrateCounts(counts, n, p, q)
@@ -83,7 +92,7 @@ func PlainShuffle(fo ldp.FrequencyOracle, values []int, r *rng.Rand) (*Result, e
 	meter.Send(shuffler, PartyServer, 8*len(reports))
 	var est []float64
 	meter.Track(PartyServer, func() {
-		est = estimateFromReports(fo, reports, len(values), 0)
+		est = Estimate(fo, reports, len(values), 0)
 	})
 	return &Result{Estimates: est, Reports: reports, Meter: meter}, nil
 }

@@ -202,7 +202,7 @@ func (s *SS) runWithExtraReports(values []int, extra []ldp.Report, ldpRand *rng.
 			}
 			reports[i] = s.enc.Decode(binary.LittleEndian.Uint64(pt))
 		}
-		est = estimateFromReports(s.FO, reports, n, totalFakes)
+		est = Estimate(s.FO, reports, n, totalFakes)
 	})
 	if srvErr != nil {
 		return nil, srvErr

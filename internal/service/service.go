@@ -49,7 +49,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -58,7 +57,7 @@ import (
 	"shuffledp/internal/budget"
 	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
-	"shuffledp/internal/rng"
+	"shuffledp/internal/pipeline"
 	"shuffledp/internal/store"
 	"shuffledp/internal/transport"
 )
@@ -105,6 +104,13 @@ type Config struct {
 	// Meter, when non-nil, accounts bytes and CPU to users/shuffler/
 	// server.
 	Meter *transport.Meter
+
+	// IdleTimeout bounds the silence a connection reader tolerates
+	// between report frames. A client that stalls past it is
+	// disconnected (and counted in Snapshot.IdleClosed) instead of
+	// pinning its reader goroutine — and, transitively, Drain —
+	// forever. 0 means no bound, the pre-PR-5 behavior.
+	IdleTimeout time.Duration
 
 	// Ledger, when non-nil, is charged one per-epoch guarantee every
 	// time an epoch opens (including epoch 0 at New). Once it refuses,
@@ -163,6 +169,11 @@ type Snapshot struct {
 	// Rejected counts reports dropped after the budget ledger
 	// exhausted.
 	Rejected int64
+	// IdleClosed counts connections dropped for staying silent past
+	// Config.IdleTimeout. Reports those connections delivered before
+	// stalling were accepted normally; the counter is in-memory only
+	// (an operator signal, not part of the durable stream accounting).
+	IdleClosed int64
 }
 
 // taggedReport is one ciphertext frame with the epoch id its sender
@@ -195,9 +206,9 @@ type Service struct {
 	stopOnce sync.Once
 	draining atomic.Bool
 
-	conns      sync.WaitGroup // active connection readers
-	shufflerWG sync.WaitGroup
-	workerWG   sync.WaitGroup
+	conns        sync.WaitGroup // active connection readers
+	shufflerPool pipeline.Pool  // the single batch-shuffler stage goroutine
+	workerPool   pipeline.Pool  // decrypt/aggregate stage workers
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -228,10 +239,11 @@ type Service struct {
 	st  *store.Store
 	wal walCounters
 
-	received atomic.Int64
-	shuffled atomic.Int64
-	late     atomic.Int64
-	rejected atomic.Int64
+	received   atomic.Int64
+	shuffled   atomic.Int64
+	late       atomic.Int64
+	rejected   atomic.Int64
+	idleClosed atomic.Int64
 
 	drainOnce sync.Once
 	drainSnap Snapshot
@@ -314,12 +326,8 @@ func (s *Service) storeMeta() store.Meta {
 // start launches the pipeline goroutines over the already-installed
 // current epoch.
 func (s *Service) start() {
-	s.shufflerWG.Add(1)
-	go s.runShuffler()
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.runWorker(i)
-	}
+	s.shufflerPool.Go(1, func(int) { s.runShuffler() })
+	s.workerPool.Go(s.cfg.Workers, s.runWorker)
 	if s.cfg.EpochReports > 0 {
 		s.rotatorWG.Add(1)
 		go s.runRotator()
@@ -393,41 +401,54 @@ func (s *Service) forget(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// errStopIngest is the reader sentinel for "the service is stopping":
+// the loop ends, but the connection did not fail.
+var errStopIngest = errors.New("service: stopping")
+
+// readConn is the ingest stage for one connection: a pipeline.Reader
+// feeding the intake queue, deadline-guarded so a stalled client is
+// disconnected (Snapshot.IdleClosed) instead of pinning this goroutine
+// — and Drain's conns.Wait — forever.
 func (s *Service) readConn(conn net.Conn) {
 	defer s.conns.Done()
 	defer s.forget(conn)
 	defer conn.Close()
-	for {
-		epoch, frame, err := transport.ReadTaggedFrame(conn)
-		if err != nil {
-			if errors.Is(err, io.EOF) || s.stopped() {
-				return
+	rd := &pipeline.Reader{
+		Conn:        conn,
+		IdleTimeout: s.cfg.IdleTimeout,
+		Handle: func(epoch uint32, frame []byte) error {
+			s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
+			// Post-exhaustion frames flow to the shuffler too: it is the
+			// single goroutine that counts AND write-ahead logs rejected
+			// drops, so the Rejected counter survives a crash like the
+			// others.
+			select {
+			case s.intake <- taggedReport{epoch: epoch, ct: frame}:
+				s.received.Add(1)
+				return nil
+			case <-s.stop:
+				return errStopIngest
 			}
-			s.fail(fmt.Errorf("service: read report frame: %w", err))
-			return
-		}
-		s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
-		// Post-exhaustion frames flow to the shuffler too: it is the
-		// single goroutine that counts AND write-ahead logs rejected
-		// drops, so the Rejected counter survives a crash like the
-		// others.
-		select {
-		case s.intake <- taggedReport{epoch: epoch, ct: frame}:
-			s.received.Add(1)
-		case <-s.stop:
-			return
-		}
+		},
+	}
+	switch err := rd.Run(); {
+	case err == nil || errors.Is(err, errStopIngest):
+	case errors.Is(err, pipeline.ErrIdleTimeout):
+		s.idleClosed.Add(1)
+	case s.stopped():
+	default:
+		s.fail(fmt.Errorf("service: read report frame: %w", err))
 	}
 }
 
-// runShuffler buffers ciphertexts into BatchSize batches, permutes
-// each, and forwards it to the worker queue tagged with the open
-// epoch. Rotation requests land here — between batches, never inside
-// one — so every batch belongs to exactly one epoch and each epoch's
+// runShuffler is the batch + shuffle stage: a pipeline.Batcher buffers
+// ciphertexts into BatchSize batches, permutes each, and the flush
+// callback forwards it to the worker queue tagged with the open epoch.
+// Rotation requests land here — between batches, never inside one — so
+// every batch belongs to exactly one epoch and each epoch's
 // permutations come from its own RNG substream. The partial final
 // batch is flushed when the intake closes (graceful drain).
 func (s *Service) runShuffler() {
-	defer s.shufflerWG.Done()
 	defer close(s.shufflerDone)
 	defer close(s.batches)
 	cur := s.cur.Load()
@@ -441,44 +462,37 @@ func (s *Service) runShuffler() {
 		// queries, and nothing may aggregate into it.
 		cur = nil
 	}
-	var r *rng.Rand
-	if cur != nil {
-		r = s.shufflerEpochRNG(cur.id)
-	}
-	buf := make([][]byte, 0, s.cfg.BatchSize)
-	flush := func() {
-		if len(buf) == 0 || cur == nil {
-			buf = buf[:0]
-			return
-		}
-		// The WAL hits the platters (policy permitting) before the
-		// batch reaches any worker: a report can only influence an
-		// estimate once it is on its way to disk.
-		if s.st != nil {
-			if err := s.st.Commit(); err != nil {
-				s.fail(fmt.Errorf("service: committing WAL batch: %w", err))
+	batcher := &pipeline.Batcher{
+		Size: s.cfg.BatchSize,
+		Flush: func(batch [][]byte) {
+			// The WAL hits the platters (policy permitting) before the
+			// batch reaches any worker: a report can only influence an
+			// estimate once it is on its way to disk. The batcher only
+			// ever holds reports accepted into the open epoch, so cur is
+			// non-nil whenever a flush fires.
+			if s.st != nil {
+				if err := s.st.Commit(); err != nil {
+					s.fail(fmt.Errorf("service: committing WAL batch: %w", err))
+				}
 			}
-		}
-		r.Shuffle(len(buf), func(i, j int) {
-			buf[i], buf[j] = buf[j], buf[i]
-		})
-		batch := make([][]byte, len(buf))
-		copy(batch, buf)
-		buf = buf[:0]
-		n := 0
-		for _, ct := range batch {
-			n += len(ct)
-		}
-		cur.pending.Add(1)
-		select {
-		case s.batches <- epochBatch{ep: cur, cts: batch}:
-			s.shuffled.Add(1)
-			cur.batches.Add(1)
-			s.wal.batches++
-			s.cfg.Meter.Send(PartyShuffler, PartyServer, n)
-		case <-s.stop:
-			cur.pending.Done()
-		}
+			n := 0
+			for _, ct := range batch {
+				n += len(ct)
+			}
+			cur.pending.Add(1)
+			select {
+			case s.batches <- epochBatch{ep: cur, cts: batch}:
+				s.shuffled.Add(1)
+				cur.batches.Add(1)
+				s.wal.batches++
+				s.cfg.Meter.Send(PartyShuffler, PartyServer, n)
+			case <-s.stop:
+				cur.pending.Done()
+			}
+		},
+	}
+	if cur != nil {
+		batcher.SetRand(s.shufflerEpochRNG(cur.id))
 	}
 	accept := func(tr taggedReport) {
 		// Dropped frames move out of Received into exactly one of the
@@ -527,11 +541,8 @@ func (s *Service) runShuffler() {
 			}
 			s.wal.received++
 		}
-		buf = append(buf, tr.ct)
+		batcher.Add(tr.ct)
 		accepted := cur.accepted.Add(1)
-		if len(buf) >= s.cfg.BatchSize {
-			flush()
-		}
 		if s.cfg.EpochReports > 0 && accepted == int64(s.cfg.EpochReports) {
 			select {
 			case s.rotateHint <- struct{}{}:
@@ -543,7 +554,7 @@ func (s *Service) runShuffler() {
 		select {
 		case tr, ok := <-s.intake:
 			if !ok {
-				flush()
+				batcher.FlushNow()
 				return
 			}
 			accept(tr)
@@ -565,7 +576,7 @@ func (s *Service) runShuffler() {
 					closed = true
 				}
 			}
-			flush()
+			batcher.FlushNow()
 			old := cur
 			if s.st != nil && old != nil {
 				// The marker and everything before it go durable now:
@@ -585,7 +596,7 @@ func (s *Service) runShuffler() {
 			cur = req.next
 			if cur != nil {
 				s.cur.Store(cur)
-				r = s.shufflerEpochRNG(cur.id)
+				batcher.SetRand(s.shufflerEpochRNG(cur.id))
 				rejectEpoch = uint32(cur.id + 1)
 			}
 			// A hint generated by the epoch that just closed is stale;
@@ -607,7 +618,6 @@ func (s *Service) runShuffler() {
 // dropped and surfaced as the service error rather than silently
 // mis-estimating.
 func (s *Service) runWorker(i int) {
-	defer s.workerWG.Done()
 	for eb := range s.batches {
 		start := time.Now()
 		reports := make([]ldp.Report, 0, len(eb.cts))
@@ -644,13 +654,14 @@ func (s *Service) Snapshot() Snapshot {
 	e := s.cur.Load()
 	est, n := e.gather()
 	return Snapshot{
-		Estimates: est,
-		Reports:   n,
-		Received:  s.received.Load(),
-		Batches:   s.shuffled.Load(),
-		Epoch:     e.id,
-		Late:      s.late.Load(),
-		Rejected:  s.rejected.Load(),
+		Estimates:  est,
+		Reports:    n,
+		Received:   s.received.Load(),
+		Batches:    s.shuffled.Load(),
+		Epoch:      e.id,
+		Late:       s.late.Load(),
+		Rejected:   s.rejected.Load(),
+		IdleClosed: s.idleClosed.Load(),
 	}
 }
 
@@ -673,8 +684,8 @@ func (s *Service) Drain() (Snapshot, error) {
 		s.closeListeners()
 		s.conns.Wait()
 		close(s.intake)
-		s.shufflerWG.Wait()
-		s.workerWG.Wait()
+		s.shufflerPool.Wait()
+		s.workerPool.Wait()
 		// Every batch is folded; seal the final epoch (a no-op if an
 		// exhausting Rotate already did).
 		s.rotateMu.Lock()
@@ -695,13 +706,14 @@ func (s *Service) Drain() (Snapshot, error) {
 		s.rotateMu.Unlock()
 		s.allMu.Lock()
 		s.drainSnap = Snapshot{
-			Estimates: s.allTime.Estimates(),
-			Reports:   s.allTime.Count(),
-			Received:  s.received.Load(),
-			Batches:   s.shuffled.Load(),
-			Epoch:     e.id,
-			Late:      s.late.Load(),
-			Rejected:  s.rejected.Load(),
+			Estimates:  s.allTime.Estimates(),
+			Reports:    s.allTime.Count(),
+			Received:   s.received.Load(),
+			Batches:    s.shuffled.Load(),
+			Epoch:      e.id,
+			Late:       s.late.Load(),
+			Rejected:   s.rejected.Load(),
+			IdleClosed: s.idleClosed.Load(),
 		}
 		s.allMu.Unlock()
 		s.drainErr = s.Err()
@@ -747,7 +759,7 @@ func (s *Service) shutdown(crash bool) {
 	// Wait out the shuffler (it exits promptly on the stop signal) so
 	// the WAL teardown below cannot interleave with its appends, then
 	// serialize with any in-flight checkpoint through rotateMu.
-	s.shufflerWG.Wait()
+	s.shufflerPool.Wait()
 	s.rotateMu.Lock()
 	defer s.rotateMu.Unlock()
 	if crash {

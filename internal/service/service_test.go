@@ -435,3 +435,102 @@ func TestCloseAbortsPromptly(t *testing.T) {
 		t.Fatal("Drain hung after Close")
 	}
 }
+
+// A client that stalls mid-stream (sends some reports, then goes
+// silent without closing) must not pin its reader goroutine — and,
+// transitively, Drain — forever. The idle deadline disconnects it,
+// counts it, and the drain completes with the reports that did arrive.
+func TestIdleClientDisconnectedAndDrainCompletes(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	svc, err := service.New(service.Config{
+		FO:          fo,
+		Key:         key,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	clientSide, serverSide := net.Pipe()
+	defer clientSide.Close()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := service.NewClient(fo, key.Public(), rng.New(1), clientSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Send(2); err != nil {
+		t.Fatal(err)
+	}
+	// net.Pipe is synchronous: once Flush returns, the reader has the
+	// frame. From here the client stalls without ever closing.
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		snap service.Snapshot
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		snap, err := svc.Drain()
+		done <- result{snap, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("drain after idle disconnect: %v", res.err)
+		}
+		if res.snap.Reports != 1 || res.snap.Received != 1 {
+			t.Fatalf("want the 1 pre-stall report, got %+v", res.snap)
+		}
+		if res.snap.IdleClosed != 1 {
+			t.Fatalf("want IdleClosed=1, got %d", res.snap.IdleClosed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung on a stalled client: idle deadline not applied")
+	}
+}
+
+// Without an idle timeout a healthy slow client is never disconnected:
+// gaps longer than any internal deadline are fine as long as the
+// client eventually finishes.
+func TestNoIdleTimeoutKeepsSlowClient(t *testing.T) {
+	fo := ldp.NewGRR(4, 1)
+	key, _ := ecies.GenerateKey()
+	svc, err := service.New(service.Config{FO: fo, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := service.NewClient(fo, key.Public(), rng.New(1), clientSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cl.Send(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != 3 || snap.IdleClosed != 0 {
+		t.Fatalf("slow client dropped: %+v", snap)
+	}
+}
