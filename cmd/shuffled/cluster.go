@@ -137,6 +137,10 @@ func runAnalyzer(args []string) {
 	dataDir := fs.String("data-dir", "", "durable state directory (WAL + checkpoints); empty runs in-memory")
 	fsync := fs.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-phase collect timeout")
+	retries := fs.Int("retry-attempts", 1, "attempts per collection round (>1 enables abort-and-retry self-healing)")
+	backoff := fs.Duration("retry-backoff", 50*time.Millisecond, "base backoff between round retries (exponential, jittered)")
+	maxBackoff := fs.Duration("retry-max-backoff", 2*time.Second, "cap on a single round-retry backoff sleep")
+	hello := fs.Duration("hello-timeout", cluster.DefaultHelloTimeout, "drop inbound connections silent past this before their hello")
 	of := addOracleFlags(fs)
 	fs.Parse(args)
 
@@ -164,6 +168,12 @@ func runAnalyzer(args []string) {
 		DataDir:        *dataDir,
 		Sync:           syncPolicy,
 		CollectTimeout: *timeout,
+		HelloTimeout:   *hello,
+		Retry: cluster.RetryPolicy{
+			Attempts:    *retries,
+			BaseBackoff: *backoff,
+			MaxBackoff:  *maxBackoff,
+		},
 	}
 	a, err := cluster.NewAnalyzer(cfg)
 	if *dataDir != "" && errors.Is(err, store.ErrExists) {
@@ -210,6 +220,8 @@ func runShuffler(args []string) {
 	keyPath := fs.String("key", "peos.key.pub", "analyzer's DGK public-key file")
 	idle := fs.Duration("idle-timeout", 2*time.Minute, "drop client connections silent past this (0 = never)")
 	sealTimeout := fs.Duration("seal-timeout", 5*time.Minute, "per-collection wait and peer I/O bound (0 = none)")
+	phaseTimeout := fs.Duration("phase-timeout", 0, "bound on each oblivious-shuffle phase (0 = seal timeout only)")
+	hello := fs.Duration("hello-timeout", cluster.DefaultHelloTimeout, "drop inbound connections silent past this before their hello")
 	fast := fs.Bool("fast-shuffle", false, "skip ciphertext rerandomization (Table III cost model; weakens unlinkability)")
 	fs.Parse(args)
 
@@ -225,14 +237,16 @@ func runShuffler(args []string) {
 		log.Fatal(err)
 	}
 	sh, err := cluster.NewShuffler(cluster.ShufflerConfig{
-		Index:       *index,
-		Topology:    topo,
-		NR:          *nr,
-		Pub:         pub,
-		Source:      secretshare.Crypto,
-		FastShuffle: *fast,
-		IdleTimeout: *idle,
-		SealTimeout: *sealTimeout,
+		Index:        *index,
+		Topology:     topo,
+		NR:           *nr,
+		Pub:          pub,
+		Source:       secretshare.Crypto,
+		FastShuffle:  *fast,
+		IdleTimeout:  *idle,
+		SealTimeout:  *sealTimeout,
+		PhaseTimeout: *phaseTimeout,
+		HelloTimeout: *hello,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -256,6 +270,8 @@ func runClient(args []string) {
 	base := fs.Int("base", 0, "first user index this client covers")
 	collection := fs.Int("collection", 0, "collection round to report into")
 	seed := fs.Uint64("seed", 1, "seed for the synthetic population and LDP randomness")
+	retries := fs.Int("retry-attempts", 1, "attempts per shuffler connection (>1 enables reconnect-and-resubmit)")
+	backoff := fs.Duration("retry-backoff", 50*time.Millisecond, "base backoff between reconnects (exponential, jittered)")
 	of := addOracleFlags(fs)
 	fs.Parse(args)
 
@@ -272,7 +288,13 @@ func runClient(args []string) {
 		log.Fatal(err)
 	}
 	values := dataset.Synthetic("demo", *n, fo.Domain(), 1.3, *seed).Values
-	cl, err := cluster.DialClient(topo, fo, pub, secretshare.Crypto, 0)
+	cl, err := cluster.NewClient(cluster.ClientConfig{
+		Topology: topo,
+		FO:       fo,
+		Pub:      pub,
+		Source:   secretshare.Crypto,
+		Retry:    cluster.RetryPolicy{Attempts: *retries, BaseBackoff: *backoff},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,8 +21,16 @@
 // estimate), and a rerun on a fresh cluster must complete and match
 // the reference.
 //
+// With -chaos, the same run happens through a deterministic fault
+// layer (internal/faultnet): the shuffler mesh takes a hard connection
+// reset mid-shuffle and the client link to shuffler 0 is torn while it
+// streams reports. Retry is enabled on the analyzer (round abort +
+// re-seal) and the client (reconnect + resubmit), and the run must
+// STILL end bit-identical to the in-process reference with every
+// fault healed automatically — the self-healing demo.
+//
 //	go run ./examples/peos_cluster [-n 400] [-d 16] [-shufflers 2] [-fakes 24]
-//	                               [-collections 2] [-keybits 512] [-seed 1] [-kill]
+//	                               [-collections 2] [-keybits 512] [-seed 1] [-kill|-chaos]
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"shuffledp/internal/ahe"
 	"shuffledp/internal/cluster"
+	"shuffledp/internal/faultnet"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/protocol"
 	"shuffledp/internal/rng"
@@ -49,8 +58,29 @@ var (
 	keyBits     = flag.Int("keybits", 512, "DGK modulus bits (paper deploys 3072)")
 	seedFlag    = flag.Uint64("seed", 1, "base seed for all deterministic streams")
 	killFlag    = flag.Bool("kill", false, "kill shuffler 0 mid-stream, expect a clean error, rerun to completion")
+	chaosFlag   = flag.Bool("chaos", false, "inject deterministic faults (mesh reset + client disconnect) and self-heal")
 	timeoutFlag = flag.Duration("timeout", 60*time.Second, "per-phase safety timeout")
 )
+
+// meshNet carries the shuffler-mesh faults in -chaos mode (nil
+// otherwise): connections dialed to shuffler 0 route through it.
+var meshNet *faultnet.Network
+
+// chaosDialTo routes dials to one target address through the fault
+// network and leaves every other dial untouched.
+func chaosDialTo(n *faultnet.Network, target string) cluster.DialFunc {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if addr == target {
+			return n.Dial(addr, timeout)
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+}
+
+// retryPolicy is the self-healing budget chaos mode runs under.
+func retryPolicy() cluster.RetryPolicy {
+	return cluster.RetryPolicy{Attempts: 6, BaseBackoff: 25 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+}
 
 // nodes is one running cluster: listeners bound first so the topology
 // carries real ports, then one goroutine per role.
@@ -82,20 +112,24 @@ func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int)
 	}
 	topo.Analyzer = aln.Addr().String()
 
-	analyzer, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{
+	acfg := cluster.AnalyzerConfig{
 		Topology:       topo,
 		Listener:       aln,
 		FO:             fo,
 		NR:             *nrFlag,
 		Priv:           priv,
 		CollectTimeout: *timeoutFlag,
-	})
+	}
+	if *chaosFlag {
+		acfg.Retry = retryPolicy()
+	}
+	analyzer, err := cluster.NewAnalyzer(acfg)
 	if err != nil {
 		return nil, err
 	}
 	ns := &nodes{topo: topo, analyzer: analyzer}
 	for j := 0; j < r; j++ {
-		sh, err := cluster.NewShuffler(cluster.ShufflerConfig{
+		scfg := cluster.ShufflerConfig{
 			Index:       j,
 			Topology:    topo,
 			Listener:    lns[j],
@@ -104,7 +138,13 @@ func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int)
 			Source:      rng.Substream(*seedFlag, 5000+uint64(j)),
 			FakeSource:  fakeSource(collection, j),
 			SealTimeout: *timeoutFlag,
-		})
+		}
+		if meshNet != nil && j > 0 {
+			// Only higher-index shufflers dial shuffler 0, so this is
+			// exactly the mesh leg the chaos plan tears.
+			scfg.Dial = chaosDialTo(meshNet, topo.Shufflers[0])
+		}
+		sh, err := cluster.NewShuffler(scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +225,27 @@ func main() {
 		return
 	}
 
+	var clientNet *faultnet.Network
+	if *chaosFlag {
+		// Deterministic plans: the first mesh leg of each of the first
+		// two collections takes a hard reset mid-shuffle, and the
+		// client's first link to shuffler 0 is torn while it streams
+		// reports. Everything else is clean.
+		meshNet = faultnet.New(faultnet.Config{Seed: *seedFlag, Plan: func(conn int) faultnet.Fault {
+			if conn == 0 || conn == 2 {
+				return faultnet.Fault{ResetAfter: 200}
+			}
+			return faultnet.Fault{}
+		}})
+		clientNet = faultnet.New(faultnet.Config{Seed: *seedFlag + 1, Plan: func(conn int) faultnet.Fault {
+			if conn == 0 {
+				return faultnet.Fault{ResetAfter: 600}
+			}
+			return faultnet.Fault{}
+		}})
+		fmt.Println("chaos: mesh resets on connections 0 and 2 after 200 B, client reset on connection 0 after 600 B")
+	}
+
 	fmt.Printf("cluster: %d shufflers + analyzer on loopback TCP, %d fakes/round, %d users/round\n",
 		*rFlag, *nrFlag, *nFlag)
 	ns, err := startNodes(priv, fo, 0)
@@ -192,7 +253,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ns.stop()
-	client, err := cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6000), 0)
+	ccfg := cluster.ClientConfig{
+		Topology: ns.topo,
+		FO:       fo,
+		Pub:      ahe.PublicKey(priv),
+		Source:   rng.Substream(*seedFlag, 6000),
+	}
+	if *chaosFlag {
+		ccfg.Dial = clientNet.Dial
+		ccfg.Retry = retryPolicy()
+	}
+	client, err := cluster.NewClient(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -207,6 +278,7 @@ func main() {
 	}
 	refFS := func(j int) secretshare.Source { return refSrcs[j] }
 	var refAll []ldp.Report
+	attempts := 0
 	for c := 0; c < *colFlag; c++ {
 		values := synthValues(c)
 		client.SetCollection(c)
@@ -228,18 +300,35 @@ func main() {
 			log.Fatalf("FAIL: collection %d estimates diverged from protocol.PEOS.Run", c)
 		}
 		refAll = append(refAll, ref.Reports...)
+		attempts += col.Attempts
 		top := 4
 		if top > len(col.Estimates) {
 			top = len(col.Estimates)
 		}
-		fmt.Printf("  collection %d: %d users + %d fakes, est[:%d] = %.4f  == in-process PEOS ✓\n",
-			c, col.Reports, col.Fakes, top, col.Estimates[:top])
+		fmt.Printf("  collection %d: %d users + %d fakes, %d attempt(s), est[:%d] = %.4f  == in-process PEOS ✓\n",
+			c, col.Reports, col.Fakes, col.Attempts, top, col.Estimates[:top])
 	}
 	wantCum := protocol.Estimate(fo, refAll, *colFlag**nFlag, *colFlag**nrFlag)
 	if !equal(ns.analyzer.Estimates(), wantCum) {
 		log.Fatal("FAIL: cumulative estimate diverged from the protocol estimator")
 	}
 	fmt.Printf("cumulative over %d rounds bit-identical to the in-process reference ✓\n", *colFlag)
+
+	if *chaosFlag {
+		mesh, cl := meshNet.Stats(), clientNet.Stats()
+		fmt.Printf("chaos healed: mesh %d conns / %d resets, client %d conns / %d resets, %d client reconnects, %d round attempts\n",
+			mesh.Conns, mesh.Resets, cl.Conns, cl.Resets, client.Reconnects(), attempts)
+		if mesh.Resets == 0 || cl.Resets == 0 {
+			log.Fatal("FAIL: chaos plan injected no faults (byte budgets never reached?)")
+		}
+		if client.Reconnects() == 0 {
+			log.Fatal("FAIL: client link was reset but never healed")
+		}
+		if attempts <= *colFlag {
+			log.Fatal("FAIL: mesh was reset but no collection round retried")
+		}
+		fmt.Println("every injected fault healed without intervention ✓")
+	}
 }
 
 // runKillDrill is the CI failure rehearsal: kill one shuffler

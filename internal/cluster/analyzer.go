@@ -53,6 +53,16 @@ type AnalyzerConfig struct {
 	// CollectTimeout bounds each phase of a Collect: the wait for all
 	// shufflers to be connected and each vector read. 0 means no bound.
 	CollectTimeout time.Duration
+	// Retry, when enabled (Attempts > 1), makes Collect self-healing: a
+	// failed collection attempt is aborted at every shuffler and re-run
+	// after a jittered exponential backoff, up to Attempts tries. The
+	// privacy charge and the durable seal stay exactly-once per
+	// collection regardless of the attempt count. The zero policy keeps
+	// the pre-existing single-shot semantics.
+	Retry RetryPolicy
+	// HelloTimeout bounds the wait for an inbound connection's hello
+	// frame (0 = DefaultHelloTimeout).
+	HelloTimeout time.Duration
 }
 
 func (cfg *AnalyzerConfig) validate() error {
@@ -88,6 +98,9 @@ type Collection struct {
 	Estimates []float64
 	// Cumulative is the all-collections estimate after this round.
 	Cumulative []float64
+	// Attempts is how many attempts the round took (1 = first try; more
+	// only when AnalyzerConfig.Retry re-ran the round after a fault).
+	Attempts int
 }
 
 // Analyzer is the running analyzer node. Create with NewAnalyzer (or
@@ -112,6 +125,7 @@ type Analyzer struct {
 	reals       int
 	fakes       int
 	collections int
+	attempts    uint32 // monotonic attempt counter; never reused, so a generation never repeats
 }
 
 // NewAnalyzer validates cfg, binds the listener, creates the durable
@@ -198,7 +212,7 @@ func (a *Analyzer) acceptLoop() {
 				a.mu.Unlock()
 				conn.Close()
 			}
-			conn.SetReadDeadline(time.Now().Add(helloTimeout))
+			conn.SetReadDeadline(time.Now().Add(helloBound(a.cfg.HelloTimeout)))
 			tag, payload, err := transport.ReadTaggedFrame(conn)
 			if err != nil || tag != tagShufflerHello {
 				drop()
@@ -264,115 +278,247 @@ func (a *Analyzer) awaitShufflers() ([]net.Conn, error) {
 	}
 }
 
-// Collect drives one collection round over n user reports: charge the
-// ledger, broadcast the seal, await every shuffler's post-shuffle
-// vector, reconstruct (decrypting the ciphertext column in parallel),
-// decode, and fold the round's support counts into the cumulative
-// state — durably, when configured. The caller must have flushed the
-// clients' shares for the round before sealing it; the shufflers wait
-// out in-flight frames, but a share that was never sent fails the
-// round at their SealTimeout.
+// Collect drives one collection round over n user reports: broadcast
+// the seal, await every shuffler's post-shuffle vector, reconstruct
+// (decrypting the ciphertext column in parallel), decode, and fold the
+// round's support counts into the cumulative state — durably, when
+// configured. The caller must have flushed the clients' shares for the
+// round before sealing it; the shufflers wait out in-flight frames,
+// but a share that was never sent fails the round at their
+// SealTimeout.
 //
-// A Collect error means the round is lost (a shuffler died, timed out,
-// or broke protocol): nothing was aggregated or charged durably, and
-// the clean way out is to Close the analyzer — the control-link EOF
-// unblocks every surviving shuffler's Run — and start a fresh cluster,
-// a durable analyzer recovering its sealed history. The kill-one-
+// With Retry enabled, a failed attempt (a shuffler died, reset, timed
+// out) is aborted everywhere and the round re-runs under a fresh
+// generation after a jittered backoff: the dead link is dropped so its
+// shuffler can re-dial, the survivors get an abort frame, and buffered
+// client shares plus cached fake shares make the re-run bit-identical
+// to a round that never failed. The privacy ledger is charged exactly
+// once per collection (on the first attempt that reaches the seal
+// broadcast), and the WAL seal happens only for the attempt that
+// succeeds.
+//
+// A Collect error means the round is lost across all attempts: nothing
+// was aggregated or charged durably (the in-memory ledger charge, the
+// bound on what the seal broadcasts disclosed, stands), and the clean
+// way out is to Close the analyzer — the control-link EOF unblocks
+// every surviving shuffler's Run — and start a fresh cluster, a
+// durable analyzer recovering its sealed history. The kill-one-
 // shuffler smoke test (examples/peos_cluster -kill) exercises exactly
-// this path.
+// this path with retry disabled.
 func (a *Analyzer) Collect(n int) (Collection, error) {
 	if n <= 0 {
 		return Collection{}, errors.New("cluster: Collect needs n > 0")
 	}
-	a.mu.Lock()
-	closed := a.closed
-	a.mu.Unlock()
-	if closed {
+	if a.isClosed() {
 		return Collection{}, errors.New("cluster: analyzer closed")
 	}
-	conns, err := a.awaitShufflers()
-	if err != nil {
-		return Collection{}, err
-	}
-	// Charge only once every shuffler is reachable: a round that
-	// cannot even start must not burn in-memory budget (the charge
-	// still precedes the seal broadcast, the first actual disclosure).
-	if a.cfg.Ledger != nil {
-		if err := a.cfg.Ledger.Charge(); err != nil {
-			return Collection{}, fmt.Errorf("cluster: charging collection %d: %w", a.Collections(), err)
-		}
-	}
+	policy := a.cfg.Retry.withDefaults()
 	a.stateMu.Lock()
 	collection := uint32(a.collections)
 	a.stateMu.Unlock()
+	charged := false
+	var lastErr error
+	for try := 0; try < policy.Attempts; try++ {
+		if try > 0 {
+			time.Sleep(policy.backoff(try - 1))
+			if a.isClosed() {
+				return Collection{}, errors.New("cluster: analyzer closed")
+			}
+		}
+		conns, err := a.awaitShufflers()
+		if err != nil {
+			if a.isClosed() {
+				return Collection{}, err
+			}
+			lastErr = err
+			continue
+		}
+		// Charge only once every shuffler is reachable, and only once
+		// per collection no matter how many attempts it takes: the
+		// charge bounds disclosure, and every attempt seals the same
+		// report multiset (the charge still precedes the first seal
+		// broadcast, the first actual disclosure).
+		if !charged && a.cfg.Ledger != nil {
+			if err := a.cfg.Ledger.Charge(); err != nil {
+				return Collection{}, fmt.Errorf("cluster: charging collection %d: %w", collection, err)
+			}
+		}
+		charged = true
+		g := gen{col: collection, att: a.nextAttempt()}
+		words, badConn, err := a.attemptRound(conns, g, n)
+		if err != nil {
+			lastErr = fmt.Errorf("cluster: collection %d attempt %d: %w", g.col, g.att, err)
+			a.recoverConns(conns, g, badConn)
+			continue
+		}
+		col, err := a.seal(collection, n, words, true)
+		if err != nil {
+			// A durable-store failure is not retryable: the round's
+			// exchange succeeded, the disk did not.
+			return Collection{}, err
+		}
+		col.Attempts = try + 1
+		a.broadcastDone(conns, collection)
+		return col, nil
+	}
+	return Collection{}, fmt.Errorf("cluster: collection %d failed after %d attempt(s): %w", collection, policy.Attempts, lastErr)
+}
+
+// nextAttempt allocates a generation's attempt number. Monotonic
+// across the analyzer's lifetime — never per collection — so aborted
+// attempts can never collide with their successors.
+func (a *Analyzer) nextAttempt() uint32 {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	att := a.attempts
+	a.attempts++
+	return att
+}
+
+// attemptRound runs one generation of a collection: seal broadcast,
+// then one vector per shuffler. On failure it reports which connection
+// had the I/O fault (-1 for protocol-level failures where every link
+// is still healthy), so the retry path drops exactly the dead link.
+func (a *Analyzer) attemptRound(conns []net.Conn, g gen, n int) ([]uint64, int, error) {
 	for j, conn := range conns {
-		if err := writeSealFrame(conn, collection, n); err != nil {
-			return Collection{}, fmt.Errorf("cluster: sealing with shuffler %d: %w", j, err)
+		if a.cfg.CollectTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
+		}
+		err := writeSealFrame(conn, g, n)
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			return nil, j, fmt.Errorf("sealing with shuffler %d: %w", j, err)
 		}
 	}
-	words, err := a.awaitVectors(conns, collection, n)
-	if err != nil {
-		return Collection{}, err
-	}
-	return a.seal(collection, n, words, true)
+	return a.awaitVectors(conns, g, n)
 }
 
 // awaitVectors reads one vector frame per shuffler, reconstructs the
-// share sum, and decrypts the encrypted column.
-func (a *Analyzer) awaitVectors(conns []net.Conn, collection uint32, n int) ([]uint64, error) {
+// share sum, and decrypts the encrypted column. Frames stamped with an
+// older generation are leftovers of aborted attempts (a late vector or
+// its fail notice) and are skipped; the read deadline still bounds how
+// long stale traffic can stall the round.
+func (a *Analyzer) awaitVectors(conns []net.Conn, g gen, n int) ([]uint64, int, error) {
 	r := a.cfg.Topology.R()
 	total := n + a.cfg.NR
 	st := &oblivious.State{Plain: make([][]uint64, r), EncHolder: -1}
 	for j, conn := range conns {
-		if a.cfg.CollectTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(a.cfg.CollectTimeout)); err != nil {
-				return nil, err
+	read:
+		for {
+			if a.cfg.CollectTimeout > 0 {
+				if err := conn.SetReadDeadline(time.Now().Add(a.cfg.CollectTimeout)); err != nil {
+					return nil, j, err
+				}
 			}
-		}
-		tag, payload, err := transport.ReadTaggedFrame(conn)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: reading shuffler %d vector: %w", j, err)
-		}
-		col, body, err := splitPrefixed(payload)
-		if err != nil {
-			return nil, err
-		}
-		if col != collection {
-			return nil, fmt.Errorf("%w: shuffler %d answered collection %d, want %d", errBadFrame, j, col, collection)
-		}
-		switch tag {
-		case tagVector:
-			words, err := transport.DecodeUint64s(body)
+			tag, payload, err := transport.ReadTaggedFrame(conn)
 			if err != nil {
-				return nil, err
+				return nil, j, fmt.Errorf("reading shuffler %d vector: %w", j, err)
 			}
-			if len(words) != total {
-				return nil, fmt.Errorf("%w: shuffler %d vector has %d words, want %d", errBadFrame, j, len(words), total)
-			}
-			st.Plain[j] = words
-		case tagEncVector:
-			if st.EncHolder >= 0 {
-				return nil, fmt.Errorf("%w: shufflers %d and %d both sent ciphertext vectors", errBadFrame, st.EncHolder, j)
-			}
-			cts, err := decodeCiphertexts(ahe.PublicKey(a.cfg.Priv), body)
+			fg, body, err := splitPrefixed(payload)
 			if err != nil {
-				return nil, err
+				return nil, j, err
 			}
-			if len(cts) != total {
-				return nil, fmt.Errorf("%w: shuffler %d ciphertext vector has %d elements, want %d", errBadFrame, j, len(cts), total)
+			if fg != g {
+				continue
 			}
-			st.Enc = cts
-			st.EncHolder = j
-		case tagFail:
-			return nil, fmt.Errorf("cluster: shuffler %d failed collection %d: %s", j, collection, body)
-		default:
-			return nil, fmt.Errorf("%w: shuffler %d sent tag %d, want a vector", errBadFrame, j, tag)
+			switch tag {
+			case tagVector:
+				words, err := transport.DecodeUint64s(body)
+				if err != nil {
+					return nil, j, err
+				}
+				if len(words) != total {
+					return nil, j, fmt.Errorf("%w: shuffler %d vector has %d words, want %d", errBadFrame, j, len(words), total)
+				}
+				st.Plain[j] = words
+				break read
+			case tagEncVector:
+				if st.EncHolder >= 0 {
+					return nil, -1, fmt.Errorf("%w: shufflers %d and %d both sent ciphertext vectors", errBadFrame, st.EncHolder, j)
+				}
+				cts, err := decodeCiphertexts(ahe.PublicKey(a.cfg.Priv), body)
+				if err != nil {
+					return nil, j, err
+				}
+				if len(cts) != total {
+					return nil, j, fmt.Errorf("%w: shuffler %d ciphertext vector has %d elements, want %d", errBadFrame, j, len(cts), total)
+				}
+				st.Enc = cts
+				st.EncHolder = j
+				break read
+			case tagFail:
+				return nil, -1, fmt.Errorf("shuffler %d failed: %s", j, body)
+			default:
+				return nil, j, fmt.Errorf("%w: shuffler %d sent tag %d, want a vector", errBadFrame, j, tag)
+			}
 		}
 	}
 	if st.EncHolder < 0 {
-		return nil, errors.New("cluster: no shuffler delivered the encrypted column")
+		return nil, -1, errors.New("cluster: no shuffler delivered the encrypted column")
 	}
-	return oblivious.RevealParallel(st, a.mod, a.cfg.Priv, a.cfg.Workers)
+	words, err := oblivious.RevealParallel(st, a.mod, a.cfg.Priv, a.cfg.Workers)
+	return words, -1, err
+}
+
+// recoverConns cleans up after a failed attempt: the connection whose
+// I/O failed is dropped (its shuffler redials the control link), the
+// others get an abort frame so their attempt goroutines cancel
+// promptly; a link that cannot even take the abort is dropped too.
+func (a *Analyzer) recoverConns(conns []net.Conn, g gen, badConn int) {
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		if j == badConn {
+			a.dropShuffler(j, conn)
+			continue
+		}
+		if a.cfg.CollectTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
+		}
+		err := writeAbortFrame(conn, g)
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			a.dropShuffler(j, conn)
+		}
+	}
+}
+
+// broadcastDone tells every shuffler the collection sealed durably, so
+// they can prune its buffered shares, cached fakes, and parked mesh
+// connections. Best-effort: a shuffler that misses it prunes on the
+// next seal instead.
+func (a *Analyzer) broadcastDone(conns []net.Conn, collection uint32) {
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		if a.cfg.CollectTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
+		}
+		err := writeDoneFrame(conn, collection)
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			a.dropShuffler(j, conn)
+		}
+	}
+}
+
+// dropShuffler closes a dead shuffler link and clears its slot (if
+// still current) so awaitShufflers waits for the reconnect.
+func (a *Analyzer) dropShuffler(j int, conn net.Conn) {
+	a.mu.Lock()
+	if a.conns[j] == conn {
+		a.conns[j] = nil
+	}
+	a.mu.Unlock()
+	conn.Close()
+}
+
+func (a *Analyzer) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
 }
 
 // seal makes one collection's decoded words durable (WAL + rotation

@@ -1,0 +1,560 @@
+package cluster_test
+
+// Chaos conformance: the self-healing cluster must survive injected
+// transport faults — mid-EOS connection resets, client disconnects,
+// control-link resets — with NO manual intervention, and the final
+// estimates must stay bit-identical to the in-process
+// protocol.PEOS.Run reference while the privacy ledger is charged
+// exactly once per sealed collection. Faults come from the
+// deterministic internal/faultnet layer, so every failure here replays
+// exactly. CI runs this file under -race.
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/budget"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/composition"
+	"shuffledp/internal/faultnet"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/store"
+	"shuffledp/internal/transport"
+)
+
+// chaosRetry is the retry policy the chaos tests run under: enough
+// attempts to outlast the planned faults, short backoffs to keep the
+// suite fast.
+func chaosRetry() cluster.RetryPolicy {
+	return cluster.RetryPolicy{Attempts: 6, BaseBackoff: 25 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+}
+
+// chaosDialTo routes dials to one address through a faultnet network
+// and everything else over plain TCP, so a test can break exactly one
+// link class (say, the peer mesh) while the rest of the cluster stays
+// healthy.
+func chaosDialTo(n *faultnet.Network, addr string) cluster.DialFunc {
+	return func(target string, timeout time.Duration) (net.Conn, error) {
+		if target == addr {
+			return n.Dial(target, timeout)
+		}
+		return net.DialTimeout("tcp", target, timeout)
+	}
+}
+
+func testLedger(t *testing.T) *budget.Ledger {
+	t.Helper()
+	l, err := budget.NewLedger(
+		composition.Guarantee{Eps: 10, Delta: 1e-8},
+		composition.Guarantee{Eps: 1, Delta: 1e-9},
+		budget.Naive{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// The acceptance scenario: a seeded fault schedule resets the first
+// peer-mesh connection mid-EOS (the first oblivious-shuffle vector is
+// ~290 bytes; the reset tears it at byte 180) and resets the client's
+// first connection to shuffler 0 mid-stream (forcing a reconnect and a
+// full resubmit, deduplicated by nonce). The cluster must complete
+// both collections without intervention, bit-identical to
+// protocol.PEOS.Run, with the ledger charged exactly once per
+// collection.
+func TestChaosClusterSelfHealsBitIdentical(t *testing.T) {
+	const (
+		r        = 2
+		n        = 30
+		d        = 8
+		nr       = 4
+		fakeSeed = 201
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+
+	// Conn 0 of each schedule is the first dial through that network:
+	// the mesh's attempt-0 connection, the client's initial connection.
+	meshChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+		if conn == 0 {
+			return faultnet.Fault{ResetAfter: 180}
+		}
+		return faultnet.Fault{}
+	}})
+	clientChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+		if conn == 0 {
+			return faultnet.Fault{ResetAfter: 500}
+		}
+		return faultnet.Fault{}
+	}})
+
+	ledger := testLedger(t)
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, func(cfg *cluster.AnalyzerConfig) {
+		cfg.Retry = chaosRetry()
+		cfg.Ledger = ledger
+	}, func(j int, cfg *cluster.ShufflerConfig) {
+		if j == 1 {
+			// Shuffler 1 dials shuffler 0's mesh; only that link chaoses.
+			cfg.Dial = chaosDialTo(meshChaos, cfg.Topology.Shufflers[0])
+		}
+	})
+	cl, err := cluster.NewClient(cluster.ClientConfig{
+		Topology: h.topo,
+		FO:       fo,
+		Pub:      ahe.PublicKey(priv),
+		Source:   rng.New(3),
+		Dial:     chaosDialTo(clientChaos, h.topo.Shufflers[0]),
+		Retry:    chaosRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FakeSource = refFakeSource(fakeSeed, r)
+
+	var allRef []ldp.Report
+	attempts := make([]int, 2)
+	for round := 0; round < 2; round++ {
+		values := synthValues(n, d, 210+uint64(round))
+		cl.SetCollection(round)
+		if err := cl.SendValues(0, values, rng.New(220+uint64(round))); err != nil {
+			t.Fatalf("round %d send: %v", round, err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatalf("round %d flush: %v", round, err)
+		}
+		col, err := h.analyzer.Collect(n)
+		if err != nil {
+			t.Fatalf("round %d never healed: %v", round, err)
+		}
+		attempts[round] = col.Attempts
+		ref, err := p.Run(values, rng.New(220+uint64(round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !estimatesEqual(col.Estimates, ref.Estimates) {
+			t.Fatalf("round %d estimates diverged under chaos:\n net %v\n ref %v", round, col.Estimates, ref.Estimates)
+		}
+		allRef = append(allRef, ref.Reports...)
+	}
+
+	wantCum := protocol.Estimate(fo, allRef, 2*n, 2*nr)
+	if !estimatesEqual(h.analyzer.Estimates(), wantCum) {
+		t.Fatalf("cumulative estimate diverged under chaos:\n net %v\n ref %v", h.analyzer.Estimates(), wantCum)
+	}
+	if attempts[0] < 2 {
+		t.Fatalf("collection 0 took %d attempt(s); the planned mesh reset should have forced a retry", attempts[0])
+	}
+	if got := meshChaos.Stats().Resets; got < 1 {
+		t.Fatalf("mesh chaos injected %d resets, want >= 1", got)
+	}
+	if got := clientChaos.Stats().Resets; got < 1 {
+		t.Fatalf("client chaos injected %d resets, want >= 1", got)
+	}
+	if cl.Reconnects() < 1 {
+		t.Fatal("client never reconnected; the planned reset should have forced a resubmit")
+	}
+	if got := ledger.Epochs(); got != 2 {
+		t.Fatalf("ledger charged %d epochs for 2 sealed collections (retries must not double-charge)", got)
+	}
+}
+
+// A reset on the shuffler->analyzer control link mid-round must heal
+// end to end: the shuffler redials the analyzer, the analyzer swaps
+// the fresh link in by hello index and retries the round on it.
+func TestChaosControlLinkResetReconnects(t *testing.T) {
+	const (
+		r        = 2
+		n        = 24
+		d        = 8
+		nr       = 4
+		fakeSeed = 231
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+
+	// Budget 45 on shuffler 0's first control connection: the hello
+	// (~9B) and the first seal (~20B) pass, then the round's vector
+	// forward (~300B) tears mid-frame.
+	ctrlChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+		if conn == 0 {
+			return faultnet.Fault{ResetAfter: 45}
+		}
+		return faultnet.Fault{}
+	}})
+
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, func(cfg *cluster.AnalyzerConfig) {
+		cfg.Retry = chaosRetry()
+	}, func(j int, cfg *cluster.ShufflerConfig) {
+		if j == 0 {
+			cfg.Dial = chaosDialTo(ctrlChaos, cfg.Topology.Analyzer)
+		}
+	})
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	values := synthValues(n, d, 232)
+	if err := cl.SendValues(0, values, rng.New(233)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	col, err := h.analyzer.Collect(n)
+	if err != nil {
+		t.Fatalf("round never healed from the control-link reset: %v", err)
+	}
+	if col.Attempts < 2 {
+		t.Fatalf("round took %d attempt(s); the control-link reset should have forced a retry", col.Attempts)
+	}
+	if got := ctrlChaos.Stats().Resets; got < 1 {
+		t.Fatalf("control chaos injected %d resets, want >= 1", got)
+	}
+
+	p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FakeSource = refFakeSource(fakeSeed, r)
+	ref, err := p.Run(values, rng.New(233))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !estimatesEqual(col.Estimates, ref.Estimates) {
+		t.Fatal("estimates diverged across the control-link reset")
+	}
+}
+
+// A connection that sends no hello must be dropped at the configured
+// HelloTimeout — it can neither hold a handshake goroutine nor pin the
+// node's teardown — and the cluster must keep serving around it.
+func TestChaosSilentConnDroppedAtHelloTimeout(t *testing.T) {
+	const (
+		r        = 2
+		n        = 20
+		d        = 8
+		nr       = 2
+		fakeSeed = 241
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, func(cfg *cluster.AnalyzerConfig) {
+		cfg.HelloTimeout = 100 * time.Millisecond
+	}, func(_ int, cfg *cluster.ShufflerConfig) {
+		cfg.HelloTimeout = 100 * time.Millisecond
+	})
+
+	for name, addr := range map[string]string{"shuffler": h.topo.Shufflers[0], "analyzer": h.topo.Analyzer} {
+		silent, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Say nothing. The node must close the connection at its hello
+		// timeout (~100ms), long before our own 5s read deadline — if
+		// our deadline fires instead, the silent connection was never
+		// dropped.
+		silent.SetReadDeadline(time.Now().Add(5 * time.Second))
+		_, err = silent.Read(make([]byte, 1))
+		silent.Close()
+		if err == nil {
+			t.Fatalf("%s answered a silent connection", name)
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("%s never dropped the silent connection", name)
+		}
+	}
+
+	// The nodes shrugged the silent connections off: a real round still
+	// completes.
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendValues(0, synthValues(n, d, 242), rng.New(243)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.analyzer.Collect(n); err != nil {
+		t.Fatalf("round failed after silent connections: %v", err)
+	}
+
+	// And teardown completes promptly even with a fresh silent
+	// connection open.
+	lateSilent, err := net.Dial("tcp", h.topo.Shufflers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lateSilent.Close()
+	h.analyzer.Close()
+	for _, sh := range h.shufflers {
+		sh.Close()
+	}
+	for j, errc := range h.runErr {
+		select {
+		case <-errc:
+		case <-time.After(testTimeout):
+			t.Fatalf("shuffler %d 's Run was pinned past teardown", j)
+		}
+	}
+}
+
+// Exactly-once sealing through a crash: a collection that needed a
+// retry charges the durable ledger once and write-ahead logs once, so
+// a crash-recovered analyzer reports the same single collection, the
+// same single charge, and bit-identical estimates.
+func TestChaosRetriedCollectionChargesAndSealsOnce(t *testing.T) {
+	const (
+		r        = 2
+		n        = 24
+		d        = 8
+		nr       = 4
+		fakeSeed = 251
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	dir := t.TempDir()
+
+	meshChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+		if conn == 0 {
+			return faultnet.Fault{ResetAfter: 180}
+		}
+		return faultnet.Fault{}
+	}})
+
+	ledger := testLedger(t)
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, func(cfg *cluster.AnalyzerConfig) {
+		cfg.Retry = chaosRetry()
+		cfg.Ledger = ledger
+		cfg.DataDir = dir
+		cfg.Sync = store.SyncAlways
+	}, func(j int, cfg *cluster.ShufflerConfig) {
+		if j == 1 {
+			cfg.Dial = chaosDialTo(meshChaos, cfg.Topology.Shufflers[0])
+		}
+	})
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := synthValues(n, d, 252)
+	if err := cl.SendValues(0, values, rng.New(253)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	col, err := h.analyzer.Collect(n)
+	if err != nil {
+		t.Fatalf("round never healed: %v", err)
+	}
+	if col.Attempts < 2 {
+		t.Fatalf("round took %d attempt(s); the planned mesh reset should have forced a retry", col.Attempts)
+	}
+	if got := ledger.Epochs(); got != 1 {
+		t.Fatalf("retried collection charged the ledger %d times, want exactly 1", got)
+	}
+	live := h.analyzer.Estimates()
+	cl.Close()
+
+	// Power cut; only the data directory survives. A fresh ledger
+	// restores to exactly one charge — the WAL holds one seal, not one
+	// per attempt.
+	h.analyzer.Crash()
+	for _, sh := range h.shufflers {
+		sh.Close()
+	}
+	ledger2 := testLedger(t)
+	topo2, lns2, aln2 := bindTopology(t, r)
+	for _, ln := range lns2 {
+		ln.Close()
+	}
+	rec, err := cluster.RecoverAnalyzer(cluster.AnalyzerConfig{
+		Topology: topo2,
+		Listener: aln2,
+		FO:       fo,
+		NR:       nr,
+		Priv:     priv,
+		Ledger:   ledger2,
+		DataDir:  dir,
+		Sync:     store.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Collections() != 1 {
+		t.Fatalf("recovered %d collections, want 1", rec.Collections())
+	}
+	if got := ledger2.Epochs(); got != 1 {
+		t.Fatalf("recovered ledger shows %d charges, want exactly 1", got)
+	}
+	if !estimatesEqual(rec.Estimates(), live) {
+		t.Fatal("recovered estimates diverged from the live run")
+	}
+}
+
+// A short randomized soak: seeded probabilistic resets on the peer
+// mesh and the client links, several seeds, two collections each. The
+// cluster must converge to the bit-identical reference every time; the
+// seeds make any failure replayable.
+func TestChaosSoakSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped with -short")
+	}
+	const (
+		r  = 2
+		n  = 20
+		d  = 8
+		nr = 2
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		fakeSeed := 300 + seed
+		meshChaos := faultnet.New(faultnet.Config{
+			Seed:          seed,
+			ResetProb:     0.4,
+			ResetAfterMin: 60,
+			ResetAfterMax: 400,
+		})
+		clientChaos := faultnet.New(faultnet.Config{
+			Seed:          seed + 1000,
+			ResetProb:     0.4,
+			ResetAfterMin: 60,
+			ResetAfterMax: 700,
+		})
+		retry := cluster.RetryPolicy{Attempts: 10, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+		ledger := testLedger(t)
+		h := startCluster(t, r, nr, fo, priv, fakeSeed, func(cfg *cluster.AnalyzerConfig) {
+			cfg.Retry = retry
+			cfg.Ledger = ledger
+		}, func(j int, cfg *cluster.ShufflerConfig) {
+			if j == 1 {
+				cfg.Dial = chaosDialTo(meshChaos, cfg.Topology.Shufflers[0])
+			}
+		})
+		cl, err := cluster.NewClient(cluster.ClientConfig{
+			Topology: h.topo,
+			FO:       fo,
+			Pub:      ahe.PublicKey(priv),
+			Source:   rng.New(3),
+			Dial:     chaosDialTo(clientChaos, h.topo.Shufflers[0]),
+			Retry:    retry,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FakeSource = refFakeSource(fakeSeed, r)
+		var allRef []ldp.Report
+		for round := 0; round < 2; round++ {
+			values := synthValues(n, d, fakeSeed+10+uint64(round))
+			cl.SetCollection(round)
+			if err := cl.SendValues(0, values, rng.New(fakeSeed+20+uint64(round))); err != nil {
+				t.Fatalf("seed %d round %d send: %v", seed, round, err)
+			}
+			if err := cl.Flush(); err != nil {
+				t.Fatalf("seed %d round %d flush: %v", seed, round, err)
+			}
+			col, err := h.analyzer.Collect(n)
+			if err != nil {
+				t.Fatalf("seed %d round %d never healed: %v", seed, round, err)
+			}
+			ref, err := p.Run(values, rng.New(fakeSeed+20+uint64(round)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !estimatesEqual(col.Estimates, ref.Estimates) {
+				t.Fatalf("seed %d round %d diverged (mesh %+v client %+v)", seed, round, meshChaos.Stats(), clientChaos.Stats())
+			}
+			allRef = append(allRef, ref.Reports...)
+		}
+		if got := ledger.Epochs(); got != 2 {
+			t.Fatalf("seed %d: ledger charged %d epochs for 2 collections", seed, got)
+		}
+		wantCum := protocol.Estimate(fo, allRef, 2*n, 2*nr)
+		if !estimatesEqual(h.analyzer.Estimates(), wantCum) {
+			t.Fatalf("seed %d cumulative diverged", seed)
+		}
+		t.Logf("seed %d healed: mesh %+v client %+v reconnects %d", seed, meshChaos.Stats(), clientChaos.Stats(), cl.Reconnects())
+		cl.Close()
+		h.analyzer.Close()
+		for _, sh := range h.shufflers {
+			sh.Close()
+		}
+	}
+}
+
+// A flooding client replaying the SAME (index, nonce) frames over and
+// over must be absorbed by the dedup path without counting against the
+// buffer cap — resubmits are free — while the round still seals.
+func TestChaosResubmitsDoNotCountAgainstCap(t *testing.T) {
+	const (
+		r        = 2
+		n        = 20
+		d        = 8
+		nr       = 2
+		fakeSeed = 261
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	h := startCluster(t, r, nr, fo, priv, fakeSeed, nil, func(_ int, cfg *cluster.ShufflerConfig) {
+		cfg.MaxBuffered = n + 2 // barely roomier than one column
+	})
+	// A raw client that sends the same share 50 times: one stored
+	// share, 49 idempotent resubmits, zero cap pressure.
+	raw, err := net.Dial("tcp", h.topo.Shufflers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := transport.WriteTaggedFrame(raw, 3 /* clientHello */, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	var payload [24]byte
+	payload[3] = 99 // collection 99 (never sealed; parks in the buffer)
+	payload[7] = 5  // index 5
+	payload[15] = 7 // nonce
+	for i := 0; i < 50; i++ {
+		if err := transport.WriteTaggedFrame(raw, 4 /* report */, payload[:]); err != nil {
+			t.Fatalf("resubmit %d refused: %v", i, err)
+		}
+	}
+
+	cl, err := cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendValues(0, synthValues(n, d, 262), rng.New(263)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.analyzer.Collect(n); err != nil {
+		t.Fatalf("round failed under resubmit pressure: %v", err)
+	}
+}

@@ -36,6 +36,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 )
@@ -69,30 +70,153 @@ func (t Topology) validate() error {
 // particular order).
 const DefaultDialTimeout = 10 * time.Second
 
-// helloTimeout bounds the wait for an inbound connection's hello
-// frame: a connection that sends nothing identifies as nothing and is
-// dropped, so it can neither pin its handshake goroutine nor survive
-// the node's teardown unnoticed.
-const helloTimeout = 30 * time.Second
+// DefaultHelloTimeout is the default bound on the wait for an inbound
+// connection's hello frame: a connection that sends nothing identifies
+// as nothing and is dropped, so it can neither pin its handshake
+// goroutine nor survive the node's teardown unnoticed. Nodes override
+// it with their config's HelloTimeout.
+const DefaultHelloTimeout = 30 * time.Second
 
-// dialRetry dials addr, retrying with a short backoff until timeout —
-// roles of one cluster start concurrently and must tolerate peers that
-// are not listening yet.
-func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+// helloBound resolves a config's hello timeout (0 = default).
+func helloBound(d time.Duration) time.Duration {
+	if d <= 0 {
+		return DefaultHelloTimeout
+	}
+	return d
+}
+
+// DialFunc establishes one connection attempt to addr within timeout.
+// Nodes and clients accept one as a hook so tests can interpose a
+// chaos layer (faultnet.Network.Dial has this shape); nil means plain
+// net.DialTimeout over TCP.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// netDial is the default DialFunc.
+func netDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// RetryPolicy shapes an automatic retry loop: the analyzer's
+// collection-round retries and the client's reconnect/resubmit both
+// take one. The zero policy means "no retry" (a single attempt), which
+// keeps every pre-existing single-shot behavior intact unless a
+// deployment opts in.
+type RetryPolicy struct {
+	// Attempts caps the tries per operation; values <= 1 disable
+	// retrying.
+	Attempts int
+	// BaseBackoff seeds the exponential backoff between attempts
+	// (default 50ms). The sleep before retry k is
+	// min(BaseBackoff<<k, MaxBackoff), jittered to a uniform draw in
+	// [d/2, d) so simultaneous retriers decorrelate.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff sleep (default 2s).
+	MaxBackoff time.Duration
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+// withDefaults fills the zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt k (0-based).
+func (p RetryPolicy) backoff(k int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < k && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return jitter(d)
+}
+
+// jitter maps d to a uniform draw in [d/2, d). The draw is
+// math/rand/v2 (not the repo's seeded rng): backoff spacing must
+// decorrelate concurrent retriers and never needs reproducibility —
+// nothing statistical consumes it.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)))
+}
+
+// dialRetry dials addr through dial (nil = TCP), retrying failed
+// attempts with jittered exponential backoff until the overall timeout
+// budget is spent — roles of one cluster start concurrently and must
+// tolerate peers that are not listening yet. Each attempt gets the
+// remaining budget as its own timeout, so a blackholed peer cannot
+// stall the loop past the deadline the way an untimed net.Dial could.
+func dialRetry(dial DialFunc, addr string, timeout time.Duration) (net.Conn, error) {
+	if dial == nil {
+		dial = netDial
+	}
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
 	}
 	deadline := time.Now().Add(timeout)
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
 	for {
-		conn, err := net.Dial("tcp", addr)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("cluster: dialing %s: timed out after %v", addr, timeout)
+		}
+		conn, err := dial(addr, remaining)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		remaining = time.Until(deadline)
+		if remaining <= 0 {
 			return nil, fmt.Errorf("cluster: dialing %s: %w", addr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		sleep := jitter(backoff)
+		if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
 	}
+}
+
+// gen identifies one collection attempt: the analyzer stamps every
+// seal, abort, vector, and peer hello with the (collection, attempt)
+// pair, so a connection or frame left over from an aborted round is
+// recognizably stale instead of corrupting its successor. Attempt
+// numbers increase monotonically across the analyzer's lifetime (not
+// per collection), so a generation never repeats.
+type gen struct {
+	col uint32
+	att uint32
+}
+
+// less orders generations: collection first, then attempt.
+func (g gen) less(o gen) bool {
+	return g.col < o.col || (g.col == o.col && g.att < o.att)
+}
+
+// maxDuration returns the larger of two durations.
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // listenOrUse binds the configured address unless the caller already

@@ -423,13 +423,16 @@ func TestClusterShufflerCapsFloodingClient(t *testing.T) {
 	if err := transport.WriteTaggedFrame(flood, 3 /* clientHello */, []byte{0}); err != nil {
 		t.Fatal(err)
 	}
-	// 40 shares for a collection that will never seal: the node must
-	// cut the connection once its buffer cap (25) is reached.
-	var payload [16]byte
+	// 40 distinct shares for a collection that will never seal: the
+	// node must cut the connection once its buffer cap (25) is reached.
+	// Distinct indices and nonces — a repeated (index, nonce) pair would
+	// be deduplicated as a resubmit and never count against the cap.
+	var payload [24]byte
 	wrote := 0
 	for i := 0; i < 40; i++ {
 		payload[3] = 99 // collection 99 (big-endian u32)
 		payload[7] = byte(i)
+		payload[15] = byte(i + 1) // per-report nonce
 		if err := transport.WriteTaggedFrame(flood, 4 /* report */, payload[:]); err != nil {
 			break
 		}

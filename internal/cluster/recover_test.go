@@ -288,3 +288,145 @@ func TestRecoverAnalyzerDropsUnsealedWords(t *testing.T) {
 		t.Fatalf("unsealed words merged: (%d, %d)", reals, fakes)
 	}
 }
+
+// TestRecoverAnalyzerReplaysInterruptedRetry covers the ledger
+// idempotence of a retried round end to end: a collection whose first
+// attempts were aborted by faults still seals exactly once, so its WAL
+// footprint is one words record plus one rotation marker — identical
+// to a clean round, because aborted attempts write nothing durable.
+// The test builds a checkpointed first collection, then appends a
+// second collection's seal through the store layer and "crashes"
+// before its checkpoint (the retried round's worst-case window), and
+// asserts recovery charges the ledger exactly once for the tail:
+// Restore(1) from the checkpoint plus a single re-charge, never one
+// charge per attempt.
+func TestRecoverAnalyzerReplaysInterruptedRetry(t *testing.T) {
+	const (
+		d  = 8
+		n  = 10
+		nr = 3
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	dir := t.TempDir()
+	meta := store.Meta{Oracle: fo.Name(), Domain: fo.Domain()}
+
+	words := func(base uint64) []uint64 {
+		ws := make([]uint64, 0, n+nr)
+		for i := 0; i < n; i++ {
+			ws = append(ws, (base+uint64(i))%d)
+		}
+		return append(ws, 2, 0xfeedface, 1<<41)
+	}
+	col0, col1 := words(0), words(5)
+
+	st, err := store.Create(dir, meta, store.SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReport(0, transport.EncodeUint64s(col0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	newLedger := func() *budget.Ledger {
+		l, err := budget.NewLedger(
+			composition.Guarantee{Eps: 3, Delta: 3e-9},
+			composition.Guarantee{Eps: 1, Delta: 1e-9},
+			budget.Naive{},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	// First recovery seals collection 0 and writes the checkpoint
+	// (LedgerCharged = 1) — the durable baseline the retried round
+	// builds on.
+	ledger := newLedger()
+	a, err := cluster.RecoverAnalyzer(cluster.AnalyzerConfig{
+		Topology: analyzerTopo(t),
+		FO:       fo,
+		NR:       nr,
+		Priv:     priv,
+		DataDir:  dir,
+		Sync:     store.SyncAlways,
+		Ledger:   ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Collections() != 1 || ledger.Epochs() != 1 {
+		t.Fatalf("baseline recovery: %d collections, %d charges", a.Collections(), ledger.Epochs())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collection 1 retries, eventually seals, and the process dies
+	// after the rotation marker but before the checkpoint. However many
+	// attempts the round took, the WAL carries the seal once.
+	st, _, err = store.Open(dir, meta, store.SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendReport(1, transport.EncodeUint64s(col1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ledger2 := newLedger()
+	a2, err := cluster.RecoverAnalyzer(cluster.AnalyzerConfig{
+		Topology: analyzerTopo(t),
+		FO:       fo,
+		NR:       nr,
+		Priv:     priv,
+		DataDir:  dir,
+		Sync:     store.SyncAlways,
+		Ledger:   ledger2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Collections() != 2 {
+		t.Fatalf("recovered %d collections, want 2", a2.Collections())
+	}
+	if ledger2.Epochs() != 2 {
+		t.Fatalf("ledger charged %d epochs, want exactly 2 (checkpoint restore + one tail re-charge)", ledger2.Epochs())
+	}
+	reals, fakes := a2.Totals()
+	if reals != 2*n || fakes != 2*nr {
+		t.Fatalf("recovered totals (%d, %d), want (%d, %d)", reals, fakes, 2*n, 2*nr)
+	}
+	enc, err := ldp.NewWordEncoder(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]uint64{}, col0...), col1...)
+	reports := make([]ldp.Report, len(all))
+	for i, w := range all {
+		reports[i] = enc.Decode(w)
+	}
+	want := protocol.Estimate(fo, reports, 2*n, 2*nr)
+	if !estimatesEqual(a2.Estimates(), want) {
+		t.Fatalf("recovered estimate diverged:\n got %v\nwant %v", a2.Estimates(), want)
+	}
+}

@@ -38,7 +38,10 @@ type ShufflerConfig struct {
 	Source secretshare.Source
 	// FakeSource, when non-nil, draws the node's fake shares instead
 	// of Source — the hook the conformance tests use to align fakes
-	// with an in-process protocol.PEOS reference.
+	// with an in-process protocol.PEOS reference. The stream advances
+	// exactly once per collection no matter how many attempts the
+	// collection takes (fake shares are cached per collection), so
+	// retried rounds stay bit-identical to the reference.
 	FakeSource secretshare.Source
 	// FastShuffle disables ciphertext rerandomization (Table III cost
 	// model; see oblivious.Config.SkipRerandomize for the caveat).
@@ -50,6 +53,16 @@ type ShufflerConfig struct {
 	// set to complete and (b) each peer message exchange during the
 	// shuffle. 0 means no bound.
 	SealTimeout time.Duration
+	// PhaseTimeout additionally bounds each whole phase of the
+	// oblivious shuffle (hide, shuffle, reshare — re-armed at every
+	// phase boundary), so a peer that keeps trickling individual
+	// messages under SealTimeout but never completes a phase is still
+	// cut off. 0 means only SealTimeout applies.
+	PhaseTimeout time.Duration
+	// HelloTimeout bounds the wait for an inbound connection's hello
+	// frame (0 = DefaultHelloTimeout). A silent connection is dropped
+	// and can never pin the node's teardown.
+	HelloTimeout time.Duration
 	// MaxBuffered caps the total client shares held across all
 	// not-yet-sealed collections (0 = DefaultMaxBuffered). A client
 	// streaming shares for rounds that never seal must not grow the
@@ -61,13 +74,20 @@ type ShufflerConfig struct {
 	// DialTimeout bounds connection establishment to peers and the
 	// analyzer (0 = DefaultDialTimeout).
 	DialTimeout time.Duration
+	// Dial, when non-nil, replaces net.DialTimeout for this node's
+	// outbound connections (peer mesh and analyzer link) — the
+	// chaos-injection hook (faultnet.Network.Dial fits).
+	Dial DialFunc
 }
 
 // collectionBuf buffers one collection's share column as it streams in
-// from clients.
+// from clients. The nonce map keys resubmit deduplication: a
+// reconnecting client replays its whole collection, and a frame whose
+// (index, nonce) is already stored is the retransmit it claims to be.
 type collectionBuf struct {
 	plain  map[uint32]uint64
 	encCt  map[uint32][]byte
+	nonce  map[uint32]uint64
 	notify chan struct{}
 }
 
@@ -75,31 +95,134 @@ func newCollectionBuf() *collectionBuf {
 	return &collectionBuf{
 		plain:  make(map[uint32]uint64),
 		encCt:  make(map[uint32][]byte),
+		nonce:  make(map[uint32]uint64),
 		notify: make(chan struct{}, 1),
 	}
 }
 
 func (c *collectionBuf) size() int { return len(c.plain) + len(c.encCt) }
 
+// fakeSet is one collection's cached fake shares. Caching (rather than
+// redrawing per attempt) keeps the FakeSource stream position a
+// function of the collection alone: a retried attempt reuses the same
+// fakes, so estimates stay bit-identical to a run that never failed.
+type fakeSet struct {
+	plain []uint64
+	enc   []*ahe.Ciphertext
+}
+
+// attempt is one collection attempt in flight on this node. The
+// analyzer's abort (or a newer seal, or a lost control link) cancels
+// it: the cancel channel closes and every mesh connection it claimed
+// is torn down, which unblocks a RunParty stuck mid-phase.
+type attempt struct {
+	g      gen
+	n      int
+	cancel chan struct{}
+
+	mu      sync.Mutex
+	aborted bool
+	conns   []net.Conn
+}
+
+// errAttemptAborted marks attempt-goroutine errors caused by the
+// attempt's own cancellation — not reported to the analyzer, which
+// moved on already.
+var errAttemptAborted = errors.New("cluster: collection attempt aborted")
+
+func (a *attempt) abort() {
+	a.mu.Lock()
+	if a.aborted {
+		a.mu.Unlock()
+		return
+	}
+	a.aborted = true
+	conns := append([]net.Conn(nil), a.conns...)
+	a.mu.Unlock()
+	close(a.cancel)
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// addConn registers a mesh connection with the attempt so abort can
+// close it; a connection arriving after the abort is closed instead.
+func (a *attempt) addConn(c net.Conn) error {
+	a.mu.Lock()
+	if a.aborted {
+		a.mu.Unlock()
+		c.Close()
+		return errAttemptAborted
+	}
+	a.conns = append(a.conns, c)
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *attempt) canceled() bool {
+	select {
+	case <-a.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// closeConns closes every mesh connection the attempt claimed (the
+// attempt's exchange is over; per-attempt connections are never
+// reused).
+func (a *attempt) closeConns() {
+	a.mu.Lock()
+	conns := append([]net.Conn(nil), a.conns...)
+	a.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// peerKey addresses a parked inbound mesh connection: which peer, for
+// which collection attempt.
+type peerKey struct {
+	from int
+	g    gen
+}
+
 // Shuffler is one running shuffler node. Create it with NewShuffler,
 // drive it with Run (which blocks for the node's lifetime), and stop
 // it with Close — ungracefully, which is exactly what the
 // kill-a-shuffler smoke test does.
+//
+// The node is self-healing by construction: client errors only ever
+// drop that client's connection (delivered shares stay buffered for
+// the resubmit), a failed collection attempt only fails that attempt
+// (the analyzer aborts and retries under its RetryPolicy), and a lost
+// analyzer control link is redialed. The only fatal conditions are
+// Close, a malformed analyzer frame, and an unreachable analyzer.
 type Shuffler struct {
 	cfg ShufflerConfig
 	ln  net.Listener
 	mod secretshare.Modulus
 
-	mu       sync.Mutex
-	peers    []net.Conn // by shuffler index, nil at own slot
-	peerMore chan struct{}
-	analyzer net.Conn
-	conns    map[net.Conn]struct{} // client (and handshaking) connections
-	cols     map[uint32]*collectionBuf
-	doneCols map[uint32]bool // one bool per sealed round — negligible growth
-	buffered int             // total shares across s.cols, bounded by MaxBuffered
-	closed   bool
-	firstErr error
+	// fakeMu serializes fake-share draws so concurrent attempt
+	// goroutines (one aborted, one fresh) can never interleave their
+	// FakeSource consumption; see fakesFor.
+	fakeMu sync.Mutex
+	// anMu serializes writes to the analyzer control link (an aborted
+	// attempt's fail notice must not interleave with its successor's
+	// vector).
+	anMu sync.Mutex
+
+	mu          sync.Mutex
+	analyzer    net.Conn
+	parked      map[peerKey]net.Conn // inbound mesh conns awaiting their attempt
+	parkedMore  chan struct{}
+	conns       map[net.Conn]struct{} // client (and handshaking) connections
+	cols        map[uint32]*collectionBuf
+	fakes       map[uint32]*fakeSet
+	cur         *attempt
+	doneThrough int64 // highest collection known sealed/pruned; -1 initially
+	buffered    int   // total shares across s.cols, bounded by MaxBuffered
+	closed      bool
 }
 
 // DefaultMaxBuffered is the ShufflerConfig.MaxBuffered default: at
@@ -139,14 +262,15 @@ func NewShuffler(cfg ShufflerConfig) (*Shuffler, error) {
 		return nil, err
 	}
 	return &Shuffler{
-		cfg:      cfg,
-		ln:       ln,
-		mod:      secretshare.NewModulus(64),
-		peers:    make([]net.Conn, cfg.Topology.R()),
-		peerMore: make(chan struct{}, 1),
-		conns:    make(map[net.Conn]struct{}),
-		cols:     make(map[uint32]*collectionBuf),
-		doneCols: make(map[uint32]bool),
+		cfg:         cfg,
+		ln:          ln,
+		mod:         secretshare.NewModulus(64),
+		parked:      make(map[peerKey]net.Conn),
+		parkedMore:  make(chan struct{}, 1),
+		conns:       make(map[net.Conn]struct{}),
+		cols:        make(map[uint32]*collectionBuf),
+		fakes:       make(map[uint32]*fakeSet),
+		doneThrough: -1,
 	}, nil
 }
 
@@ -159,107 +283,475 @@ func (s *Shuffler) encHolder() bool { return s.cfg.Index == s.cfg.Topology.R()-1
 
 // Run connects the node into the cluster and serves collections until
 // the analyzer closes its connection (clean shutdown, returns nil),
-// Close is called, or a protocol error occurs. The connection plan is
-// deterministic: this node dials every lower-index shuffler and the
-// analyzer, and accepts connections from higher-index shufflers and
-// from clients.
+// Close is called, or the analyzer becomes unreachable or speaks a
+// malformed protocol. The connection plan is deterministic: this node
+// dials the analyzer (redialing if the link resets) and, per
+// collection attempt, every lower-index shuffler; it accepts
+// per-attempt connections from higher-index shufflers and report
+// streams from clients.
 func (s *Shuffler) Run() error {
 	defer s.teardown()
 	go s.acceptLoop()
-
-	// Dial downwards and identify ourselves.
-	for j := 0; j < s.cfg.Index; j++ {
-		conn, err := dialRetry(s.cfg.Topology.Shufflers[j], s.cfg.DialTimeout)
-		if err != nil {
-			return err
-		}
-		if err := writeHello(conn, tagPeerHello, s.cfg.Index); err != nil {
-			conn.Close()
-			return err
-		}
-		s.mu.Lock()
-		s.peers[j] = conn
-		s.mu.Unlock()
-	}
-	analyzer, err := dialRetry(s.cfg.Topology.Analyzer, s.cfg.DialTimeout)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.analyzer = analyzer
-	s.mu.Unlock()
-	if err := writeHello(analyzer, tagShufflerHello, s.cfg.Index); err != nil {
-		return err
-	}
-	if err := s.awaitPeers(); err != nil {
+	if err := s.connectAnalyzer(); err != nil {
 		return err
 	}
 
-	// Control loop: the analyzer drives collections with seal frames.
+	// Control loop: the analyzer drives collection attempts with seal
+	// frames, cancels them with aborts, and confirms durable rounds
+	// with done frames. Attempts run in their own goroutines so an
+	// abort can cancel one that is blocked mid-shuffle.
 	for {
+		s.mu.Lock()
+		analyzer := s.analyzer
+		s.mu.Unlock()
 		tag, payload, err := transport.ReadTaggedFrame(analyzer)
-		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-			return s.errOrNil()
-		}
 		if err != nil {
 			if s.isClosed() {
-				return s.errOrNil()
+				return nil
+			}
+			if errors.Is(err, io.EOF) {
+				// Orderly analyzer shutdown: the cluster is done.
+				s.cancelCurrent()
+				return nil
+			}
+			if pipeline.Disconnected(err) {
+				// The control link died mid-stream (reset, not FIN):
+				// cancel the in-flight attempt — its seal may have been
+				// lost — and redial. The analyzer's accept loop swaps
+				// the fresh link in by our hello index.
+				s.cancelCurrent()
+				if err := s.connectAnalyzer(); err != nil {
+					return err
+				}
+				continue
 			}
 			return fmt.Errorf("cluster: shuffler %d analyzer link: %w", s.cfg.Index, err)
 		}
-		if tag != tagSeal {
-			return fmt.Errorf("%w: analyzer sent tag %d, want seal", errBadFrame, tag)
-		}
-		collection, n, err := parseSealFrame(payload)
-		if err != nil {
-			return err
-		}
-		if err := s.runCollection(collection, n); err != nil {
-			// Tell the analyzer why before going down: Collect should
-			// fail with the cause, not a bare connection reset.
-			_ = transport.WriteTaggedFrame(analyzer, tagFail, prefixed(collection, []byte(err.Error())))
-			return fmt.Errorf("cluster: shuffler %d collection %d: %w", s.cfg.Index, collection, err)
+		switch tag {
+		case tagSeal:
+			g, n, err := parseSealFrame(payload)
+			if err != nil {
+				return err
+			}
+			s.startAttempt(g, n)
+		case tagAbort:
+			g, err := parseAbortFrame(payload)
+			if err != nil {
+				return err
+			}
+			s.abortGen(g)
+		case tagDone:
+			col, err := parseDoneFrame(payload)
+			if err != nil {
+				return err
+			}
+			s.pruneThrough(col)
+		default:
+			return fmt.Errorf("%w: analyzer sent tag %d", errBadFrame, tag)
 		}
 	}
 }
 
-// awaitPeers blocks until every peer link exists (higher-index peers
-// dial in through the accept loop).
-func (s *Shuffler) awaitPeers() error {
+// connectAnalyzer dials the analyzer, identifies this node, and swaps
+// the fresh link in (closing a dead predecessor).
+func (s *Shuffler) connectAnalyzer() error {
+	conn, err := dialRetry(s.cfg.Dial, s.cfg.Topology.Analyzer, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if err := writeHello(conn, tagShufflerHello, s.cfg.Index); err != nil {
+		conn.Close()
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("cluster: shuffler closed")
+	}
+	old := s.analyzer
+	s.analyzer = conn
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// startAttempt installs a new collection attempt (canceling its
+// predecessor — a newer seal supersedes whatever was running) and
+// launches its goroutine. A seal for a generation not newer than the
+// current one is stale control traffic and ignored.
+func (s *Shuffler) startAttempt(g gen, n int) {
+	s.mu.Lock()
+	prev := s.cur
+	if prev != nil && !prev.g.less(g) {
+		s.mu.Unlock()
+		return
+	}
+	if int64(g.col) <= s.doneThrough {
+		s.mu.Unlock()
+		return
+	}
+	cur := &attempt{g: g, n: n, cancel: make(chan struct{})}
+	s.cur = cur
+	// Collections before this one can never seal again; parked mesh
+	// connections from older generations serve aborted attempts.
+	s.markDoneLocked(int64(g.col) - 1)
+	for k, conn := range s.parked {
+		if k.g.less(g) {
+			conn.Close()
+			delete(s.parked, k)
+		}
+	}
+	s.mu.Unlock()
+	if prev != nil {
+		prev.abort()
+	}
+	go s.runAttempt(cur)
+}
+
+// abortGen cancels the current attempt if it matches g (an abort
+// racing a newer seal must not cancel the newer attempt).
+func (s *Shuffler) abortGen(g gen) {
+	s.mu.Lock()
+	cur := s.cur
+	s.mu.Unlock()
+	if cur != nil && cur.g == g {
+		cur.abort()
+	}
+}
+
+// cancelCurrent aborts whatever attempt is in flight.
+func (s *Shuffler) cancelCurrent() {
+	s.mu.Lock()
+	cur := s.cur
+	s.mu.Unlock()
+	if cur != nil {
+		cur.abort()
+	}
+}
+
+// pruneThrough handles the analyzer's done frame: every collection
+// through col sealed durably, so its buffers, cached fakes, and parked
+// connections can go.
+func (s *Shuffler) pruneThrough(col uint32) {
+	s.mu.Lock()
+	s.markDoneLocked(int64(col))
+	s.mu.Unlock()
+}
+
+// markDoneLocked advances the done watermark and prunes state at or
+// below it. Caller holds s.mu.
+func (s *Shuffler) markDoneLocked(through int64) {
+	if through <= s.doneThrough {
+		return
+	}
+	s.doneThrough = through
+	for c, buf := range s.cols {
+		if int64(c) <= through {
+			s.buffered -= buf.size()
+			delete(s.cols, c)
+		}
+	}
+	for c := range s.fakes {
+		if int64(c) <= through {
+			delete(s.fakes, c)
+		}
+	}
+	for k, conn := range s.parked {
+		if int64(k.g.col) <= through {
+			conn.Close()
+			delete(s.parked, k)
+		}
+	}
+}
+
+// runAttempt drives one collection attempt and reports failures of
+// live attempts to the analyzer; a canceled attempt dies silently (the
+// analyzer moved on).
+func (s *Shuffler) runAttempt(a *attempt) {
+	defer a.closeConns()
+	err := s.collect(a)
+	if err == nil || a.canceled() || s.isClosed() {
+		return
+	}
+	// Tell the analyzer why, so Collect fails (and retries) with the
+	// cause instead of a bare timeout.
+	_ = s.writeAnalyzer(tagFail, prefixed(a.g, []byte(err.Error())))
+}
+
+// writeAnalyzer writes one frame to the control link under anMu and a
+// write deadline.
+func (s *Shuffler) writeAnalyzer(tag uint32, payload []byte) error {
+	s.mu.Lock()
+	conn := s.analyzer
+	s.mu.Unlock()
+	if conn == nil {
+		return errors.New("cluster: no analyzer link")
+	}
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	if s.cfg.SealTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.SealTimeout)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return transport.WriteTaggedFrame(conn, tag, payload)
+}
+
+// collect executes one collection attempt: wait for the column to
+// complete, take the collection's (cached) fake shares, form the
+// per-attempt peer mesh, shuffle, forward the result to the analyzer.
+func (s *Shuffler) collect(a *attempt) error {
+	if a.n <= 0 {
+		return fmt.Errorf("cluster: seal with %d users", a.n)
+	}
+	words, cts, err := s.awaitColumn(a)
+	if err != nil {
+		return err
+	}
+	fakes, err := s.fakesFor(a)
+	if err != nil {
+		return err
+	}
+	total := a.n + s.cfg.NR
+	var plain []uint64
+	var enc []*ahe.Ciphertext
+	if s.encHolder() {
+		enc = make([]*ahe.Ciphertext, total)
+		for i, raw := range cts {
+			c, err := s.cfg.Pub.Deserialize(raw)
+			if err != nil {
+				return fmt.Errorf("cluster: client ciphertext %d: %w", i, err)
+			}
+			enc[i] = c
+		}
+		copy(enc[a.n:], fakes.enc)
+	} else {
+		plain = make([]uint64, total)
+		copy(plain, words)
+		copy(plain[a.n:], fakes.plain)
+	}
+
+	peers, err := s.mesh(a)
+	if err != nil {
+		return err
+	}
+	tr := newConnTransport(peers, s.cfg.Pub, s.cfg.SealTimeout, s.cfg.PhaseTimeout)
+	outPlain, outEnc, err := oblivious.RunParty(oblivious.PartyConfig{
+		Index:           s.cfg.Index,
+		Parties:         s.cfg.Topology.R(),
+		Mod:             s.mod,
+		Source:          s.cfg.Source,
+		Pub:             s.cfg.Pub,
+		SkipRerandomize: s.cfg.FastShuffle,
+	}, tr, plain, enc)
+	if err != nil {
+		return err
+	}
+
+	// Forward stage: the post-shuffle vector goes to the analyzer,
+	// stamped with the attempt's generation so a stale vector from an
+	// aborted attempt is recognizable.
+	if outEnc != nil {
+		return s.writeAnalyzer(tagEncVector, prefixed(a.g, encodeCiphertexts(s.cfg.Pub, outEnc)))
+	}
+	return s.writeAnalyzer(tagVector, prefixed(a.g, transport.EncodeUint64s(outPlain)))
+}
+
+// mesh forms the attempt's peer connections: dial every lower-index
+// shuffler with this attempt's generation hello, claim the parked
+// inbound connections of every higher-index one. All connections are
+// registered with the attempt so an abort tears them down.
+func (s *Shuffler) mesh(a *attempt) ([]net.Conn, error) {
+	r := s.cfg.Topology.R()
+	peers := make([]net.Conn, r)
 	deadline := time.Now().Add(maxDuration(s.cfg.DialTimeout, DefaultDialTimeout))
+	for j := 0; j < s.cfg.Index; j++ {
+		if a.canceled() {
+			return nil, errAttemptAborted
+		}
+		conn, err := dialRetry(s.cfg.Dial, s.cfg.Topology.Shufflers[j], s.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.addConn(conn); err != nil {
+			return nil, err
+		}
+		if err := writePeerHello(conn, s.cfg.Index, a.g); err != nil {
+			return nil, fmt.Errorf("cluster: peer hello to shuffler %d: %w", j, err)
+		}
+		peers[j] = conn
+	}
+	for j := s.cfg.Index + 1; j < r; j++ {
+		conn, err := s.claimPeer(j, a, deadline)
+		if err != nil {
+			return nil, err
+		}
+		peers[j] = conn
+	}
+	return peers, nil
+}
+
+// claimPeer waits for the inbound mesh connection of one higher-index
+// peer for this attempt's generation.
+func (s *Shuffler) claimPeer(from int, a *attempt, deadline time.Time) (net.Conn, error) {
+	key := peerKey{from: from, g: a.g}
 	for {
 		s.mu.Lock()
-		missing := 0
-		for j, c := range s.peers {
-			if j != s.cfg.Index && c == nil {
-				missing++
-			}
+		conn, ok := s.parked[key]
+		if ok {
+			delete(s.parked, key)
 		}
 		closed := s.closed
 		s.mu.Unlock()
-		if missing == 0 {
-			return nil
+		if ok {
+			if err := a.addConn(conn); err != nil {
+				return nil, err
+			}
+			return conn, nil
 		}
 		if closed {
-			return errors.New("cluster: shuffler closed")
+			return nil, errors.New("cluster: shuffler closed")
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, fmt.Errorf("cluster: shuffler %d never joined collection %d attempt %d", from, a.g.col, a.g.att)
+		}
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
 		}
 		select {
-		case <-s.peerMore:
-		case <-time.After(time.Until(deadline)):
-			return fmt.Errorf("cluster: shuffler %d: %d peer link(s) never connected", s.cfg.Index, missing)
+		case <-s.parkedMore:
+		case <-a.cancel:
+			return nil, errAttemptAborted
+		case <-time.After(wait):
 		}
 	}
 }
 
-func maxDuration(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
+// fakesFor returns the collection's fake shares, drawing them on first
+// use. Draws are serialized under fakeMu and refused for canceled
+// attempts, so the FakeSource stream advances exactly once per
+// collection, in collection order, no matter how attempts interleave.
+func (s *Shuffler) fakesFor(a *attempt) (*fakeSet, error) {
+	s.fakeMu.Lock()
+	defer s.fakeMu.Unlock()
+	s.mu.Lock()
+	fs := s.fakes[a.g.col]
+	s.mu.Unlock()
+	if fs != nil {
+		return fs, nil
 	}
-	return b
+	if a.canceled() {
+		return nil, errAttemptAborted
+	}
+	src := s.cfg.FakeSource
+	if src == nil {
+		src = s.cfg.Source
+	}
+	fs = &fakeSet{}
+	if s.encHolder() {
+		fs.enc = make([]*ahe.Ciphertext, s.cfg.NR)
+		for k := range fs.enc {
+			c, err := s.cfg.Pub.Encrypt(s.mod.Random(src))
+			if err != nil {
+				return nil, err
+			}
+			fs.enc[k] = c
+		}
+	} else {
+		fs.plain = make([]uint64, s.cfg.NR)
+		for k := range fs.plain {
+			fs.plain[k] = s.mod.Random(src)
+		}
+	}
+	s.mu.Lock()
+	s.fakes[a.g.col] = fs
+	s.mu.Unlock()
+	return fs, nil
+}
+
+// awaitColumn blocks until the attempt's collection holds exactly the
+// shares of users 0..n-1 (clients may still be flushing — or
+// resubmitting — when the analyzer seals) and returns a snapshot of
+// the column. The buffer itself stays in place: a retried attempt
+// reads the same column again. An index at or past n is a protocol
+// violation: the analyzer sealed a smaller round than some client
+// reported into.
+func (s *Shuffler) awaitColumn(a *attempt) ([]uint64, [][]byte, error) {
+	var deadline <-chan time.Time
+	if s.cfg.SealTimeout > 0 {
+		t := time.NewTimer(s.cfg.SealTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	s.mu.Lock()
+	if int64(a.g.col) <= s.doneThrough {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("cluster: collection %d already sealed", a.g.col)
+	}
+	col := s.cols[a.g.col]
+	if col == nil {
+		col = newCollectionBuf()
+		s.cols[a.g.col] = col
+	}
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		size := col.size()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, nil, errors.New("cluster: shuffler closed")
+		}
+		if size >= a.n {
+			break
+		}
+		select {
+		case <-col.notify:
+		case <-a.cancel:
+			return nil, nil, errAttemptAborted
+		case <-deadline:
+			return nil, nil, fmt.Errorf("cluster: collection %d sealed at %d users but only %d shares arrived", a.g.col, a.n, size)
+		case <-time.After(50 * time.Millisecond):
+			// Re-check closed even with no traffic.
+		}
+	}
+	// Snapshot under the lock: clients may still be resubmitting into
+	// this buffer while the shuffle reads the snapshot.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if col.size() != a.n {
+		return nil, nil, fmt.Errorf("cluster: collection %d has %d shares for %d sealed users", a.g.col, col.size(), a.n)
+	}
+	if s.encHolder() {
+		cts := make([][]byte, a.n)
+		for i := range cts {
+			ct, ok := col.encCt[uint32(i)]
+			if !ok {
+				return nil, nil, fmt.Errorf("cluster: collection %d is missing user %d (an index past the sealed count was reported)", a.g.col, i)
+			}
+			cts[i] = ct
+		}
+		return nil, cts, nil
+	}
+	words := make([]uint64, a.n)
+	for i := range words {
+		w, ok := col.plain[uint32(i)]
+		if !ok {
+			return nil, nil, fmt.Errorf("cluster: collection %d is missing user %d (an index past the sealed count was reported)", a.g.col, i)
+		}
+		words[i] = w
+	}
+	return words, nil, nil
 }
 
 // acceptLoop classifies inbound connections by their hello frame:
-// higher-index peers join the mesh, clients get a report reader.
+// higher-index peers park generation-stamped mesh connections, clients
+// get a report reader.
 func (s *Shuffler) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
@@ -282,7 +774,7 @@ func (s *Shuffler) handleConn(conn net.Conn) {
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
-	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	conn.SetReadDeadline(time.Now().Add(helloBound(s.cfg.HelloTimeout)))
 	tag, payload, err := transport.ReadTaggedFrame(conn)
 	if err != nil {
 		s.dropConn(conn)
@@ -292,28 +784,47 @@ func (s *Shuffler) handleConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 	switch tag {
 	case tagPeerHello:
-		from, err := parseHelloIndex(payload, s.cfg.Topology.R())
+		from, g, err := parsePeerHello(payload, s.cfg.Topology.R())
 		if err != nil || from <= s.cfg.Index {
 			s.dropConn(conn)
 			return
 		}
-		s.mu.Lock()
-		if s.peers[from] != nil {
-			s.mu.Unlock()
-			s.dropConn(conn)
-			return
-		}
-		s.peers[from] = conn
-		delete(s.conns, conn) // now owned by the peer mesh
-		s.mu.Unlock()
-		select {
-		case s.peerMore <- struct{}{}:
-		default:
-		}
+		s.parkPeer(conn, from, g)
 	case tagClientHello:
 		s.readClient(conn)
 	default:
 		s.dropConn(conn)
+	}
+}
+
+// parkPeer files an inbound mesh connection under its (peer,
+// generation) key for the matching attempt to claim. Stale generations
+// — older than the current attempt or a sealed collection — are
+// leftovers of aborted rounds and are dropped at the door.
+func (s *Shuffler) parkPeer(conn net.Conn, from int, g gen) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	stale := int64(g.col) <= s.doneThrough || (s.cur != nil && g.less(s.cur.g))
+	if stale {
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	key := peerKey{from: from, g: g}
+	if old, ok := s.parked[key]; ok {
+		old.Close()
+	}
+	s.parked[key] = conn
+	delete(s.conns, conn) // now owned by the parked set
+	s.mu.Unlock()
+	select {
+	case s.parkedMore <- struct{}{}:
+	default:
 	}
 }
 
@@ -327,7 +838,12 @@ func (s *Shuffler) dropConn(conn net.Conn) {
 
 // readClient is the node's ingest stage: the same deadline-guarded
 // pipeline.Reader the streaming service uses, feeding the collection
-// buffers.
+// buffers. Every ingest error is connection-scoped by design — EOF is
+// the client's "done", a disconnect mid-frame is the reconnect path's
+// normal signature (the client redials and resubmits, nonce dedup
+// makes the replay idempotent), and a stalled, flooding, conflicting,
+// or malformed client is simply dropped. Its delivered shares stay
+// valid; nothing a client sends can fail the node.
 func (s *Shuffler) readClient(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -349,33 +865,36 @@ func (s *Shuffler) readClient(conn net.Conn) {
 			return s.storeShare(tag == tagEncReport, rf)
 		},
 	}
-	switch err := rd.Run(); {
-	case err == nil || errors.Is(err, pipeline.ErrIdleTimeout) || errors.Is(err, errBufferFull):
-		// EOF is the client's "done"; a stalled or flooding client is
-		// simply dropped — its delivered shares stay valid and the
-		// node keeps serving everyone else.
-	default:
-		if !s.isClosed() {
-			s.fail(err)
-		}
-	}
+	_ = rd.Run()
 }
 
 // storeShare buffers one client share. The encrypted holder accepts
-// only ciphertext frames and vice versa; duplicate indices are a
-// protocol violation surfaced at the seal.
+// only ciphertext frames and vice versa. Nonce dedup makes resubmits
+// idempotent: a frame for a taken index with the stored nonce is the
+// retransmit it claims to be (dropped silently, before the buffer cap
+// so replays never trip it); a different nonce is a conflicting report
+// and drops the connection, first write wins.
 func (s *Shuffler) storeShare(enc bool, rf reportFrame) error {
 	if enc != s.encHolder() {
 		return fmt.Errorf("%w: share kind does not match shuffler role %d", errBadFrame, s.cfg.Index)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.doneCols[rf.collection] {
-		// The collection already shuffled and forwarded: a late or
-		// re-sent frame must neither re-open its buffer (which would
-		// leak and defeat duplicate detection) nor fail the node —
-		// it is simply late, and dropped.
+	if int64(rf.collection) <= s.doneThrough {
+		// The collection already sealed durably: a late or re-sent
+		// frame is simply late, and dropped.
 		return nil
+	}
+	col := s.cols[rf.collection]
+	if col == nil {
+		col = newCollectionBuf()
+		s.cols[rf.collection] = col
+	}
+	if nonce, taken := col.nonce[rf.index]; taken {
+		if nonce == rf.nonce {
+			return nil // idempotent resubmit
+		}
+		return fmt.Errorf("cluster: conflicting share for collection %d index %d", rf.collection, rf.index)
 	}
 	max := s.cfg.MaxBuffered
 	if max <= 0 {
@@ -384,156 +903,18 @@ func (s *Shuffler) storeShare(enc bool, rf reportFrame) error {
 	if s.buffered >= max {
 		return errBufferFull
 	}
-	col := s.cols[rf.collection]
-	if col == nil {
-		col = newCollectionBuf()
-		s.cols[rf.collection] = col
-	}
-	if _, dup := col.plain[rf.index]; !dup {
-		_, dup = col.encCt[rf.index]
-		if !dup {
-			if enc {
-				col.encCt[rf.index] = rf.ct
-			} else {
-				col.plain[rf.index] = rf.share
-			}
-			s.buffered++
-			select {
-			case col.notify <- struct{}{}:
-			default:
-			}
-			return nil
-		}
-	}
-	return fmt.Errorf("cluster: duplicate share for collection %d index %d", rf.collection, rf.index)
-}
-
-// runCollection executes one sealed collection: wait for the column to
-// complete, append this node's fake shares, shuffle with the peers,
-// forward the result to the analyzer.
-func (s *Shuffler) runCollection(collection uint32, n int) error {
-	if n <= 0 {
-		return fmt.Errorf("cluster: seal with %d users", n)
-	}
-	col, err := s.awaitColumn(collection, n)
-	if err != nil {
-		return err
-	}
-
-	fakeSrc := s.cfg.FakeSource
-	if fakeSrc == nil {
-		fakeSrc = s.cfg.Source
-	}
-	total := n + s.cfg.NR
-	var plain []uint64
-	var enc []*ahe.Ciphertext
-	if s.encHolder() {
-		enc = make([]*ahe.Ciphertext, total)
-		for i := 0; i < n; i++ {
-			c, err := s.cfg.Pub.Deserialize(col.encCt[uint32(i)])
-			if err != nil {
-				return fmt.Errorf("cluster: client ciphertext %d: %w", i, err)
-			}
-			enc[i] = c
-		}
-		for k := 0; k < s.cfg.NR; k++ {
-			c, err := s.cfg.Pub.Encrypt(s.mod.Random(fakeSrc))
-			if err != nil {
-				return err
-			}
-			enc[n+k] = c
-		}
+	if enc {
+		col.encCt[rf.index] = rf.ct
 	} else {
-		plain = make([]uint64, total)
-		for i := 0; i < n; i++ {
-			plain[i] = col.plain[uint32(i)]
-		}
-		for k := 0; k < s.cfg.NR; k++ {
-			plain[n+k] = s.mod.Random(fakeSrc)
-		}
+		col.plain[rf.index] = rf.share
 	}
-
-	s.mu.Lock()
-	peers := append([]net.Conn(nil), s.peers...)
-	analyzer := s.analyzer
-	s.mu.Unlock()
-	tr := newConnTransport(peers, s.cfg.Pub, s.cfg.SealTimeout)
-	outPlain, outEnc, err := oblivious.RunParty(oblivious.PartyConfig{
-		Index:           s.cfg.Index,
-		Parties:         s.cfg.Topology.R(),
-		Mod:             s.mod,
-		Source:          s.cfg.Source,
-		Pub:             s.cfg.Pub,
-		SkipRerandomize: s.cfg.FastShuffle,
-	}, tr, plain, enc)
-	if err != nil {
-		return err
+	col.nonce[rf.index] = rf.nonce
+	s.buffered++
+	select {
+	case col.notify <- struct{}{}:
+	default:
 	}
-
-	// Forward stage: the post-shuffle vector goes to the analyzer.
-	if outEnc != nil {
-		return transport.WriteTaggedFrame(analyzer, tagEncVector, prefixed(collection, encodeCiphertexts(s.cfg.Pub, outEnc)))
-	}
-	return transport.WriteTaggedFrame(analyzer, tagVector, prefixed(collection, transport.EncodeUint64s(outPlain)))
-}
-
-// awaitColumn blocks until the collection holds exactly the shares of
-// users 0..n-1 (clients may still be flushing when the analyzer
-// seals). An index at or past n is a protocol violation: the analyzer
-// sealed a smaller round than some client reported into.
-func (s *Shuffler) awaitColumn(collection uint32, n int) (*collectionBuf, error) {
-	var deadline <-chan time.Time
-	if s.cfg.SealTimeout > 0 {
-		t := time.NewTimer(s.cfg.SealTimeout)
-		defer t.Stop()
-		deadline = t.C
-	}
-	s.mu.Lock()
-	col := s.cols[collection]
-	if col == nil {
-		col = newCollectionBuf()
-		s.cols[collection] = col
-	}
-	s.mu.Unlock()
-	for {
-		s.mu.Lock()
-		size := col.size()
-		closed := s.closed
-		err := s.firstErr
-		s.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		if closed {
-			return nil, errors.New("cluster: shuffler closed")
-		}
-		if size >= n {
-			break
-		}
-		select {
-		case <-col.notify:
-		case <-deadline:
-			return nil, fmt.Errorf("cluster: collection %d sealed at %d users but only %d shares arrived", collection, n, size)
-		case <-time.After(50 * time.Millisecond):
-			// Re-check closed/firstErr even with no traffic.
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.cols, collection)
-	s.doneCols[collection] = true
-	s.buffered -= col.size()
-	if col.size() != n {
-		return nil, fmt.Errorf("cluster: collection %d has %d shares for %d sealed users", collection, col.size(), n)
-	}
-	for i := 0; i < n; i++ {
-		_, okP := col.plain[uint32(i)]
-		_, okE := col.encCt[uint32(i)]
-		if !okP && !okE {
-			return nil, fmt.Errorf("cluster: collection %d is missing user %d (an index past the sealed count was reported)", collection, i)
-		}
-	}
-	return col, nil
+	return nil
 }
 
 // Close tears the node down ungracefully: every connection and the
@@ -550,17 +931,25 @@ func (s *Shuffler) Close() error {
 func (s *Shuffler) teardown() {
 	s.ln.Close()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range s.peers {
-		if c != nil {
-			c.Close()
-		}
-	}
-	if s.analyzer != nil {
-		s.analyzer.Close()
-	}
+	cur := s.cur
+	analyzer := s.analyzer
+	conns := make([]net.Conn, 0, len(s.conns)+len(s.parked))
 	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	for k, c := range s.parked {
+		conns = append(conns, c)
+		delete(s.parked, k)
+	}
+	s.mu.Unlock()
+	if analyzer != nil {
+		analyzer.Close()
+	}
+	for _, c := range conns {
 		c.Close()
+	}
+	if cur != nil {
+		cur.abort()
 	}
 }
 
@@ -568,25 +957,4 @@ func (s *Shuffler) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
-}
-
-func (s *Shuffler) errOrNil() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.firstErr
-}
-
-func (s *Shuffler) fail(err error) {
-	s.mu.Lock()
-	if s.firstErr == nil {
-		s.firstErr = err
-	}
-	// Wake any column wait so the failure surfaces promptly.
-	for _, col := range s.cols {
-		select {
-		case col.notify <- struct{}{}:
-		default:
-		}
-	}
-	s.mu.Unlock()
 }

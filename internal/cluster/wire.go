@@ -5,21 +5,33 @@ package cluster
 // (integers big-endian, share words little-endian via
 // transport.EncodeUint64s, matching the rest of the repository).
 //
-//	peerHello      [from u8]                       shuffler -> shuffler
-//	shufflerHello  [index u8]                      shuffler -> analyzer
-//	clientHello    []                              client   -> shuffler
-//	report         [collection u32][index u32][share u64le]
-//	encReport      [collection u32][index u32][ct ...]
-//	seal           [collection u32][n u32]         analyzer -> shuffler
-//	vector         [collection u32][words ...]     shuffler -> analyzer
-//	encVector      [collection u32][cts ...]       shuffler -> analyzer
-//	fail           [collection u32][utf8 message]  shuffler -> analyzer
-//	roundPlain     [round u32][words ...]          EOS peer traffic
-//	roundEnc       [round u32][cts ...]            EOS peer traffic
-//	roundSeed      [round u32][seed u64be]         EOS peer traffic
+//	peerHello      [from u8][collection u32][attempt u32]   shuffler -> shuffler
+//	shufflerHello  [index u8]                               shuffler -> analyzer
+//	clientHello    []                                       client   -> shuffler
+//	report         [collection u32][index u32][nonce u64][share u64le]
+//	encReport      [collection u32][index u32][nonce u64][ct ...]
+//	seal           [collection u32][attempt u32][n u32]     analyzer -> shuffler
+//	abort          [collection u32][attempt u32]            analyzer -> shuffler
+//	done           [collection u32]                         analyzer -> shuffler
+//	vector         [collection u32][attempt u32][words ...] shuffler -> analyzer
+//	encVector      [collection u32][attempt u32][cts ...]   shuffler -> analyzer
+//	fail           [collection u32][attempt u32][utf8 msg]  shuffler -> analyzer
+//	roundPlain     [round u32][words ...]                   EOS peer traffic
+//	roundEnc       [round u32][cts ...]                     EOS peer traffic
+//	roundSeed      [round u32][seed u64be]                  EOS peer traffic
 //
 // Ciphertext vectors are the fixed-size ahe serialization
 // concatenated, so the element count is implied by the payload length.
+//
+// The self-healing fields: a peer hello names the exact collection
+// attempt its mesh connection serves, so a connection left over from
+// an aborted round can never be mistaken for a live one; seal, abort,
+// vector, and fail all carry the (collection, attempt) generation so
+// both ends skip stale frames; a report carries the client's
+// per-report nonce, which lets a reconnecting client resubmit its
+// whole collection and the shuffler deduplicate idempotently (same
+// nonce = the retransmit it is, different nonce at a taken index = a
+// conflicting report, dropped with its connection).
 
 import (
 	"encoding/binary"
@@ -28,6 +40,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shuffledp/internal/ahe"
@@ -49,6 +62,8 @@ const (
 	tagRoundPlain
 	tagRoundEnc
 	tagRoundSeed
+	tagAbort
+	tagDone
 )
 
 // errBadFrame wraps every malformed-payload failure so callers can
@@ -66,19 +81,41 @@ func parseHelloIndex(payload []byte, limit int) (int, error) {
 	return int(payload[0]), nil
 }
 
-func writeReportFrame(w io.Writer, collection, index uint32, share uint64) error {
-	var payload [16]byte
+// writePeerHello announces a mesh connection serving one collection
+// attempt.
+func writePeerHello(w io.Writer, from int, g gen) error {
+	var payload [9]byte
+	payload[0] = byte(from)
+	binary.BigEndian.PutUint32(payload[1:], g.col)
+	binary.BigEndian.PutUint32(payload[5:], g.att)
+	return transport.WriteTaggedFrame(w, tagPeerHello, payload[:])
+}
+
+func parsePeerHello(payload []byte, limit int) (from int, g gen, err error) {
+	if len(payload) != 9 || int(payload[0]) >= limit {
+		return 0, gen{}, fmt.Errorf("%w: bad peer hello", errBadFrame)
+	}
+	return int(payload[0]), gen{
+		col: binary.BigEndian.Uint32(payload[1:]),
+		att: binary.BigEndian.Uint32(payload[5:]),
+	}, nil
+}
+
+func writeReportFrame(w io.Writer, collection, index uint32, nonce, share uint64) error {
+	var payload [24]byte
 	binary.BigEndian.PutUint32(payload[0:], collection)
 	binary.BigEndian.PutUint32(payload[4:], index)
-	binary.LittleEndian.PutUint64(payload[8:], share)
+	binary.BigEndian.PutUint64(payload[8:], nonce)
+	binary.LittleEndian.PutUint64(payload[16:], share)
 	return transport.WriteTaggedFrame(w, tagReport, payload[:])
 }
 
-func writeEncReportFrame(w io.Writer, collection, index uint32, ct []byte) error {
-	payload := make([]byte, 8+len(ct))
+func writeEncReportFrame(w io.Writer, collection, index uint32, nonce uint64, ct []byte) error {
+	payload := make([]byte, 16+len(ct))
 	binary.BigEndian.PutUint32(payload[0:], collection)
 	binary.BigEndian.PutUint32(payload[4:], index)
-	copy(payload[8:], ct)
+	binary.BigEndian.PutUint64(payload[8:], nonce)
+	copy(payload[16:], ct)
 	return transport.WriteTaggedFrame(w, tagEncReport, payload)
 }
 
@@ -86,59 +123,102 @@ func writeEncReportFrame(w io.Writer, collection, index uint32, ct []byte) error
 type reportFrame struct {
 	collection uint32
 	index      uint32
+	nonce      uint64 // per-report resubmit dedup key
 	share      uint64 // tagReport
 	ct         []byte // tagEncReport
 }
 
 func parseReportFrame(tag uint32, payload []byte) (reportFrame, error) {
-	if len(payload) < 8 {
+	if len(payload) < 16 {
 		return reportFrame{}, fmt.Errorf("%w: short report frame", errBadFrame)
 	}
 	rf := reportFrame{
 		collection: binary.BigEndian.Uint32(payload[0:]),
 		index:      binary.BigEndian.Uint32(payload[4:]),
+		nonce:      binary.BigEndian.Uint64(payload[8:]),
 	}
 	if tag == tagReport {
-		if len(payload) != 16 {
+		if len(payload) != 24 {
 			return reportFrame{}, fmt.Errorf("%w: plain share frame has %d bytes", errBadFrame, len(payload))
 		}
-		rf.share = binary.LittleEndian.Uint64(payload[8:])
+		rf.share = binary.LittleEndian.Uint64(payload[16:])
 		return rf, nil
 	}
-	if len(payload) == 8 {
+	if len(payload) == 16 {
 		return reportFrame{}, fmt.Errorf("%w: empty ciphertext frame", errBadFrame)
 	}
-	rf.ct = append([]byte(nil), payload[8:]...)
+	rf.ct = append([]byte(nil), payload[16:]...)
 	return rf, nil
 }
 
-func writeSealFrame(w io.Writer, collection uint32, n int) error {
-	var payload [8]byte
-	binary.BigEndian.PutUint32(payload[0:], collection)
-	binary.BigEndian.PutUint32(payload[4:], uint32(n))
+func writeSealFrame(w io.Writer, g gen, n int) error {
+	var payload [12]byte
+	binary.BigEndian.PutUint32(payload[0:], g.col)
+	binary.BigEndian.PutUint32(payload[4:], g.att)
+	binary.BigEndian.PutUint32(payload[8:], uint32(n))
 	return transport.WriteTaggedFrame(w, tagSeal, payload[:])
 }
 
-func parseSealFrame(payload []byte) (collection uint32, n int, err error) {
-	if len(payload) != 8 {
-		return 0, 0, fmt.Errorf("%w: bad seal frame", errBadFrame)
+func parseSealFrame(payload []byte) (g gen, n int, err error) {
+	if len(payload) != 12 {
+		return gen{}, 0, fmt.Errorf("%w: bad seal frame", errBadFrame)
 	}
-	return binary.BigEndian.Uint32(payload[0:]), int(binary.BigEndian.Uint32(payload[4:])), nil
+	return gen{
+		col: binary.BigEndian.Uint32(payload[0:]),
+		att: binary.BigEndian.Uint32(payload[4:]),
+	}, int(binary.BigEndian.Uint32(payload[8:])), nil
 }
 
-// prefixed returns a payload of [collection u32][body].
-func prefixed(collection uint32, body []byte) []byte {
-	payload := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(payload, collection)
-	copy(payload[4:], body)
+// writeAbortFrame tells a shuffler to cancel one collection attempt.
+func writeAbortFrame(w io.Writer, g gen) error {
+	var payload [8]byte
+	binary.BigEndian.PutUint32(payload[0:], g.col)
+	binary.BigEndian.PutUint32(payload[4:], g.att)
+	return transport.WriteTaggedFrame(w, tagAbort, payload[:])
+}
+
+func parseAbortFrame(payload []byte) (gen, error) {
+	if len(payload) != 8 {
+		return gen{}, fmt.Errorf("%w: bad abort frame", errBadFrame)
+	}
+	return gen{
+		col: binary.BigEndian.Uint32(payload[0:]),
+		att: binary.BigEndian.Uint32(payload[4:]),
+	}, nil
+}
+
+// writeDoneFrame tells a shuffler a collection sealed durably: buffers
+// and cached fakes through it can be pruned.
+func writeDoneFrame(w io.Writer, collection uint32) error {
+	var payload [4]byte
+	binary.BigEndian.PutUint32(payload[0:], collection)
+	return transport.WriteTaggedFrame(w, tagDone, payload[:])
+}
+
+func parseDoneFrame(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("%w: bad done frame", errBadFrame)
+	}
+	return binary.BigEndian.Uint32(payload), nil
+}
+
+// prefixed returns a payload of [collection u32][attempt u32][body].
+func prefixed(g gen, body []byte) []byte {
+	payload := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(payload, g.col)
+	binary.BigEndian.PutUint32(payload[4:], g.att)
+	copy(payload[8:], body)
 	return payload
 }
 
-func splitPrefixed(payload []byte) (uint32, []byte, error) {
-	if len(payload) < 4 {
-		return 0, nil, fmt.Errorf("%w: missing collection prefix", errBadFrame)
+func splitPrefixed(payload []byte) (gen, []byte, error) {
+	if len(payload) < 8 {
+		return gen{}, nil, fmt.Errorf("%w: missing generation prefix", errBadFrame)
 	}
-	return binary.BigEndian.Uint32(payload), payload[4:], nil
+	return gen{
+		col: binary.BigEndian.Uint32(payload),
+		att: binary.BigEndian.Uint32(payload[4:]),
+	}, payload[8:], nil
 }
 
 // encodeCiphertexts concatenates the fixed-size serializations.
@@ -173,15 +253,54 @@ func decodeCiphertexts(pub ahe.PublicKey, data []byte) ([]*ahe.Ciphertext, error
 // concurrently with each other from the engine (per-phase discipline),
 // but a send goroutine and the receive loop run at once for DIFFERENT
 // peers, so each direction only needs per-connection serialization.
+//
+// Two deadline regimes compose: timeout bounds each individual
+// message exchange, and phaseTimeout (via the oblivious.Phaser hook)
+// bounds each whole EOS phase — so a peer that keeps trickling single
+// messages but never finishes a phase is still cut off. Every I/O op
+// uses the earlier of the two deadlines.
 type connTransport struct {
-	peers   []net.Conn
-	pub     ahe.PublicKey
-	timeout time.Duration // per-message I/O deadline, 0 = none
-	sendMu  []sync.Mutex
+	peers         []net.Conn
+	pub           ahe.PublicKey
+	timeout       time.Duration // per-message I/O deadline, 0 = none
+	phaseTimeout  time.Duration // per-EOS-phase deadline, 0 = none
+	phaseDeadline atomic.Int64  // current phase deadline, unix nanos (0 = unset)
+	sendMu        []sync.Mutex
 }
 
-func newConnTransport(peers []net.Conn, pub ahe.PublicKey, timeout time.Duration) *connTransport {
-	return &connTransport{peers: peers, pub: pub, timeout: timeout, sendMu: make([]sync.Mutex, len(peers))}
+func newConnTransport(peers []net.Conn, pub ahe.PublicKey, timeout, phaseTimeout time.Duration) *connTransport {
+	return &connTransport{
+		peers:        peers,
+		pub:          pub,
+		timeout:      timeout,
+		phaseTimeout: phaseTimeout,
+		sendMu:       make([]sync.Mutex, len(peers)),
+	}
+}
+
+// Phase implements oblivious.Phaser: each phase boundary re-arms the
+// phase deadline.
+func (t *connTransport) Phase(round int, phase oblivious.Phase) {
+	if t.phaseTimeout <= 0 {
+		return
+	}
+	t.phaseDeadline.Store(time.Now().Add(t.phaseTimeout).UnixNano())
+}
+
+// deadline returns the earlier of the per-message and phase deadlines
+// (zero time = none).
+func (t *connTransport) deadline() time.Time {
+	var d time.Time
+	if t.timeout > 0 {
+		d = time.Now().Add(t.timeout)
+	}
+	if pd := t.phaseDeadline.Load(); pd != 0 {
+		pdt := time.Unix(0, pd)
+		if d.IsZero() || pdt.Before(d) {
+			d = pdt
+		}
+	}
+	return d
 }
 
 func (t *connTransport) conn(p int) (net.Conn, error) {
@@ -199,8 +318,8 @@ func (t *connTransport) Send(to int, m oblivious.Msg) error {
 	}
 	t.sendMu[to].Lock()
 	defer t.sendMu[to].Unlock()
-	if t.timeout > 0 {
-		if err := conn.SetWriteDeadline(time.Now().Add(t.timeout)); err != nil {
+	if d := t.deadline(); !d.IsZero() {
+		if err := conn.SetWriteDeadline(d); err != nil {
 			return err
 		}
 	}
@@ -226,8 +345,8 @@ func (t *connTransport) Recv(from int) (oblivious.Msg, error) {
 	if err != nil {
 		return oblivious.Msg{}, err
 	}
-	if t.timeout > 0 {
-		if err := conn.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
+	if d := t.deadline(); !d.IsZero() {
+		if err := conn.SetReadDeadline(d); err != nil {
 			return oblivious.Msg{}, err
 		}
 	}

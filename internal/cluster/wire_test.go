@@ -11,7 +11,7 @@ import (
 
 func TestReportFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeReportFrame(&buf, 3, 17, 0xfeedface); err != nil {
+	if err := writeReportFrame(&buf, 3, 17, 0xa1b2c3d4e5f60718, 0xfeedface); err != nil {
 		t.Fatal(err)
 	}
 	tag, payload, err := transport.ReadTaggedFrame(&buf)
@@ -25,12 +25,12 @@ func TestReportFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rf.collection != 3 || rf.index != 17 || rf.share != 0xfeedface {
+	if rf.collection != 3 || rf.index != 17 || rf.nonce != 0xa1b2c3d4e5f60718 || rf.share != 0xfeedface {
 		t.Fatalf("parsed %+v", rf)
 	}
 
 	buf.Reset()
-	if err := writeEncReportFrame(&buf, 4, 18, []byte{9, 9, 9}); err != nil {
+	if err := writeEncReportFrame(&buf, 4, 18, 77, []byte{9, 9, 9}); err != nil {
 		t.Fatal(err)
 	}
 	tag, payload, _ = transport.ReadTaggedFrame(&buf)
@@ -38,8 +38,71 @@ func TestReportFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rf.collection != 4 || rf.index != 18 || !bytes.Equal(rf.ct, []byte{9, 9, 9}) {
+	if rf.collection != 4 || rf.index != 18 || rf.nonce != 77 || !bytes.Equal(rf.ct, []byte{9, 9, 9}) {
 		t.Fatalf("parsed %+v", rf)
+	}
+}
+
+func TestControlFrameRoundTrips(t *testing.T) {
+	g := gen{col: 9, att: 0xdeadbeef}
+
+	var buf bytes.Buffer
+	if err := writeSealFrame(&buf, g, 123); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err := transport.ReadTaggedFrame(&buf)
+	if err != nil || tag != tagSeal {
+		t.Fatalf("seal frame: tag %d err %v", tag, err)
+	}
+	sg, n, err := parseSealFrame(payload)
+	if err != nil || sg != g || n != 123 {
+		t.Fatalf("seal parsed (%v, %d, %v)", sg, n, err)
+	}
+
+	buf.Reset()
+	if err := writeAbortFrame(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err = transport.ReadTaggedFrame(&buf)
+	if err != nil || tag != tagAbort {
+		t.Fatalf("abort frame: tag %d err %v", tag, err)
+	}
+	if ag, err := parseAbortFrame(payload); err != nil || ag != g {
+		t.Fatalf("abort parsed (%v, %v)", ag, err)
+	}
+
+	buf.Reset()
+	if err := writeDoneFrame(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err = transport.ReadTaggedFrame(&buf)
+	if err != nil || tag != tagDone {
+		t.Fatalf("done frame: tag %d err %v", tag, err)
+	}
+	if col, err := parseDoneFrame(payload); err != nil || col != 42 {
+		t.Fatalf("done parsed (%d, %v)", col, err)
+	}
+
+	buf.Reset()
+	if err := writePeerHello(&buf, 2, g); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err = transport.ReadTaggedFrame(&buf)
+	if err != nil || tag != tagPeerHello {
+		t.Fatalf("peer hello: tag %d err %v", tag, err)
+	}
+	from, hg, err := parsePeerHello(payload, 3)
+	if err != nil || from != 2 || hg != g {
+		t.Fatalf("peer hello parsed (%d, %v, %v)", from, hg, err)
+	}
+	if _, _, err := parsePeerHello(payload, 2); err == nil {
+		t.Fatal("peer hello index past the shuffler count accepted")
+	}
+
+	body := []byte{1, 2, 3}
+	pg, rest, err := splitPrefixed(prefixed(g, body))
+	if err != nil || pg != g || !bytes.Equal(rest, body) {
+		t.Fatalf("prefixed round trip (%v, %v, %v)", pg, rest, err)
 	}
 }
 
@@ -47,14 +110,23 @@ func TestWireParseRejectsMalformedFrames(t *testing.T) {
 	if _, err := parseReportFrame(tagReport, []byte{1, 2}); !errors.Is(err, errBadFrame) {
 		t.Fatalf("short report: %v", err)
 	}
-	if _, err := parseReportFrame(tagReport, make([]byte, 17)); !errors.Is(err, errBadFrame) {
+	if _, err := parseReportFrame(tagReport, make([]byte, 25)); !errors.Is(err, errBadFrame) {
 		t.Fatalf("long plain share: %v", err)
 	}
-	if _, err := parseReportFrame(tagEncReport, make([]byte, 8)); !errors.Is(err, errBadFrame) {
+	if _, err := parseReportFrame(tagEncReport, make([]byte, 16)); !errors.Is(err, errBadFrame) {
 		t.Fatalf("empty ciphertext: %v", err)
 	}
 	if _, _, err := parseSealFrame([]byte{1}); !errors.Is(err, errBadFrame) {
 		t.Fatalf("short seal: %v", err)
+	}
+	if _, err := parseAbortFrame([]byte{1, 2, 3}); !errors.Is(err, errBadFrame) {
+		t.Fatalf("short abort: %v", err)
+	}
+	if _, err := parseDoneFrame([]byte{1, 2, 3, 4, 5}); !errors.Is(err, errBadFrame) {
+		t.Fatalf("long done: %v", err)
+	}
+	if _, _, err := parsePeerHello(make([]byte, 8), 3); !errors.Is(err, errBadFrame) {
+		t.Fatalf("short peer hello: %v", err)
 	}
 	if _, _, err := splitPrefixed([]byte{1, 2}); !errors.Is(err, errBadFrame) {
 		t.Fatalf("short prefix: %v", err)
@@ -98,4 +170,120 @@ func TestCiphertextVectorCodec(t *testing.T) {
 	if _, err := decodeCiphertexts(pub, blob[:len(blob)-1]); !errors.Is(err, errBadFrame) {
 		t.Fatalf("truncated vector: %v", err)
 	}
+}
+
+// FuzzWireFrames throws arbitrary payloads at every control-plane
+// parser: none may panic, and whatever parses must re-encode to the
+// exact payload it parsed from (the parsers are the cluster's entire
+// input validation — wire.go's doc comment is the format contract).
+func FuzzWireFrames(f *testing.F) {
+	g := gen{col: 7, att: 0x01020304}
+	seed := func(frame func(w *bytes.Buffer) error) []byte {
+		var buf bytes.Buffer
+		if err := frame(&buf); err != nil {
+			f.Fatal(err)
+		}
+		_, payload, err := transport.ReadTaggedFrame(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return payload
+	}
+	f.Add(uint8(0), seed(func(w *bytes.Buffer) error { return writePeerHello(w, 2, g) }))
+	f.Add(uint8(1), seed(func(w *bytes.Buffer) error { return writeSealFrame(w, g, 100) }))
+	f.Add(uint8(2), seed(func(w *bytes.Buffer) error { return writeAbortFrame(w, g) }))
+	f.Add(uint8(3), seed(func(w *bytes.Buffer) error { return writeDoneFrame(w, 7) }))
+	f.Add(uint8(4), seed(func(w *bytes.Buffer) error { return writeReportFrame(w, 7, 3, 99, 12345) }))
+	f.Add(uint8(5), seed(func(w *bytes.Buffer) error { return writeEncReportFrame(w, 7, 3, 99, []byte{1, 2, 3}) }))
+	f.Add(uint8(6), prefixed(g, []byte{8, 8, 8}))
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		switch kind % 7 {
+		case 0:
+			from, hg, err := parsePeerHello(payload, 8)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writePeerHello(&buf, from, hg); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("peer hello re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 1:
+			sg, n, err := parseSealFrame(payload)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writeSealFrame(&buf, sg, n); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("seal re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 2:
+			ag, err := parseAbortFrame(payload)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writeAbortFrame(&buf, ag); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("abort re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 3:
+			col, err := parseDoneFrame(payload)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writeDoneFrame(&buf, col); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("done re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 4:
+			rf, err := parseReportFrame(tagReport, payload)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writeReportFrame(&buf, rf.collection, rf.index, rf.nonce, rf.share); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("report re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 5:
+			rf, err := parseReportFrame(tagEncReport, payload)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := writeEncReportFrame(&buf, rf.collection, rf.index, rf.nonce, rf.ct); err != nil {
+				t.Fatal(err)
+			}
+			_, re, _ := transport.ReadTaggedFrame(&buf)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("enc report re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 6:
+			pg, body, err := splitPrefixed(payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(prefixed(pg, body), payload) {
+				t.Fatal("prefixed re-encode mismatch")
+			}
+		}
+	})
 }

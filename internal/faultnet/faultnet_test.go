@@ -1,0 +1,294 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until EOF.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestPlannedResetTearsAtByteOffset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	nw := New(Config{Plan: func(conn int) Fault { return Fault{ResetAfter: 100} }})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The first write is truncated to the 100-byte budget and resets.
+	n, err := conn.Write(make([]byte, 150))
+	if n != 100 {
+		t.Fatalf("wrote %d bytes before the reset, want the 100-byte budget", n)
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("torn write returned %v, want ErrInjected wrapping ECONNRESET", err)
+	}
+	// The connection stays dead.
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset write returned %v", err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset read returned %v", err)
+	}
+	st := nw.Stats()
+	if st.Resets != 1 || st.Conns != 1 {
+		t.Fatalf("stats = %+v, want 1 conn and 1 reset", st)
+	}
+}
+
+func TestResetBudgetCountsReads(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	nw := New(Config{Plan: func(conn int) Fault { return Fault{ResetAfter: 48} }})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 32 bytes out, echoed back: 64 bytes total crosses the 48 budget
+	// during the read leg.
+	if _, err := conn.Write(make([]byte, 32)); err != nil {
+		t.Fatalf("write within budget failed: %v", err)
+	}
+	buf := make([]byte, 32)
+	got := 0
+	for {
+		n, err := conn.Read(buf[got:])
+		got += n
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read returned %v, want ErrInjected", err)
+			}
+			break
+		}
+		if got == len(buf) {
+			t.Fatal("echo read completed past the reset budget")
+		}
+	}
+	if got != 16 {
+		t.Fatalf("read %d bytes before the reset, want 16 (budget 48 - 32 written)", got)
+	}
+}
+
+func TestPeerObservesInjectedReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- result{err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				got <- result{err}
+				return
+			}
+		}
+	}()
+	nw := New(Config{Plan: func(conn int) Fault { return Fault{ResetAfter: 64} }})
+	conn, err := nw.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, 128)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write returned %v, want ErrInjected", err)
+	}
+	select {
+	case r := <-got:
+		// A linger-0 close surfaces as ECONNRESET on most platforms; a
+		// plain EOF would mean the peer mistook the fault for a clean
+		// shutdown. Accept either hard error, reject nil and io.EOF.
+		if r.err == nil || errors.Is(r.err, io.EOF) {
+			t.Fatalf("peer observed %v, want a hard connection error", r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the reset")
+	}
+}
+
+func TestScheduleReproducibleAcrossNetworks(t *testing.T) {
+	draw := func() []Fault {
+		nw := New(Config{
+			Seed:          42,
+			RefuseProb:    0.3,
+			ResetProb:     0.5,
+			ResetAfterMin: 100,
+			ResetAfterMax: 5000,
+		})
+		var out []Fault
+		for i := 0; i < 32; i++ {
+			f, _ := nw.next()
+			out = append(out, f)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("conn %d drew %+v then %+v from the same seed", i, a[i], b[i])
+		}
+	}
+	// A different seed must disagree somewhere.
+	nw := New(Config{Seed: 43, RefuseProb: 0.3, ResetProb: 0.5, ResetAfterMin: 100, ResetAfterMax: 5000})
+	same := true
+	for i := range a {
+		f, _ := nw.next()
+		if f != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 drew identical 32-connection schedules")
+	}
+}
+
+func TestRefusalAndPartition(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	nw := New(Config{Plan: func(conn int) Fault {
+		return Fault{Refuse: conn == 0}
+	}})
+	if _, err := nw.Dial(addr, time.Second); !errors.Is(err, ErrRefused) || !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("scheduled refusal returned %v, want ErrRefused wrapping ECONNREFUSED", err)
+	}
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("second dial should pass the schedule: %v", err)
+	}
+	defer conn.Close()
+
+	// Partition severs the live connection and refuses new dials.
+	nw.Partition(addr)
+	if _, err := conn.Write([]byte("hello")); err == nil {
+		// The sever may race the write's observation; the read leg must
+		// see it.
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("severed connection still fully usable")
+		}
+	}
+	if _, err := nw.Dial(addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned dial returned %v, want ErrPartitioned", err)
+	}
+	nw.Heal(addr)
+	conn2, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after Heal failed: %v", err)
+	}
+	conn2.Close()
+	st := nw.Stats()
+	if st.Refused != 2 {
+		t.Fatalf("refused = %d, want 2 (one scheduled, one partitioned)", st.Refused)
+	}
+	if st.Severed != 1 {
+		t.Fatalf("severed = %d, want 1", st.Severed)
+	}
+}
+
+func TestLatencyAndBandwidthShaping(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	nw := New(Config{Plan: func(conn int) Fault {
+		return Fault{Latency: 30 * time.Millisecond, BandwidthBps: 10000}
+	}})
+	conn, err := nw.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 30ms latency + 1000B / 10000Bps = 100ms pacing: >= 130ms total.
+	start := time.Now()
+	if _, err := conn.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 120*time.Millisecond {
+		t.Fatalf("shaped write took %v, want >= ~130ms", d)
+	}
+}
+
+func TestListenerAppliesSchedule(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := New(Config{Plan: func(conn int) Fault {
+		// Refuse the first accepted connection, reset the second early.
+		switch conn {
+		case 0:
+			return Fault{Refuse: true}
+		default:
+			return Fault{ResetAfter: 8}
+		}
+	}})
+	wrapped := nw.Listener(ln)
+	defer wrapped.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	// First dial: accepted then refused by schedule. The refusal's RST
+	// may land before or after the dialer observes establishment, so
+	// either a failed dial or a soon-dead connection is correct.
+	if c1, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		defer c1.Close()
+	}
+	// Second dial: delivered under the reset schedule.
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var server net.Conn
+	select {
+	case server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept never delivered the second connection")
+	}
+	defer server.Close()
+	if _, err := server.Write(make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on reset-scheduled conn returned %v, want ErrInjected", err)
+	}
+	st := nw.Stats()
+	if st.Refused != 1 || st.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 refusal and 1 reset", st)
+	}
+}

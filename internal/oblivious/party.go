@@ -84,6 +84,44 @@ type Transport interface {
 	Recv(from int) (Msg, error)
 }
 
+// Phase identifies one phase of a hide-and-seek round, in protocol
+// order.
+type Phase int
+
+// The phases RunParty announces through the Phaser hook.
+const (
+	// PhaseHide is the split-and-send phase: seekers scatter their
+	// vectors to the round's hiders.
+	PhaseHide Phase = iota
+	// PhaseShuffle is the joint-permutation phase among the hiders.
+	PhaseShuffle
+	// PhaseReshare is the re-split phase: hiders scatter their
+	// accumulated vectors back to all parties.
+	PhaseReshare
+	// PhaseDone is announced once, after the last round completes.
+	PhaseDone
+)
+
+// Phaser is optionally implemented by a Transport that wants phase
+// boundaries — a networked transport arms per-phase I/O deadlines from
+// it, so a peer that keeps a connection alive but never completes a
+// phase is cut off. RunParty calls Phase at the start of every phase
+// of every round, from the engine goroutine, before any of that
+// phase's Send/Recv calls; a phase's concurrent sends are joined
+// before the next phase is announced.
+type Phaser interface {
+	// Phase announces that the engine is entering the given phase of
+	// the given round (round == Rounds and PhaseDone at the end).
+	Phase(round int, phase Phase)
+}
+
+// announce notifies tr of a phase boundary when it cares.
+func announce(tr Transport, round int, phase Phase) {
+	if p, ok := tr.(Phaser); ok {
+		p.Phase(round, phase)
+	}
+}
+
 // PartyConfig parameterizes one shuffler's engine.
 type PartyConfig struct {
 	// Index is this party's id in [0, Parties).
@@ -158,6 +196,7 @@ func RunParty(cfg PartyConfig, tr Transport, plain []uint64, enc []*ahe.Cipherte
 			return nil, nil, fmt.Errorf("oblivious: party %d round %d: %w", cfg.Index, round, err)
 		}
 	}
+	announce(tr, rounds, PhaseDone)
 	return plain, enc, nil
 }
 
@@ -192,6 +231,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 	}
 
 	// --- Hide phase. ---
+	announce(tr, round, PhaseHide)
 	var acc []uint64             // my accumulated plaintext mass (hiders only)
 	var encAcc []*ahe.Ciphertext // the ciphertext vector, if I hold it
 	if isHider[me] {
@@ -280,6 +320,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 	}
 
 	// --- Shuffle phase (hiders only). ---
+	announce(tr, round, PhaseShuffle)
 	if isHider[me] {
 		var seed uint64
 		if me == hiders[0] {
@@ -319,6 +360,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 	}
 
 	// --- Reshare phase. ---
+	announce(tr, round, PhaseReshare)
 	// My new vector starts from the parts I keep for myself.
 	newPlain := make([]uint64, n)
 	var newEnc []*ahe.Ciphertext

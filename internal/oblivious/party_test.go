@@ -281,3 +281,79 @@ func TestRunPartyConfigValidation(t *testing.T) {
 		t.Fatal("accepted an out-of-range index")
 	}
 }
+
+// phaseCall records one Phaser announcement.
+type phaseCall struct {
+	round int
+	phase Phase
+}
+
+// phaserTransport wraps chanTransport and records the phase boundaries
+// RunParty announces — the hook internal/cluster uses to re-arm its
+// per-phase network deadlines.
+type phaserTransport struct {
+	chanTransport
+	mu    sync.Mutex
+	calls []phaseCall
+}
+
+func (t *phaserTransport) Phase(round int, phase Phase) {
+	t.mu.Lock()
+	t.calls = append(t.calls, phaseCall{round, phase})
+	t.mu.Unlock()
+}
+
+func TestRunPartyAnnouncesPhases(t *testing.T) {
+	const (
+		r      = 3
+		rounds = 2
+		seed   = 31
+	)
+	pub := ahe.PublicKey(dgk(t))
+	pipes := newPipes(r)
+	mod := secretshare.NewModulus(64)
+	trs := make([]*phaserTransport, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	for j := 0; j < r; j++ {
+		trs[j] = &phaserTransport{chanTransport: chanTransport{me: j, pipes: pipes}}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			cfg := PartyConfig{
+				Index:   j,
+				Parties: r,
+				Mod:     mod,
+				Source:  rng.Substream(seed, uint64(j)),
+				Pub:     pub,
+				Rounds:  rounds,
+			}
+			_, _, errs[j] = RunParty(cfg, trs[j], []uint64{1, 2, 3}, nil)
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", j, err)
+		}
+	}
+	var want []phaseCall
+	for round := 0; round < rounds; round++ {
+		want = append(want,
+			phaseCall{round, PhaseHide},
+			phaseCall{round, PhaseShuffle},
+			phaseCall{round, PhaseReshare},
+		)
+	}
+	want = append(want, phaseCall{rounds, PhaseDone})
+	for j, tr := range trs {
+		if len(tr.calls) != len(want) {
+			t.Fatalf("party %d announced %v, want %v", j, tr.calls, want)
+		}
+		for i := range want {
+			if tr.calls[i] != want[i] {
+				t.Fatalf("party %d call %d = %v, want %v", j, i, tr.calls[i], want[i])
+			}
+		}
+	}
+}

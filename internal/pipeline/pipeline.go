@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"shuffledp/internal/rng"
@@ -36,6 +37,26 @@ import (
 // the service closes the connection and counts it, a cluster node
 // fails the collection.
 var ErrIdleTimeout = errors.New("pipeline: connection idle past deadline")
+
+// Disconnected reports whether err is the kind of failure a remote
+// peer's disappearance produces — EOF mid-frame, a connection reset, a
+// broken pipe, or a locally closed connection — as opposed to a
+// protocol violation by a live peer or an idle/deadline timeout. The
+// self-healing tiers classify errors with it: a disconnect means "drop
+// or redial this one connection", never "fail the node".
+func Disconnected(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	return false
+}
 
 // Reader is the ingest stage: it reads tagged frames off one
 // connection until EOF and hands each to Handle. It is the shared

@@ -2,7 +2,10 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"net"
+	"syscall"
 	"testing"
 	"time"
 
@@ -136,6 +139,30 @@ func TestPoolRunsAndJoins(t *testing.T) {
 	for i, v := range results {
 		if v != i+1 {
 			t.Fatalf("worker %d did not run", i)
+		}
+	}
+}
+
+func TestDisconnectedClassifiesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"net-closed", net.ErrClosed, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"epipe", syscall.EPIPE, true},
+		{"wrapped-reset", fmt.Errorf("read frame: %w", syscall.ECONNRESET), true},
+		{"op-error", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"idle-timeout", ErrIdleTimeout, false},
+		{"arbitrary", errors.New("bad frame"), false},
+	}
+	for _, tc := range cases {
+		if got := Disconnected(tc.err); got != tc.want {
+			t.Errorf("Disconnected(%s) = %v, want %v", tc.name, got, tc.want)
 		}
 	}
 }
