@@ -27,6 +27,7 @@ type persistenceCase struct {
 	// Mode is "off" (no WAL) or the fsync policy ("none", "batch",
 	// "always").
 	Mode          string  `json:"mode"`
+	GoMaxProcs    int     `json:"go_max_procs"`
 	ReportsPerSec float64 `json:"reports_per_sec"`
 	NsPerReport   float64 `json:"ns_per_report"`
 	// SlowdownVsOff is the throughput ratio off/this-mode (1.0 = free).
@@ -35,10 +36,27 @@ type persistenceCase struct {
 
 type serviceCase struct {
 	Clients       int     `json:"clients"`
+	GoMaxProcs    int     `json:"go_max_procs"`
 	ReportsPerSec float64 `json:"reports_per_sec"`
 	NsPerReport   float64 `json:"ns_per_report"`
 	// SpeedupVs1 is throughput relative to the single-connection run.
 	SpeedupVs1 float64 `json:"speedup_vs_1_client"`
+}
+
+// wireCase is one entry of the session-vs-legacy comparison: the same
+// workload and durability level, differing only in the wire protocol
+// the clients speak.
+type wireCase struct {
+	// Wire is "legacy" (per-report ECIES frames) or "session" (one
+	// handshake, then AEAD-sealed batches of DefaultClientBatch).
+	Wire          string  `json:"wire"`
+	Persist       string  `json:"persist"`
+	GoMaxProcs    int     `json:"go_max_procs"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	NsPerReport   float64 `json:"ns_per_report"`
+	// SpeedupVsLegacy is the throughput ratio this-wire/legacy (the
+	// legacy row records 1.0).
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy"`
 }
 
 type serviceBenchReport struct {
@@ -57,8 +75,13 @@ type serviceBenchReport struct {
 	Note   string        `json:"note,omitempty"`
 	Cases  []serviceCase `json:"cases"`
 	// Persistence is the durability on/off comparison, measured at the
-	// first client count.
+	// first client count (legacy wire).
 	Persistence []persistenceCase `json:"persistence"`
+	// SessionVsLegacy compares the two wire protocols at the first
+	// client count with the WAL at fsync=batch — the headline number of
+	// the session protocol: the per-report ECIES wall against one
+	// handshake plus AEAD-sealed batches.
+	SessionVsLegacy []wireCase `json:"session_vs_legacy"`
 }
 
 // runServiceSuite streams n pre-randomized SOLH reports through a
@@ -99,12 +122,13 @@ func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchR
 			"multi-core machines scale until the decrypt pool saturates"
 	}
 	for _, clients := range clientCounts {
-		ns, err := timeServiceRun(fo, key, reports, clients, batch, epochs, "off")
+		ns, err := timeServiceRun(fo, key, reports, clients, batch, epochs, "off", "legacy")
 		if err != nil {
 			return serviceBenchReport{}, err
 		}
 		c := serviceCase{
 			Clients:       clients,
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			ReportsPerSec: float64(n) / (ns / 1e9),
 			NsPerReport:   ns / float64(n),
 		}
@@ -121,12 +145,13 @@ func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchR
 	// The persistence delta: one client count, WAL off vs every fsync
 	// policy — the price of crash recovery under each durability level.
 	for _, mode := range []string{"off", "none", "batch", "always"} {
-		ns, err := timeServiceRun(fo, key, reports, clientCounts[0], batch, epochs, mode)
+		ns, err := timeServiceRun(fo, key, reports, clientCounts[0], batch, epochs, mode, "legacy")
 		if err != nil {
 			return serviceBenchReport{}, err
 		}
 		pc := persistenceCase{
 			Mode:          mode,
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			ReportsPerSec: float64(n) / (ns / 1e9),
 			NsPerReport:   ns / float64(n),
 		}
@@ -139,10 +164,35 @@ func runServiceSuite(n, d, batch, epochs int, clientCounts []int) (serviceBenchR
 		fmt.Printf("service: persist=%-7s %10.0f reports/s  %8.0f ns/report  (%.2fx slower than off)\n",
 			pc.Mode, pc.ReportsPerSec, pc.NsPerReport, pc.SlowdownVsOff)
 	}
+
+	// The wire-protocol comparison the session path exists for: same
+	// workload, same fsync=batch durability, legacy per-report ECIES
+	// against the batched session AEAD.
+	for _, wire := range []string{"legacy", "session"} {
+		ns, err := timeServiceRun(fo, key, reports, clientCounts[0], batch, epochs, "batch", wire)
+		if err != nil {
+			return serviceBenchReport{}, err
+		}
+		wc := wireCase{
+			Wire:          wire,
+			Persist:       "batch",
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			ReportsPerSec: float64(n) / (ns / 1e9),
+			NsPerReport:   ns / float64(n),
+		}
+		if len(rep.SessionVsLegacy) > 0 {
+			wc.SpeedupVsLegacy = wc.ReportsPerSec / rep.SessionVsLegacy[0].ReportsPerSec
+		} else {
+			wc.SpeedupVsLegacy = 1
+		}
+		rep.SessionVsLegacy = append(rep.SessionVsLegacy, wc)
+		fmt.Printf("service: wire=%-8s %10.0f reports/s  %8.0f ns/report  (%.2fx vs legacy, persist=batch)\n",
+			wc.Wire, wc.ReportsPerSec, wc.NsPerReport, wc.SpeedupVsLegacy)
+	}
 	return rep, nil
 }
 
-func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch, epochs int, persist string) (float64, error) {
+func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report, clients, batch, epochs int, persist, wire string) (float64, error) {
 	epochReports := 0
 	if epochs > 1 {
 		epochReports = (len(reports) + epochs - 1) / epochs
@@ -179,7 +229,12 @@ func timeServiceRun(fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp
 			if err := svc.Ingest(serverSide); err != nil {
 				return 0, err
 			}
-			cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+			var cl *service.Client
+			if wire == "session" {
+				cl, err = service.NewSessionClient(fo, key.Public(), nil, clientSide, 0)
+			} else {
+				cl, err = service.NewClient(fo, key.Public(), nil, clientSide)
+			}
 			if err != nil {
 				return 0, err
 			}

@@ -34,6 +34,7 @@
 //	shuffled [-n users] [-d domain] [-eps epsC] [-seed s] [-clients c] [-batch b]
 //	         [-epochs e] [-total-eps B] [-accountant naive|advanced] [-window k]
 //	         [-data-dir dir] [-fsync always|batch|none]
+//	         [-session=false] [-session-batch r] [-max-frame bytes]
 //	shuffled analyzer|shuffler|client [role flags; -h lists them]
 package main
 
@@ -85,6 +86,9 @@ func main() {
 	window := flag.Int("window", 2, "sliding-window width for the final window query")
 	dataDir := flag.String("data-dir", "", "durable state directory (WAL + checkpoints); empty runs in-memory")
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
+	session := flag.Bool("session", true, "gateways speak the session protocol (one handshake, AEAD-sealed batches); false falls back to per-report ECIES frames")
+	sessionBatch := flag.Int("session-batch", 0, "reports per session frame (0: the service default)")
+	maxFrame := flag.Int("max-frame", 0, "per-connection frame cap in bytes; oversized frames kick the connection (0: the service default)")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
@@ -146,6 +150,7 @@ func main() {
 		EpochReports: (*n + *epochs - 1) / *epochs,
 		DataDir:      *dataDir,
 		Sync:         syncPolicy,
+		MaxFrame:     *maxFrame,
 	}
 	svc, err := service.New(cfg)
 	if *dataDir != "" && errors.Is(err, store.ErrExists) {
@@ -170,8 +175,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingestion service listening on %s (%d gateways, batch=%d, rotate every %d reports)\n",
-		ln.Addr(), *clients, *batch, (*n+*epochs-1)/(*epochs))
+	wire := "session"
+	if !*session {
+		wire = "legacy per-report ECIES"
+	}
+	fmt.Printf("ingestion service listening on %s (%d gateways, wire=%s, batch=%d, rotate every %d reports)\n",
+		ln.Addr(), *clients, wire, *batch, (*n+*epochs-1)/(*epochs))
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- svc.Serve(ln) }()
 
@@ -193,7 +202,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			cl, err := service.NewClient(fo, key.Public(), nil, conn)
+			var cl *service.Client
+			if *session {
+				cl, err = service.NewSessionClient(fo, key.Public(), nil, conn, *sessionBatch)
+			} else {
+				cl, err = service.NewClient(fo, key.Public(), nil, conn)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -228,6 +242,12 @@ func main() {
 	}()
 
 	wg.Wait()
+	// The gateways have written and closed, but a batched session client
+	// finishes so fast its connection may still sit in the listener
+	// backlog, not yet accepted. Drain's cutoff would discard it, so wait
+	// until the service accounts for every frame (the watcher's exit
+	// condition) before draining.
+	<-watchDone
 	snap, err := svc.Drain()
 	if err != nil {
 		log.Fatal(err)
@@ -235,7 +255,6 @@ func main() {
 	if err := <-serveDone; err != nil {
 		log.Fatal(err)
 	}
-	<-watchDone
 
 	fmt.Println("\nsealed epochs:")
 	hist := svc.History()

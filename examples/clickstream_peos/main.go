@@ -109,7 +109,9 @@ func streamClicks(plan *shuffledp.PEOSPlan, values []int, d int) ([]float64, *tr
 		return nil, nil, err
 	}
 	reports := ldp.RandomizeParallel(fo, values, 12, 0)
-	cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+	// The aggregation tier speaks the batched session wire; Flush below
+	// pushes the ragged half-day batch like any buffered writer.
+	cl, err := service.NewSessionClient(fo, key.Public(), nil, clientSide, 0)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -98,7 +98,7 @@ func main() {
 			}
 			log.Fatal(err)
 		}
-		cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+		cl, err := service.NewSessionClient(fo, key.Public(), nil, clientSide, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -208,7 +208,10 @@ func send(svc *service.Service, fo ldp.FrequencyOracle, key *ecies.PrivateKey, r
 	if err := svc.Ingest(serverSide); err != nil {
 		log.Fatal(err)
 	}
-	cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+	// Session wire: one handshake, then AEAD-sealed batches — the WAL
+	// still never holds plaintext (session reports are re-sealed under
+	// the at-rest storage key before logging).
+	cl, err := service.NewSessionClient(fo, key.Public(), nil, clientSide, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

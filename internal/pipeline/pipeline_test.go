@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -72,6 +73,62 @@ func TestReaderHandleErrorStopsLoop(t *testing.T) {
 	r := &Reader{Conn: c2, Handle: func(uint32, []byte) error { return sentinel }}
 	if err := r.Run(); !errors.Is(err, sentinel) {
 		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+// MaxFrame makes an oversized length prefix a loop-stopping error
+// wrapping transport.ErrFrameTooLarge, without reading the payload.
+func TestReaderMaxFrame(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		transport.WriteTaggedFrame(c1, 1, []byte("fits"))
+		transport.WriteTaggedFrame(c1, 2, make([]byte, 100))
+	}()
+	var got int
+	r := &Reader{Conn: c2, MaxFrame: 50, Handle: func(uint32, []byte) error {
+		got++
+		return nil
+	}}
+	err := r.Run()
+	if !errors.Is(err, transport.ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("want 1 frame before the oversized one, got %d", got)
+	}
+}
+
+// With Reuse set, frames arrive in one recycled buffer (Handle must
+// copy); with R set, frames come off the wrapped reader while the
+// deadline still guards the Conn.
+func TestReaderReuseAndWrappedReader(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		transport.WriteTaggedFrame(c1, 1, []byte("first"))
+		transport.WriteTaggedFrame(c1, 2, []byte("second"))
+		c1.Close()
+	}()
+	var copies []string
+	var raw [][]byte
+	r := &Reader{Conn: c2, R: bufio.NewReader(c2), Reuse: true, Handle: func(_ uint32, frame []byte) error {
+		copies = append(copies, string(frame))
+		raw = append(raw, frame)
+		return nil
+	}}
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(copies) != 2 || copies[0] != "first" || copies[1] != "second" {
+		t.Fatalf("payload copies = %v", copies)
+	}
+	// The reuse contract: both Handle calls saw the same underlying
+	// buffer, so the retained raw slice was clobbered by frame two.
+	if string(raw[0]) != "secon" {
+		t.Fatalf("expected frame 1's retained slice to be recycled, got %q", raw[0])
 	}
 }
 

@@ -1,7 +1,7 @@
 package service
 
 import (
-	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -12,9 +12,22 @@ import (
 	"shuffledp/internal/transport"
 )
 
-// Client submits encrypted reports to a Service over one connection.
-// Writes are buffered; Flush (or Close) pushes the tail. A Client is
-// not safe for concurrent use — run one Client per goroutine, which is
+// Client submits encrypted reports to a Service over one connection,
+// in one of two wire modes:
+//
+//   - NewClient: the legacy per-report protocol — every report is
+//     individually ECIES-encrypted and framed.
+//   - NewSessionClient: the session protocol — one handshake frame on
+//     first write, then batches of reports sealed under the
+//     per-connection AEAD key (a small fraction of the legacy CPU
+//     cost on both ends).
+//
+// Every frame is written all-or-nothing: the full frame (header and
+// payload) is assembled in one buffer and handed to the connection in
+// a single Write, and any write error poisons the client — every
+// later call returns the same error instead of resuming mid-frame on
+// a stream whose framing is no longer trustworthy. A Client is not
+// safe for concurrent use — run one Client per goroutine, which is
 // also the deployment shape (one connection per reporting device or
 // per collector gateway).
 type Client struct {
@@ -22,14 +35,60 @@ type Client struct {
 	codec *Codec
 	key   *ecies.PublicKey
 	rand  *rng.Rand
-	w     *bufio.Writer
 	conn  io.Writer
 	epoch uint32
+	// broken latches the first write failure; the stream past it
+	// cannot be trusted to be frame-aligned.
+	broken error
+
+	// wire is the frame assembly buffer (header plus payload, written
+	// in one call); frameStart is where the current frame's header
+	// begins in it (after the hello frame on a session's first write).
+	wire       []byte
+	frameStart int
+
+	// Session mode (nil sess means legacy).
+	sess       *ecies.Session
+	hello      []byte // handshake frame payload, pending until first write
+	helloSent  bool
+	batchSize  int
+	batch      []byte // marshalled reports pending in the open batch
+	batchCount int
+	batchEpoch uint32 // epoch the open batch asserts
 }
 
-// NewClient prepares a submission client. rand may be nil if only
-// SendReport (pre-randomized reports) will be used.
+// NewClient prepares a legacy per-report submission client. rand may
+// be nil if only SendReport (pre-randomized reports) will be used.
 func NewClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Rand, conn io.Writer) (*Client, error) {
+	return newClient(fo, serverKey, rand, conn)
+}
+
+// NewSessionClient prepares a session-mode submission client: its
+// first write leads with the session hello, and reports are packed
+// batchSize to a frame under the session key (batchSize <= 0 means
+// DefaultClientBatch). Buffered reports are pushed by Flush or Close
+// — like any buffered writer, a batch that is never flushed is never
+// sent.
+func NewSessionClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Rand, conn io.Writer, batchSize int) (*Client, error) {
+	c, err := newClient(fo, serverKey, rand, conn)
+	if err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultClientBatch
+	}
+	sess, hello, err := ecies.NewClientSession(serverKey)
+	if err != nil {
+		return nil, fmt.Errorf("service: client session handshake: %w", err)
+	}
+	c.sess = sess
+	c.hello = hello
+	c.batchSize = batchSize
+	c.batch = make([]byte, 0, batchSize*c.codec.Size())
+	return c, nil
+}
+
+func newClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Rand, conn io.Writer) (*Client, error) {
 	if fo == nil {
 		return nil, errors.New("service: client needs a frequency oracle")
 	}
@@ -43,15 +102,22 @@ func NewClient(fo ldp.FrequencyOracle, serverKey *ecies.PublicKey, rand *rng.Ran
 	if err != nil {
 		return nil, err
 	}
-	return &Client{fo: fo, codec: codec, key: serverKey, rand: rand, w: bufio.NewWriter(conn), conn: conn, epoch: EpochCurrent}, nil
+	return &Client{fo: fo, codec: codec, key: serverKey, rand: rand, conn: conn, epoch: EpochCurrent}, nil
 }
 
 // SetEpoch stamps subsequent reports with a specific epoch id instead
 // of the default EpochCurrent ("whatever epoch the service has open").
 // A report asserting an epoch the service has already sealed is
 // dropped and counted as Late rather than folded into the wrong
-// collection round.
-func (c *Client) SetEpoch(epoch uint32) { c.epoch = epoch }
+// collection round. A session batch asserts one epoch for all its
+// reports, so changing the epoch flushes the open batch first (any
+// flush error latches and surfaces on the next send or Flush).
+func (c *Client) SetEpoch(epoch uint32) {
+	if c.sess != nil && c.batchCount > 0 && epoch != c.batchEpoch {
+		_ = c.flushBatch()
+	}
+	c.epoch = epoch
+}
 
 // Send randomizes v with the oracle and submits the encrypted report.
 func (c *Client) Send(v int) error {
@@ -72,29 +138,109 @@ func (c *Client) SendValues(values []int) error {
 }
 
 // SendReport encrypts an already-randomized report end-to-end for the
-// server and frames it onto the connection.
+// server and submits it: immediately as one ECIES frame in legacy
+// mode, or into the open session batch (flushed when full).
 func (c *Client) SendReport(rep ldp.Report) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if c.sess != nil {
+		if c.batchCount == 0 {
+			c.batchEpoch = c.epoch
+		}
+		var err error
+		if c.batch, err = c.codec.AppendMarshal(c.batch, rep); err != nil {
+			return err
+		}
+		c.batchCount++
+		if c.batchCount >= c.batchSize {
+			return c.flushBatch()
+		}
+		return nil
+	}
 	payload, err := c.codec.Marshal(rep)
 	if err != nil {
 		return err
 	}
-	ct, err := ecies.Encrypt(c.key, payload)
+	wire := c.beginFrame()
+	wire, err = ecies.EncryptTo(c.key, wire, payload)
 	if err != nil {
 		return fmt.Errorf("service: client encrypt: %w", err)
 	}
-	return transport.WriteTaggedFrame(c.w, c.epoch, ct)
+	return c.finishFrame(wire, c.epoch)
 }
 
-// Flush pushes buffered frames to the connection.
+// flushBatch seals and writes the open session batch as one frame.
+func (c *Client) flushBatch() error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if c.batchCount == 0 {
+		return nil
+	}
+	wire := c.beginFrame()
+	wire, err := c.sess.Seal(wire, c.batch)
+	if err != nil {
+		c.broken = fmt.Errorf("service: client seal batch: %w", err)
+		return c.broken
+	}
+	c.batch = c.batch[:0]
+	c.batchCount = 0
+	return c.finishFrame(wire, c.batchEpoch)
+}
+
+// beginFrame resets the wire buffer and lays down an 8-byte header
+// placeholder for the frame about to be assembled. On a session
+// client whose hello has not gone out yet, the complete hello frame
+// is laid down first, so the handshake rides in the same write as the
+// first batch — never a frame fragment on its own.
+func (c *Client) beginFrame() []byte {
+	wire := c.wire[:0]
+	if c.sess != nil && !c.helloSent {
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(c.hello)))
+		binary.BigEndian.PutUint32(hdr[4:], SessionHelloTag)
+		wire = append(wire, hdr[:]...)
+		wire = append(wire, c.hello...)
+	}
+	c.frameStart = len(wire)
+	return append(wire, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// finishFrame fixes up the header of the frame begun by beginFrame
+// and hands the whole buffer to the connection in a single Write. A
+// write error poisons the client: part of a frame may be on the wire,
+// so no later write could ever be frame-aligned.
+func (c *Client) finishFrame(wire []byte, tag uint32) error {
+	c.wire = wire
+	frame := wire[c.frameStart:]
+	if len(frame)-8 > transport.MaxFrameSize {
+		return transport.ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-8))
+	binary.BigEndian.PutUint32(frame[4:8], tag)
+	if _, err := c.conn.Write(wire); err != nil {
+		c.broken = fmt.Errorf("service: client write: %w", err)
+		return c.broken
+	}
+	c.helloSent = c.helloSent || c.sess != nil
+	return nil
+}
+
+// Flush pushes the open session batch, if any, to the connection
+// (legacy mode buffers nothing between frames).
 func (c *Client) Flush() error {
-	return c.w.Flush()
+	if c.sess != nil {
+		return c.flushBatch()
+	}
+	return c.broken
 }
 
 // Close flushes and, if the connection is a closer, closes it —
 // signalling "this client is done" to the service (its reader sees
 // EOF, which is what Drain waits for).
 func (c *Client) Close() error {
-	if err := c.w.Flush(); err != nil {
+	if err := c.Flush(); err != nil {
 		return err
 	}
 	if cl, ok := c.conn.(io.Closer); ok {

@@ -73,28 +73,34 @@ func (c *Codec) Size() int {
 
 // Marshal packs a report into its wire payload.
 func (c *Codec) Marshal(rep ldp.Report) ([]byte, error) {
+	return c.AppendMarshal(make([]byte, 0, c.Size()), rep)
+}
+
+// AppendMarshal is the append-style form of Marshal: the Size()-byte
+// payload is appended to dst and the extended slice returned, so the
+// session client can pack a whole batch of reports into one plaintext
+// buffer without a per-report allocation.
+func (c *Codec) AppendMarshal(dst []byte, rep ldp.Report) ([]byte, error) {
 	if c.word != nil {
 		if c.maxSeed > 0 && uint64(rep.Seed) >= c.maxSeed {
 			return nil, fmt.Errorf("service: report seed %d outside oracle range %d", rep.Seed, c.maxSeed)
 		}
-		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, c.word.Encode(rep))
-		return out, nil
+		return binary.LittleEndian.AppendUint64(dst, c.word.Encode(rep)), nil
 	}
 	if len(rep.Bits) != c.d {
 		return nil, fmt.Errorf("service: report has %d locations, oracle domain is %d", len(rep.Bits), c.d)
 	}
 	if c.maxCount > 0 {
-		out := make([]byte, c.d)
 		for j, b := range rep.Bits {
 			if b > c.maxCount {
 				return nil, fmt.Errorf("service: count report location %d holds %d increments, oracle maximum is %d", j, b, c.maxCount)
 			}
-			out[j] = b
 		}
-		return out, nil
+		return append(dst, rep.Bits...), nil
 	}
-	out := make([]byte, (c.d+7)/8)
+	base := len(dst)
+	dst = append(dst, make([]byte, (c.d+7)/8)...)
+	out := dst[base:]
 	for j, b := range rep.Bits {
 		switch b {
 		case 0:
@@ -104,7 +110,7 @@ func (c *Codec) Marshal(rep ldp.Report) ([]byte, error) {
 			return nil, errors.New("service: unary report bit outside {0, 1}")
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Unmarshal reverses Marshal. Payloads of the wrong length, word

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"shuffledp/internal/ecies"
 	"shuffledp/internal/ldp"
 	"shuffledp/internal/rng"
 )
@@ -84,6 +85,89 @@ func FuzzCodec(f *testing.F) {
 			}
 			if again.Seed != rep.Seed || again.Value != rep.Value || !bytes.Equal(again.Bits, rep.Bits) {
 				t.Fatalf("%s: reports differ across round trips: %+v vs %+v", fo.Name(), rep, again)
+			}
+		}
+	})
+}
+
+// FuzzSessionFrame throws arbitrary bytes at both ends of the session
+// handshake and the batch frame AEAD. The locked-in contract:
+//
+//   - NewServerSession must never panic on a malformed hello — it
+//     either errors or yields a working session.
+//   - Session.Open must never panic, and must accept NOTHING but the
+//     exact frame the peer sealed: any fuzz input that opens must be
+//     byte-identical to the genuine frame (no forgery, no malleability).
+//   - A rejected frame must not advance the replay counter: after any
+//     number of garbage frames, the genuine next frame still opens and
+//     its batch still splits into valid codec records.
+func FuzzSessionFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, ecies.HelloSize))
+	versioned := make([]byte, ecies.HelloSize)
+	versioned[0] = ecies.SessionVersion
+	f.Add(versioned)
+	f.Add(bytes.Repeat([]byte{0x5a}, ecies.SessionOverhead+8))
+	f.Add(bytes.Repeat([]byte{0x01}, ecies.SessionOverhead-1))
+	counterOnly := make([]byte, ecies.SessionOverhead+16)
+	counterOnly[7] = 1 // claims frame counter 1
+	f.Add(counterOnly)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, err := ecies.GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, hello, err := ecies.NewClientSession(key.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		server, err := ecies.NewServerSession(key, hello)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Arbitrary bytes as a hello: error or working session, no panic.
+		if _, err := ecies.NewServerSession(key, data); err == nil && len(data) != ecies.HelloSize {
+			t.Fatalf("server session accepted a %d-byte hello, want %d", len(data), ecies.HelloSize)
+		}
+
+		fo := ldp.NewSOLH(13, 5, 1)
+		codec, err := NewCodec(fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(5)
+		var batch []byte
+		for v := 0; v < 3; v++ {
+			if batch, err = codec.AppendMarshal(batch, fo.Randomize(v, r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame, err := client.Seal(nil, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt, err := server.Open(nil, data); err == nil {
+			if !bytes.Equal(data, frame) {
+				t.Fatalf("forged frame of %d bytes opened", len(data))
+			}
+			if !bytes.Equal(pt, batch) {
+				t.Fatal("genuine frame opened to different plaintext")
+			}
+			return
+		}
+		// The garbage was rejected; the counter must be untouched so the
+		// genuine frame still lands, end to end through the codec.
+		pt, err := server.Open(nil, frame)
+		if err != nil {
+			t.Fatalf("genuine frame refused after rejected garbage: %v", err)
+		}
+		if len(pt)%codec.Size() != 0 {
+			t.Fatalf("batch of %d bytes is not whole %d-byte records", len(pt), codec.Size())
+		}
+		for off := 0; off < len(pt); off += codec.Size() {
+			if _, err := codec.Unmarshal(pt[off : off+codec.Size()]); err != nil {
+				t.Fatalf("batch record %d does not decode: %v", off/codec.Size(), err)
 			}
 		}
 	})

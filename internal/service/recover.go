@@ -57,6 +57,10 @@ func Recover(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.st = st
+	if s.sealer, err = ecies.NewStorageSealer(s.cfg.Key); err != nil {
+		st.Close()
+		return nil, err
+	}
 	if err := s.restore(rec); err != nil {
 		st.Close()
 		return nil, err
@@ -144,13 +148,24 @@ func (s *Service) restore(rec *store.Recovered) error {
 	}
 	for _, r := range rec.Tail {
 		switch r.Type {
-		case store.RecordReport:
+		case store.RecordReport, store.RecordSealedReport:
 			if exhausted || r.Epoch != uint32(cur.id) {
 				return fmt.Errorf("service: WAL report for epoch %d while epoch %d is open", r.Epoch, cur.id)
 			}
-			pt, err := ecies.Decrypt(s.cfg.Key, r.Payload)
-			if err != nil {
-				return fmt.Errorf("service: decrypting WAL report: %w", err)
+			var pt []byte
+			var err error
+			if r.Type == store.RecordSealedReport {
+				// A session report, re-sealed under the at-rest storage
+				// key (the connection key is gone with the connection).
+				pt, err = s.sealer.Open(nil, r.Payload)
+				if err != nil {
+					return fmt.Errorf("service: opening sealed WAL report: %w", err)
+				}
+			} else {
+				pt, err = ecies.Decrypt(s.cfg.Key, r.Payload)
+				if err != nil {
+					return fmt.Errorf("service: decrypting WAL report: %w", err)
+				}
 			}
 			rep, err := s.codec.Unmarshal(pt)
 			if err != nil {

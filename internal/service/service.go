@@ -1,6 +1,6 @@
 // Package service is the concurrent streaming face of the basic
 // shuffle model (Figure 1): a long-running ingestion tier that accepts
-// framed, ECIES-encrypted reports from many client connections at
+// framed, end-to-end encrypted reports from many client connections at
 // once, batches and shuffles them, and folds the decrypted reports
 // into mergeable per-worker aggregators so the running histogram is
 // available at any point mid-stream.
@@ -8,9 +8,23 @@
 // Pipeline stages, each a bounded queue ahead of it (backpressure
 // propagates from a slow stage back to the clients' writes):
 //
-//	conn readers  --intake-->  shuffler  --batches-->  workers
-//	(one per conn)             (batch +                (decrypt,
-//	                            permute)                decode, Add)
+//	conn readers  --intake-->  shuffler  --batches-->  decrypt  --decoded-->  aggregate
+//	(one per conn,             (batch +                (ECIES or              (shard
+//	 session open)              permute)                decode)                Add)
+//
+// # Wire protocols
+//
+// A connection speaks one of two protocols, decided by its first
+// frame (see readConn). The session protocol — the default client —
+// pays one ECIES-grade handshake (ecies.NewClientSession) when it
+// connects and then streams batches of reports sealed under a
+// per-connection AES-GCM key with a strict monotonic frame counter:
+// per-report crypto cost collapses from an ECDH exchange to a slice
+// of one AEAD open. The legacy protocol encrypts every report
+// individually under full ECIES; it remains fully supported for old
+// clients, and conformance tests pin both protocols to bit-identical
+// estimates. DESIGN.md ("Session wire protocol") specifies the
+// handshake transcript, nonce discipline, and downgrade rules.
 //
 // The shuffler stage permutes every fixed-size batch before any worker
 // sees it, so the linkage between an arrival (which connection, which
@@ -75,6 +89,28 @@ const (
 // enough that snapshots stay fresh under light traffic.
 const DefaultBatchSize = 512
 
+// DefaultMaxFrame is the per-connection frame cap when Config.MaxFrame
+// is zero: comfortably above any real hello, report, or batch frame,
+// far below transport.MaxFrameSize's 1 GiB defensive ceiling — a
+// client claiming more is kicked, not honored.
+const DefaultMaxFrame = 4 << 20
+
+// DefaultClientBatch is the session client's reports-per-frame when
+// NewSessionClient is given a batch size of zero: large enough to
+// amortize framing and AEAD costs, small enough that a flush stays
+// well under DefaultMaxFrame for every oracle in the repo.
+const DefaultClientBatch = 256
+
+// SessionHelloTag is the frame tag of a session hello — the tag a
+// session client stamps on the FIRST frame of a connection. The
+// service decides the connection's protocol by that first frame alone:
+// this tag starts a session handshake, anything else is a legacy
+// per-report ECIES stream (the tag is then the epoch id, and epoch
+// ids count up from zero, far from this magic). A hello tag on any
+// later frame is not special — downgrade or upgrade mid-connection is
+// impossible by construction.
+const SessionHelloTag = 0x53445031 // "SDP1"
+
 // rejectedLogCap bounds how many post-exhaustion rejected drops are
 // write-ahead logged (~14 bytes each, so about 2 MiB of WAL at the
 // cap). An exhausted service never checkpoints again, so these
@@ -92,8 +128,13 @@ type Config struct {
 	// BatchSize is the number of reports shuffled together before any
 	// worker may decrypt them. 0 means DefaultBatchSize.
 	BatchSize int
-	// Workers is the decrypt/aggregate pool size. <1 means GOMAXPROCS.
+	// Workers is the aggregate pool size. <1 means GOMAXPROCS.
 	Workers int
+	// DecryptWorkers sizes the decrypt/decode pool independently from
+	// the aggregate pool: decryption is the expensive stage for legacy
+	// per-report ECIES traffic but near-free for session batches, so
+	// the two stages scale separately. <1 means Workers.
+	DecryptWorkers int
 	// QueueDepth bounds how many shuffled batches may wait for workers
 	// before the shuffler (and transitively the clients) block. 0 means
 	// 2 * Workers.
@@ -111,6 +152,13 @@ type Config struct {
 	// pinning its reader goroutine — and, transitively, Drain —
 	// forever. 0 means no bound, the pre-PR-5 behavior.
 	IdleTimeout time.Duration
+
+	// MaxFrame caps a single report frame's length prefix. A
+	// connection claiming a larger frame is kicked — closed and
+	// counted in Snapshot.Kicked — before any payload byte is read,
+	// so one hostile length prefix can neither fail the service nor
+	// balloon its memory. 0 means DefaultMaxFrame.
+	MaxFrame int
 
 	// Ledger, when non-nil, is charged one per-epoch guarantee every
 	// time an epoch opens (including epoch 0 at New). Once it refuses,
@@ -174,6 +222,13 @@ type Snapshot struct {
 	// stalling were accepted normally; the counter is in-memory only
 	// (an operator signal, not part of the durable stream accounting).
 	IdleClosed int64
+	// Kicked counts connections dropped for a protocol violation: a
+	// frame past Config.MaxFrame, a malformed session hello, or a
+	// session frame that failed authentication or arrived out of
+	// sequence. Reports the connection delivered before violating
+	// were accepted normally; like IdleClosed the counter is
+	// in-memory only.
+	Kicked int64
 }
 
 // taggedReport is one ciphertext frame with the epoch id its sender
@@ -184,10 +239,21 @@ type taggedReport struct {
 }
 
 // epochBatch is one shuffled batch routed to the epoch that was open
-// when it was flushed.
+// when it was flushed. Items are either legacy ECIES ciphertexts
+// (codec.Size() + ecies.Overhead bytes) or already-decrypted session
+// records (exactly codec.Size() bytes); the two lengths can never
+// coincide, so the decrypt stage discriminates by length alone.
 type epochBatch struct {
 	ep  *epochState
 	cts [][]byte
+}
+
+// decodedBatch is one batch past the decrypt/decode stage, headed for
+// an aggregate worker. The reports slice is pool-owned: the aggregate
+// worker returns it after folding.
+type decodedBatch struct {
+	ep      *epochState
+	reports *[]ldp.Report
 }
 
 // Service is a running ingestion pipeline. Create with New, feed it
@@ -199,8 +265,9 @@ type Service struct {
 	cfg   Config
 	codec *Codec
 
-	intake  chan taggedReport // ciphertext frames, readers -> shuffler
-	batches chan epochBatch   // shuffled batches, shuffler -> workers
+	intake  chan taggedReport // report items, readers -> shuffler
+	batches chan epochBatch   // shuffled batches, shuffler -> decrypt pool
+	decoded chan decodedBatch // decoded batches, decrypt pool -> aggregate pool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -208,7 +275,18 @@ type Service struct {
 
 	conns        sync.WaitGroup // active connection readers
 	shufflerPool pipeline.Pool  // the single batch-shuffler stage goroutine
-	workerPool   pipeline.Pool  // decrypt/aggregate stage workers
+	decryptPool  pipeline.Pool  // decrypt/decode stage workers
+	workerPool   pipeline.Pool  // aggregate stage workers
+
+	// reportsPool recycles the decoded-report slices that flow between
+	// the decrypt and aggregate stages, so steady-state ingestion
+	// allocates per batch, not per report.
+	reportsPool sync.Pool
+
+	// sealer re-encrypts session reports for the WAL (their wire
+	// framing is under a connection-ephemeral key recovery could never
+	// re-derive). Nil for an in-memory service.
+	sealer *ecies.StorageSealer
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -244,6 +322,7 @@ type Service struct {
 	late       atomic.Int64
 	rejected   atomic.Int64
 	idleClosed atomic.Int64
+	kicked     atomic.Int64
 
 	drainOnce sync.Once
 	drainSnap Snapshot
@@ -273,6 +352,10 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.st = st
+		if s.sealer, err = ecies.NewStorageSealer(s.cfg.Key); err != nil {
+			st.Close()
+			return nil, err
+		}
 	}
 	s.cur.Store(newEpochState(0, s.cfg.FO, s.cfg.Workers))
 	s.start()
@@ -298,10 +381,17 @@ func prepare(cfg Config) (*Service, error) {
 		cfg.BatchSize = DefaultBatchSize
 	}
 	cfg.Workers = ldp.Workers(cfg.Workers)
+	if cfg.DecryptWorkers <= 0 {
+		cfg.DecryptWorkers = cfg.Workers
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
-	return &Service{
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	batchSize := cfg.BatchSize
+	s := &Service{
 		cfg:   cfg,
 		codec: codec,
 		// One batch of intake slack keeps readers and the shuffler
@@ -309,13 +399,19 @@ func prepare(cfg Config) (*Service, error) {
 		// backpressure through their connection writes.
 		intake:       make(chan taggedReport, cfg.BatchSize),
 		batches:      make(chan epochBatch, cfg.QueueDepth),
+		decoded:      make(chan decodedBatch, cfg.QueueDepth),
 		stop:         make(chan struct{}),
 		rotateCh:     make(chan rotateReq),
 		rotateHint:   make(chan struct{}, 1),
 		shufflerDone: make(chan struct{}),
 		drainStart:   make(chan struct{}),
 		allTime:      cfg.FO.NewAggregator(),
-	}, nil
+	}
+	s.reportsPool.New = func() any {
+		sl := make([]ldp.Report, 0, batchSize)
+		return &sl
+	}
+	return s, nil
 }
 
 // storeMeta is the configuration fingerprint stamped into checkpoints.
@@ -327,6 +423,14 @@ func (s *Service) storeMeta() store.Meta {
 // current epoch.
 func (s *Service) start() {
 	s.shufflerPool.Go(1, func(int) { s.runShuffler() })
+	s.decryptPool.Go(s.cfg.DecryptWorkers, s.runDecryptWorker)
+	// The decoded queue closes exactly when the decrypt stage exits —
+	// on drain (batches closed by the shuffler) and abort (stop) alike
+	// — so the aggregate workers always terminate.
+	go func() {
+		s.decryptPool.Wait()
+		close(s.decoded)
+	}()
 	s.workerPool.Go(s.cfg.Workers, s.runWorker)
 	if s.cfg.EpochReports > 0 {
 		s.rotatorWG.Add(1)
@@ -336,6 +440,17 @@ func (s *Service) start() {
 
 // Serve accepts connections from ln and ingests each until ln is
 // closed (Drain and Close close every listener handed to Serve).
+// Serve accepts connections from ln and ingests each until the
+// listener closes (Drain and Close close registered listeners, which
+// makes Serve return nil).
+//
+// Drain waits only for connections Serve has already accepted: a
+// connection still sitting in the listener's backlog at the cutoff is
+// discarded with whatever frames it carried. A client that writes its
+// frames into kernel buffers and disconnects — cheap with the batched
+// session protocol — can therefore outrun the accept loop. Callers
+// coordinating a fixed workload should wait until Snapshot accounts
+// for every frame (as cmd/shuffled does) before draining.
 func (s *Service) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining.Load() {
@@ -405,36 +520,100 @@ func (s *Service) forget(conn net.Conn) {
 // the loop ends, but the connection did not fail.
 var errStopIngest = errors.New("service: stopping")
 
+// errKickConn wraps connection-scoped protocol violations — a bad
+// session hello, a session frame failing authentication or sequence,
+// a misaligned batch. The connection is dropped and counted in
+// Snapshot.Kicked; the service (and every other connection) carries
+// on.
+var errKickConn = errors.New("service: kicking connection")
+
+// enqueue hands one report item to the shuffler, or reports the stop.
+func (s *Service) enqueue(epoch uint32, item []byte) error {
+	// Post-exhaustion frames flow to the shuffler too: it is the
+	// single goroutine that counts AND write-ahead logs rejected
+	// drops, so the Rejected counter survives a crash like the
+	// others.
+	select {
+	case s.intake <- taggedReport{epoch: epoch, ct: item}:
+		s.received.Add(1)
+		return nil
+	case <-s.stop:
+		return errStopIngest
+	}
+}
+
 // readConn is the ingest stage for one connection: a pipeline.Reader
 // feeding the intake queue, deadline-guarded so a stalled client is
 // disconnected (Snapshot.IdleClosed) instead of pinning this goroutine
 // — and Drain's conns.Wait — forever.
+//
+// The first frame decides the connection's protocol. A SessionHelloTag
+// frame performs the session handshake: every later frame is then one
+// AEAD-sealed batch of codec-marshalled reports, opened and split here
+// so the rest of the pipeline sees plain Size()-byte records. Any
+// other first frame is a legacy per-report ECIES stream: each frame is
+// one ciphertext, forwarded as-is for the decrypt stage. Protocol
+// violations (oversized frame, bad hello, failed AEAD, replayed or
+// reordered counter, misaligned batch) kick only this connection.
 func (s *Service) readConn(conn net.Conn) {
 	defer s.conns.Done()
 	defer s.forget(conn)
 	defer conn.Close()
+	var sess *ecies.Session
+	first := true
+	size := s.codec.Size()
 	rd := &pipeline.Reader{
 		Conn:        conn,
 		IdleTimeout: s.cfg.IdleTimeout,
-		Handle: func(epoch uint32, frame []byte) error {
-			s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
-			// Post-exhaustion frames flow to the shuffler too: it is the
-			// single goroutine that counts AND write-ahead logs rejected
-			// drops, so the Rejected counter survives a crash like the
-			// others.
-			select {
-			case s.intake <- taggedReport{epoch: epoch, ct: frame}:
-				s.received.Add(1)
-				return nil
-			case <-s.stop:
-				return errStopIngest
+		MaxFrame:    s.cfg.MaxFrame,
+		Reuse:       true,
+		Handle: func(tag uint32, frame []byte) error {
+			if first {
+				first = false
+				if tag == SessionHelloTag {
+					ns, err := ecies.NewServerSession(s.cfg.Key, frame)
+					if err != nil {
+						return fmt.Errorf("%w: %v", errKickConn, err)
+					}
+					sess = ns
+					return nil
+				}
 			}
+			s.cfg.Meter.Send(PartyUsers, PartyShuffler, len(frame))
+			if sess == nil {
+				// Legacy per-report frame. The reader's buffer is
+				// recycled, and the pipeline retains the ciphertext
+				// until a worker decrypts it, so copy.
+				return s.enqueue(tag, append([]byte(nil), frame...))
+			}
+			// Session batch frame: the tag is the epoch the whole
+			// batch asserts. The plaintext buffer is a fresh
+			// allocation per frame — its records are subslices that
+			// live until aggregation — amortized over the batch.
+			if len(frame) < ecies.SessionOverhead+size {
+				return fmt.Errorf("%w: short session frame (%d bytes)", errKickConn, len(frame))
+			}
+			pt, err := sess.Open(make([]byte, 0, len(frame)-ecies.SessionOverhead), frame)
+			if err != nil {
+				return fmt.Errorf("%w: %v", errKickConn, err)
+			}
+			if len(pt)%size != 0 {
+				return fmt.Errorf("%w: session batch of %d bytes is not a whole number of %d-byte reports", errKickConn, len(pt), size)
+			}
+			for off := 0; off < len(pt); off += size {
+				if err := s.enqueue(tag, pt[off:off+size:off+size]); err != nil {
+					return err
+				}
+			}
+			return nil
 		},
 	}
 	switch err := rd.Run(); {
 	case err == nil || errors.Is(err, errStopIngest):
 	case errors.Is(err, pipeline.ErrIdleTimeout):
 		s.idleClosed.Add(1)
+	case errors.Is(err, errKickConn), errors.Is(err, transport.ErrFrameTooLarge):
+		s.kicked.Add(1)
 	case s.stopped():
 	default:
 		s.fail(fmt.Errorf("service: read report frame: %w", err))
@@ -494,6 +673,8 @@ func (s *Service) runShuffler() {
 	if cur != nil {
 		batcher.SetRand(s.shufflerEpochRNG(cur.id))
 	}
+	recordSize := s.codec.Size()
+	var sealBuf []byte
 	accept := func(tr taggedReport) {
 		// Dropped frames move out of Received into exactly one of the
 		// drop counters, so Received / Late / Rejected stay disjoint
@@ -536,8 +717,21 @@ func (s *Service) runShuffler() {
 			return
 		}
 		if s.st != nil {
-			if err := s.st.AppendReport(uint32(cur.id), tr.ct); err != nil {
-				s.fail(err)
+			if len(tr.ct) == recordSize {
+				// A session report: its wire frame was sealed under a
+				// connection-ephemeral key recovery could never re-derive,
+				// so re-seal the record under the at-rest storage key
+				// before logging — the WAL still never holds plaintext
+				// reports. The scratch is safe to reuse: the store's
+				// record encoder copies the payload.
+				sealBuf = s.sealer.Seal(sealBuf[:0], tr.ct)
+				if err := s.st.AppendSealedReport(uint32(cur.id), sealBuf); err != nil {
+					s.fail(err)
+				}
+			} else {
+				if err := s.st.AppendReport(uint32(cur.id), tr.ct); err != nil {
+					s.fail(err)
+				}
 			}
 			s.wal.received++
 		}
@@ -613,34 +807,64 @@ func (s *Service) runShuffler() {
 	}
 }
 
-// runWorker decrypts and decodes each batch and folds it into the
-// batch's epoch shard owned by this worker. Corrupt reports are
-// dropped and surfaced as the service error rather than silently
-// mis-estimating.
-func (s *Service) runWorker(i int) {
+// runDecryptWorker is the decrypt/decode stage: each batch item is
+// either a legacy ECIES ciphertext (decrypted into a reused scratch)
+// or an already-open session record (codec.Size() bytes exactly — the
+// two lengths can never coincide), decoded either way into a
+// pool-recycled report slice headed for the aggregate stage. Corrupt
+// reports are dropped and surfaced as the service error rather than
+// silently mis-estimating.
+func (s *Service) runDecryptWorker(int) {
+	size := s.codec.Size()
+	var ptBuf []byte
 	for eb := range s.batches {
 		start := time.Now()
-		reports := make([]ldp.Report, 0, len(eb.cts))
+		rp := s.reportsPool.Get().(*[]ldp.Report)
+		reports := (*rp)[:0]
 		for _, ct := range eb.cts {
-			pt, err := ecies.Decrypt(s.cfg.Key, ct)
-			if err != nil {
-				s.fail(fmt.Errorf("service: decrypt report: %w", err))
-				continue
+			data := ct
+			if len(ct) != size {
+				pt, err := ecies.DecryptTo(s.cfg.Key, ptBuf[:0], ct)
+				if err != nil {
+					s.fail(fmt.Errorf("service: decrypt report: %w", err))
+					continue
+				}
+				ptBuf, data = pt, pt
 			}
-			rep, err := s.codec.Unmarshal(pt)
+			// Unmarshal never aliases its input, so the scratch is free
+			// for the next ciphertext.
+			rep, err := s.codec.Unmarshal(data)
 			if err != nil {
 				s.fail(err)
 				continue
 			}
 			reports = append(reports, rep)
 		}
-		sh := eb.ep.shards[i]
+		*rp = reports
+		s.cfg.Meter.AddCPU(PartyServer, time.Since(start))
+		select {
+		case s.decoded <- decodedBatch{ep: eb.ep, reports: rp}:
+		case <-s.stop:
+			eb.ep.pending.Done()
+			s.reportsPool.Put(rp)
+		}
+	}
+}
+
+// runWorker is the aggregate stage: it folds each decoded batch into
+// the batch's epoch shard owned by this worker and recycles the
+// report slice.
+func (s *Service) runWorker(i int) {
+	for db := range s.decoded {
+		start := time.Now()
+		sh := db.ep.shards[i]
 		sh.mu.Lock()
-		for _, rep := range reports {
+		for _, rep := range *db.reports {
 			sh.agg.Add(rep)
 		}
 		sh.mu.Unlock()
-		eb.ep.pending.Done()
+		db.ep.pending.Done()
+		s.reportsPool.Put(db.reports)
 		s.cfg.Meter.AddCPU(PartyServer, time.Since(start))
 	}
 }
@@ -662,6 +886,7 @@ func (s *Service) Snapshot() Snapshot {
 		Late:       s.late.Load(),
 		Rejected:   s.rejected.Load(),
 		IdleClosed: s.idleClosed.Load(),
+		Kicked:     s.kicked.Load(),
 	}
 }
 
@@ -714,6 +939,7 @@ func (s *Service) Drain() (Snapshot, error) {
 			Late:       s.late.Load(),
 			Rejected:   s.rejected.Load(),
 			IdleClosed: s.idleClosed.Load(),
+			Kicked:     s.kicked.Load(),
 		}
 		s.allMu.Unlock()
 		s.drainErr = s.Err()

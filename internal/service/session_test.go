@@ -1,0 +1,779 @@
+package service_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shuffledp/internal/ecies"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/netproto"
+	"shuffledp/internal/service"
+	"shuffledp/internal/store"
+	"shuffledp/internal/transport"
+)
+
+// runMixedClients pushes pre-randomized reports through a service with
+// one connection per entry of batchSizes: entry 0 means a legacy
+// per-report client, a positive entry means a session client with that
+// batch size. Report i goes to client i%len(batchSizes). Returns the
+// drained snapshot.
+func runMixedClients(t *testing.T, fo ldp.FrequencyOracle, reports []ldp.Report, batchSizes []int, cfg service.Config) service.Snapshot {
+	t.Helper()
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FO = fo
+	cfg.Key = key
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	clients := len(batchSizes)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		clientSide, serverSide := net.Pipe()
+		if err := svc.Ingest(serverSide); err != nil {
+			t.Fatal(err)
+		}
+		var cl *service.Client
+		if batchSizes[c] > 0 {
+			cl, err = service.NewSessionClient(fo, key.Public(), nil, clientSide, batchSizes[c])
+		} else {
+			cl, err = service.NewClient(fo, key.Public(), nil, clientSide)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, cl *service.Client) {
+			defer wg.Done()
+			defer clientSide.Close()
+			for i := c; i < len(reports); i += clients {
+				if err := cl.SendReport(reports[i]); err != nil {
+					errc <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+			// Close flushes the residual partial batch before EOF.
+			errc <- cl.Close()
+		}(c, cl)
+	}
+
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return snap
+}
+
+// TestRaceSessionBatchedBitIdentical is the conformance test of the
+// session wire protocol (run it under -race): concurrent session
+// clients with wildly different batch sizes — including batch 1, so
+// single-report frames and ragged final flushes are all exercised —
+// must produce a histogram bit-identical to both the sequential
+// netproto reference (the legacy wire path) and a direct in-process
+// aggregation of the same report multiset. Batching, the decrypt pool
+// split, and buffer recycling may change how bytes move, never what
+// the estimates are.
+func TestRaceSessionBatchedBitIdentical(t *testing.T) {
+	const (
+		d    = 64
+		seed = 47
+	)
+	n := ldp.ShardSize + 1357
+	values := make([]int, n)
+	for i := range values {
+		values[i] = (i * i) % d
+	}
+	fo := ldp.NewSOLH(d, 16, 3)
+
+	want, err := netproto.RunPipeline(fo, values, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := ldp.RandomizeParallel(fo, values, seed, 0)
+	seqAgg := fo.NewAggregator()
+	for _, rep := range reports {
+		seqAgg.Add(rep)
+	}
+	seq := seqAgg.Estimates()
+	for v := range want {
+		if want[v] != seq[v] {
+			t.Fatalf("RunPipeline estimate[%d] = %v, direct sequential aggregation = %v", v, want[v], seq[v])
+		}
+	}
+
+	snap := runMixedClients(t, fo, reports, []int{1, 3, 16, 64, 256, 500, 7, 32, 128, 2}, service.Config{
+		BatchSize:      128,
+		ShuffleSeed:    seed + 1,
+		DecryptWorkers: 3,
+	})
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d reports, want %d", snap.Reports, n)
+	}
+	if snap.Kicked != 0 {
+		t.Fatalf("conforming session clients were kicked: %d", snap.Kicked)
+	}
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, legacy pipeline = %v (not bit-identical)", v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+// Session and legacy clients must coexist on one service — the first
+// frame of each connection picks its protocol independently — and the
+// merged histogram must still be bit-identical to a direct aggregation
+// of the report multiset. Run under -race.
+func TestRaceSessionLegacyMixedBitIdentical(t *testing.T) {
+	const d, seed = 32, 53
+	n := 4096 + 311
+	values := make([]int, n)
+	for i := range values {
+		values[i] = (i * 5) % d
+	}
+	fo := ldp.NewSOLH(d, 8, 2)
+	reports := ldp.RandomizeParallel(fo, values, seed, 0)
+	agg := fo.NewAggregator()
+	for _, rep := range reports {
+		agg.Add(rep)
+	}
+	want := agg.Estimates()
+
+	snap := runMixedClients(t, fo, reports, []int{0, 8, 0, 64, 1, 0, 256, 33}, service.Config{
+		BatchSize:   64,
+		ShuffleSeed: seed + 1,
+	})
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d reports, want %d", snap.Reports, n)
+	}
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("estimate[%d] = %v, direct aggregation = %v (not bit-identical)", v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+// flakyWriter records whole successful writes and fails the write at
+// index failAt, accepting only `partial` bytes of it first — the
+// short-write-plus-error shape a real connection dies with.
+type flakyWriter struct {
+	calls   [][]byte
+	failAt  int
+	partial int
+}
+
+var errFlaky = errors.New("flaky: connection reset by peer")
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	if len(w.calls) >= w.failAt {
+		n := w.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, errFlaky
+	}
+	w.calls = append(w.calls, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// parseFrames splits one recorded Write into its tagged frames; the
+// write must contain only whole frames — a trailing fragment fails.
+func parseFrames(t *testing.T, call []byte) (tags []uint32, payloads [][]byte) {
+	t.Helper()
+	r := bytes.NewReader(call)
+	for r.Len() > 0 {
+		tag, payload, err := transport.ReadTaggedFrame(r)
+		if err != nil {
+			t.Fatalf("recorded write is not whole frames: %v (%d bytes left)", err, r.Len())
+		}
+		tags = append(tags, tag)
+		payloads = append(payloads, payload)
+	}
+	return tags, payloads
+}
+
+// The regression the all-or-nothing rewrite fixes: a write error used
+// to leave half a frame buffered, and the next send would flush the
+// remainder onto the stream — frame-shifting every byte after it. Now
+// a failed write poisons the client: the same error latches on every
+// later Send/Flush/Close, and the bytes that did reach the connection
+// are exclusively whole frames.
+func TestClientWriteErrorPoisons(t *testing.T) {
+	fo := ldp.NewSOLH(16, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := ldp.RandomizeParallel(fo, []int{1, 2, 3, 4, 5, 6}, 9, 0)
+
+	t.Run("legacy", func(t *testing.T) {
+		w := &flakyWriter{failAt: 3, partial: 5}
+		cl, err := service.NewClient(fo, key.Public(), nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sendErr error
+		sent := 0
+		for _, rep := range reports {
+			if sendErr = cl.SendReport(rep); sendErr != nil {
+				break
+			}
+			sent++
+		}
+		if sendErr == nil || !errors.Is(sendErr, errFlaky) {
+			t.Fatalf("write failure not surfaced: sent %d, err %v", sent, sendErr)
+		}
+		if sent != 3 {
+			t.Fatalf("%d sends succeeded before the failing write, want 3", sent)
+		}
+		// Poisoned: every later call returns the same latched error and
+		// writes nothing more.
+		if err := cl.SendReport(reports[0]); !errors.Is(err, errFlaky) {
+			t.Fatalf("send after write failure: %v, want the latched error", err)
+		}
+		if err := cl.Flush(); !errors.Is(err, errFlaky) {
+			t.Fatalf("flush after write failure: %v, want the latched error", err)
+		}
+		if err := cl.Close(); !errors.Is(err, errFlaky) {
+			t.Fatalf("close after write failure: %v, want the latched error", err)
+		}
+		if len(w.calls) != 3 {
+			t.Fatalf("connection saw %d writes after poisoning, want 3", len(w.calls))
+		}
+		codec, err := service.NewCodec(fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, call := range w.calls {
+			tags, payloads := parseFrames(t, call)
+			if len(tags) != 1 {
+				t.Fatalf("write %d carries %d frames, want exactly 1", i, len(tags))
+			}
+			if len(payloads[0]) != codec.Size()+ecies.Overhead {
+				t.Fatalf("write %d payload is %d bytes, want one ECIES report (%d)", i, len(payloads[0]), codec.Size()+ecies.Overhead)
+			}
+		}
+	})
+
+	t.Run("session", func(t *testing.T) {
+		w := &flakyWriter{failAt: 0, partial: 10}
+		cl, err := service.NewSessionClient(fo, key.Public(), nil, w, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First report buffers; the second fills the batch and triggers
+		// the first write — hello plus batch — which fails mid-frame.
+		if err := cl.SendReport(reports[0]); err != nil {
+			t.Fatal(err)
+		}
+		err = cl.SendReport(reports[1])
+		if err == nil || !errors.Is(err, errFlaky) {
+			t.Fatalf("write failure not surfaced: %v", err)
+		}
+		if err := cl.SendReport(reports[2]); !errors.Is(err, errFlaky) {
+			t.Fatalf("send after write failure: %v, want the latched error", err)
+		}
+		if err := cl.Flush(); !errors.Is(err, errFlaky) {
+			t.Fatalf("flush after write failure: %v, want the latched error", err)
+		}
+		if len(w.calls) != 0 {
+			t.Fatalf("poisoned session client completed %d writes, want 0", len(w.calls))
+		}
+	})
+}
+
+// The session handshake must never travel as its own fragment: the
+// hello frame rides in the same single Write as the first batch, and
+// every write holds only whole frames.
+func TestSessionClientFrameLayout(t *testing.T) {
+	fo := ldp.NewSOLH(16, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := service.NewCodec(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &flakyWriter{failAt: 1 << 30}
+	cl, err := service.NewSessionClient(fo, key.Public(), nil, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := ldp.RandomizeParallel(fo, []int{0, 1, 2, 3, 4, 5, 6}, 21, 0)
+	for _, rep := range reports {
+		if err := cl.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 7 reports, batch 3: two full batches plus a flushed ragged one.
+	if len(w.calls) != 3 {
+		t.Fatalf("connection saw %d writes, want 3", len(w.calls))
+	}
+	for i, call := range w.calls {
+		tags, payloads := parseFrames(t, call)
+		wantFrames, batch := 1, 3
+		if i == 0 {
+			wantFrames = 2 // hello + first batch, one write
+		}
+		if i == 2 {
+			batch = 1
+		}
+		if len(tags) != wantFrames {
+			t.Fatalf("write %d carries %d frames, want %d", i, len(tags), wantFrames)
+		}
+		if i == 0 {
+			if tags[0] != service.SessionHelloTag {
+				t.Fatalf("first frame tag %#x, want the session hello tag", tags[0])
+			}
+			if len(payloads[0]) != ecies.HelloSize {
+				t.Fatalf("hello payload is %d bytes, want %d", len(payloads[0]), ecies.HelloSize)
+			}
+			tags, payloads = tags[1:], payloads[1:]
+		}
+		if want := batch*codec.Size() + ecies.SessionOverhead; len(payloads[0]) != want {
+			t.Fatalf("write %d batch frame is %d bytes, want %d", i, len(payloads[0]), want)
+		}
+		if tags[0] != service.EpochCurrent {
+			t.Fatalf("write %d batch frame tag %#x, want EpochCurrent", i, tags[0])
+		}
+	}
+}
+
+// waitKicked polls until the service has kicked n connections.
+func waitKicked(t *testing.T, svc *service.Service, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Snapshot().Kicked < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d kicked connections (have %d)", n, svc.Snapshot().Kicked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sendLegacy pushes reports through one legacy connection and closes it.
+func sendLegacy(t *testing.T, svc *service.Service, fo ldp.FrequencyOracle, key *ecies.PrivateKey, reports []ldp.Report) {
+	t.Helper()
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := service.NewClient(fo, key.Public(), nil, clientSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := cl.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A frame whose length prefix exceeds Config.MaxFrame must drop that
+// connection — counted in Snapshot.Kicked, before any payload byte is
+// read — while the service and every other connection carry on.
+func TestServiceKicksOversizedFrame(t *testing.T) {
+	fo := ldp.NewSOLH(16, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{FO: fo, Key: key, MaxFrame: 1024, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	attacker, serverSide := net.Pipe()
+	defer attacker.Close()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	// The reader rejects on the length prefix alone and closes the
+	// connection, so this blocking pipe write ends in an error — which
+	// is the expected outcome, not a test failure.
+	go transport.WriteTaggedFrame(attacker, 7, make([]byte, 4096))
+	waitKicked(t, svc, 1)
+
+	// The rest of the service is unharmed: a conforming client on a new
+	// connection still streams.
+	reports := ldp.RandomizeParallel(fo, []int{1, 2, 3}, 11, 0)
+	sendLegacy(t, svc, fo, key, reports)
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != 3 || snap.Kicked != 1 {
+		t.Fatalf("want 3 reports and 1 kick, got %+v", snap)
+	}
+}
+
+// Malformed session hellos — truncated, wrong version, not a curve
+// point — kick only the offending connection. The service keeps
+// serving, and the kicks are counted.
+func TestSessionHandshakeViolationsKick(t *testing.T) {
+	fo := ldp.NewSOLH(16, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{FO: fo, Key: key, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	truncated := make([]byte, 10)
+	truncated[0] = ecies.SessionVersion
+	wrongVersion := make([]byte, ecies.HelloSize)
+	wrongVersion[0] = 99
+	badPoint := make([]byte, ecies.HelloSize)
+	badPoint[0] = ecies.SessionVersion // version ok, point bytes all zero
+
+	for i, hello := range [][]byte{truncated, wrongVersion, badPoint} {
+		clientSide, serverSide := net.Pipe()
+		if err := svc.Ingest(serverSide); err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteTaggedFrame(clientSide, service.SessionHelloTag, hello); err != nil {
+			t.Fatalf("hello %d: %v", i, err)
+		}
+		waitKicked(t, svc, int64(i+1))
+		clientSide.Close()
+	}
+
+	reports := ldp.RandomizeParallel(fo, []int{1, 2}, 13, 0)
+	sendLegacy(t, svc, fo, key, reports)
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != 2 || snap.Kicked != 3 {
+		t.Fatalf("want 2 reports and 3 kicks, got %+v", snap)
+	}
+}
+
+// sessionConn hand-rolls the client side of a session — hello frame
+// written, ecies.Session ready — so tests can put precisely crafted
+// frames on the wire.
+func sessionConn(t *testing.T, svc *service.Service, key *ecies.PrivateKey) (net.Conn, *ecies.Session) {
+	t.Helper()
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	sess, hello, err := ecies.NewClientSession(key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteTaggedFrame(clientSide, service.SessionHelloTag, hello); err != nil {
+		t.Fatal(err)
+	}
+	return clientSide, sess
+}
+
+// Replayed, tampered, and misaligned session frames kick the
+// connection; reports accepted before the violation stand, nothing
+// after it lands, and the service survives to drain cleanly.
+func TestSessionFrameViolationsKick(t *testing.T) {
+	fo := ldp.NewSOLH(16, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := service.NewCodec(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := ldp.RandomizeParallel(fo, []int{3, 5}, 17, 0)
+	var batch []byte
+	for _, rep := range reports {
+		if batch, err = codec.AppendMarshal(batch, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newSvc := func() *service.Service {
+		svc, err := service.New(service.Config{FO: fo, Key: key, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	drain := func(svc *service.Service, wantReports int) {
+		t.Helper()
+		snap, err := svc.Drain()
+		if err != nil {
+			t.Fatalf("violation escalated past the connection: %v", err)
+		}
+		if snap.Reports != wantReports || snap.Kicked != 1 {
+			t.Fatalf("want %d reports and 1 kick, got %+v", wantReports, snap)
+		}
+	}
+
+	t.Run("replay", func(t *testing.T) {
+		svc := newSvc()
+		defer svc.Close()
+		conn, sess := sessionConn(t, svc, key)
+		defer conn.Close()
+		frame, err := sess.Seal(nil, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteTaggedFrame(conn, service.EpochCurrent, frame); err != nil {
+			t.Fatal(err)
+		}
+		waitReceived(t, svc, 2)
+		// The identical bytes again: same counter, so the server must
+		// refuse and kick, never double-count.
+		if err := transport.WriteTaggedFrame(conn, service.EpochCurrent, frame); err != nil {
+			t.Fatal(err)
+		}
+		waitKicked(t, svc, 1)
+		drain(svc, 2)
+	})
+
+	t.Run("tamper", func(t *testing.T) {
+		svc := newSvc()
+		defer svc.Close()
+		conn, sess := sessionConn(t, svc, key)
+		defer conn.Close()
+		frame, err := sess.Seal(nil, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[len(frame)-1] ^= 0xff
+		if err := transport.WriteTaggedFrame(conn, service.EpochCurrent, frame); err != nil {
+			t.Fatal(err)
+		}
+		waitKicked(t, svc, 1)
+		drain(svc, 0)
+	})
+
+	t.Run("ragged-batch", func(t *testing.T) {
+		svc := newSvc()
+		defer svc.Close()
+		conn, sess := sessionConn(t, svc, key)
+		defer conn.Close()
+		// Authentic frame, but the plaintext is not a whole number of
+		// reports — a protocol violation past the AEAD layer.
+		frame, err := sess.Seal(nil, append(append([]byte(nil), batch...), 0x7f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteTaggedFrame(conn, service.EpochCurrent, frame); err != nil {
+			t.Fatal(err)
+		}
+		waitKicked(t, svc, 1)
+		drain(svc, 0)
+	})
+
+	t.Run("hello-tag-mid-stream", func(t *testing.T) {
+		// A SessionHelloTag on a later frame is NOT a new handshake:
+		// the protocol is fixed at the first frame, and the tag is just
+		// this batch's (nonsensical) epoch assertion — the frame itself
+		// still authenticates, so the reports land as Late, not as a
+		// session reset.
+		svc := newSvc()
+		defer svc.Close()
+		conn, sess := sessionConn(t, svc, key)
+		defer conn.Close()
+		frame, err := sess.Seal(nil, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteTaggedFrame(conn, service.SessionHelloTag, frame); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for svc.Snapshot().Late < 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for 2 late drops (have %d)", svc.Snapshot().Late)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		conn.Close()
+		snap, err := svc.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Kicked != 0 {
+			t.Fatalf("mid-stream hello tag kicked the connection: %+v", snap)
+		}
+		if snap.Reports != 0 || snap.Late != 2 {
+			t.Fatalf("want 0 reports and 2 late (epoch %#x is long sealed), got %+v", service.SessionHelloTag, snap)
+		}
+	})
+}
+
+// Session clients over a real TCP accept loop: batched clients finish
+// so fast their connections can still sit in the listener backlog when
+// the last client returns, so the caller-side contract (documented on
+// Serve) is to wait until Snapshot accounts for every frame before
+// draining. With that discipline no report is lost.
+func TestSessionOverTCPServe(t *testing.T) {
+	const n, clients = 3000, 4
+	fo := ldp.NewSOLH(64, 4, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{FO: fo, Key: key, BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- svc.Serve(ln) }()
+
+	reports := ldp.RandomizeParallel(fo, make([]int, n), 1, 0)
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			cl, err := service.NewSessionClient(fo, key.Public(), nil, conn, 0)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := c; i < len(reports); i += clients {
+				if err := cl.SendReport(reports[i]); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- cl.Close()
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	}
+	// All clients returned, but their frames may still be in kernel
+	// buffers behind an unaccepted connection: account before draining.
+	waitReceived(t, svc, n)
+	snap, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != n {
+		t.Fatalf("aggregated %d reports, want %d", snap.Reports, n)
+	}
+}
+
+// Session reports reach the WAL re-sealed under the at-rest storage
+// key (the connection key dies with the connection), and recovery
+// opens them back into the epoch bit-identically — alongside legacy
+// ECIES records in the same log.
+func TestRecoverSealedSessionReports(t *testing.T) {
+	const d, n = 32, 24
+	fo := ldp.NewSOLH(d, 8, 2)
+	key, err := ecies.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int, n)
+	for i := range values {
+		values[i] = (i * 3) % d
+	}
+	reports := ldp.RandomizeParallel(fo, values, 31, 0)
+	cfg := service.Config{
+		FO: fo, Key: key, BatchSize: 8, ShuffleSeed: 3,
+		DataDir: t.TempDir(), Sync: store.SyncBatch,
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 16 reports over a session connection (sealed WAL records), 8 over
+	// a legacy one (ECIES WAL records) — one log, both record types.
+	clientSide, serverSide := net.Pipe()
+	if err := svc.Ingest(serverSide); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := service.NewSessionClient(fo, key.Public(), nil, clientSide, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports[:16] {
+		if err := cl.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sendLegacy(t, svc, fo, key, reports[16:])
+
+	// Three full shuffle batches forwarded means three WAL commits: all
+	// 24 reports are durable regardless of the crash below.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Snapshot().Batches < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for 3 batches (have %d)", svc.Snapshot().Batches)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Crash()
+
+	rec, err := service.Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rec.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reports != n || snap.Received != n {
+		t.Fatalf("recovered %d reports (%d received), want %d", snap.Reports, snap.Received, n)
+	}
+	agg := fo.NewAggregator()
+	for _, rep := range reports {
+		agg.Add(rep)
+	}
+	want := agg.Estimates()
+	for v := range want {
+		if snap.Estimates[v] != want[v] {
+			t.Fatalf("recovered estimate[%d] = %v, direct aggregation = %v (not bit-identical)", v, snap.Estimates[v], want[v])
+		}
+	}
+}
+
+var _ io.Writer = (*flakyWriter)(nil)

@@ -128,6 +128,13 @@ const (
 	// RecordRotate seals one epoch and names the next (or none, when
 	// the budget ledger refused it).
 	RecordRotate byte = 3
+	// RecordSealedReport is one accepted session report: the report
+	// arrived under a connection-ephemeral session key (no re-derivable
+	// ciphertext exists), so the service re-seals the plaintext under
+	// its at-rest storage key (ecies.StorageSealer) before logging. The
+	// payload is the sealed storage record, keeping the WAL's
+	// never-holds-plaintext property for the session ingest path.
+	RecordSealedReport byte = 4
 )
 
 // Drop reasons carried by RecordDrop.
@@ -140,7 +147,8 @@ const (
 
 // Record is one WAL entry.
 type Record struct {
-	// Type is one of RecordReport, RecordDrop, RecordRotate.
+	// Type is one of RecordReport, RecordDrop, RecordRotate,
+	// RecordSealedReport.
 	Type byte
 	// Epoch is the epoch a report or drop was accounted to, or the
 	// epoch a rotation sealed.
@@ -151,8 +159,8 @@ type Record struct {
 	// Reason is the drop reason (DropLate, DropRejected). Meaningful
 	// only for RecordDrop.
 	Reason byte
-	// Payload is the report's ciphertext frame. Meaningful only for
-	// RecordReport.
+	// Payload is the report's ciphertext frame (RecordReport) or
+	// sealed storage record (RecordSealedReport).
 	Payload []byte
 }
 
@@ -234,9 +242,9 @@ const (
 
 func encodeRecord(rec Record) []byte {
 	switch rec.Type {
-	case RecordReport:
+	case RecordReport, RecordSealedReport:
 		buf := make([]byte, 0, 5+len(rec.Payload))
-		buf = append(buf, RecordReport)
+		buf = append(buf, rec.Type)
 		buf = binary.LittleEndian.AppendUint32(buf, rec.Epoch)
 		return append(buf, rec.Payload...)
 	case RecordDrop:
@@ -258,12 +266,12 @@ func decodeRecord(payload []byte) (Record, error) {
 		return Record{}, errors.New("store: empty WAL record")
 	}
 	switch payload[0] {
-	case RecordReport:
+	case RecordReport, RecordSealedReport:
 		if len(payload) < 5 {
 			return Record{}, errors.New("store: truncated report record")
 		}
 		return Record{
-			Type:    RecordReport,
+			Type:    payload[0],
 			Epoch:   binary.LittleEndian.Uint32(payload[1:]),
 			Payload: append([]byte(nil), payload[5:]...),
 		}, nil

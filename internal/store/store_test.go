@@ -28,6 +28,7 @@ func TestRecordRoundTrip(t *testing.T) {
 	recs := []Record{
 		{Type: RecordReport, Epoch: 3, Payload: []byte("ciphertext")},
 		{Type: RecordReport, Epoch: 0, Payload: nil},
+		{Type: RecordSealedReport, Epoch: 9, Payload: []byte("sealed storage record")},
 		{Type: RecordDrop, Epoch: 7, Reason: DropLate},
 		{Type: RecordDrop, Epoch: 7, Reason: DropRejected},
 		{Type: RecordRotate, Epoch: 2, Next: 3},
@@ -58,6 +59,9 @@ func TestAppendAndRecoverTail(t *testing.T) {
 	if err := st.AppendDrop(0, DropLate); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.AppendSealedReport(0, []byte("sealed")); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Commit(); err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +84,8 @@ func TestAppendAndRecoverTail(t *testing.T) {
 	if rec.TornTail {
 		t.Fatal("clean shutdown reported a torn tail")
 	}
-	if len(rec.Tail) != 11 {
-		t.Fatalf("recovered %d records, want 11", len(rec.Tail))
+	if len(rec.Tail) != 12 {
+		t.Fatalf("recovered %d records, want 12", len(rec.Tail))
 	}
 	for i := 0; i < 10; i++ {
 		r := rec.Tail[i]
@@ -91,6 +95,9 @@ func TestAppendAndRecoverTail(t *testing.T) {
 	}
 	if r := rec.Tail[10]; r.Type != RecordDrop || r.Reason != DropLate {
 		t.Fatalf("drop record replayed as %+v", r)
+	}
+	if r := rec.Tail[11]; r.Type != RecordSealedReport || !bytes.Equal(r.Payload, []byte("sealed")) {
+		t.Fatalf("sealed report record replayed as %+v", r)
 	}
 }
 

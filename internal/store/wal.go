@@ -310,6 +310,14 @@ func (s *Store) AppendReport(epoch uint32, ct []byte) error {
 	return s.append(Record{Type: RecordReport, Epoch: epoch, Payload: ct})
 }
 
+// AppendSealedReport logs one accepted session report, already
+// re-sealed under the service's at-rest storage key (the connection's
+// session key cannot be re-derived at recovery, so the original wire
+// frame is useless to replay).
+func (s *Store) AppendSealedReport(epoch uint32, sealed []byte) error {
+	return s.append(Record{Type: RecordSealedReport, Epoch: epoch, Payload: sealed})
+}
+
 // AppendDrop logs one dropped report so the durable counters replay to
 // the same values the live ones held.
 func (s *Store) AppendDrop(epoch uint32, reason byte) error {

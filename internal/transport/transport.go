@@ -170,17 +170,35 @@ const readChunk = 64 << 10
 // arrives, so a connection that claims a large frame and hangs up
 // costs at most one readChunk of memory beyond what it actually sent.
 func readPayload(r io.Reader, n32 uint32) ([]byte, error) {
-	if n32 > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+	return readPayloadLimit(r, n32, MaxFrameSize, nil)
+}
+
+// readPayloadLimit is readPayload with a caller-chosen frame cap and
+// an optional reusable buffer: the payload is appended into buf[:0]
+// when its capacity suffices, so a steady-state reader allocates
+// nothing per frame. The cap is enforced before any payload byte is
+// read — an over-limit prefix costs the caller nothing but the
+// 4-to-8-byte header already consumed.
+func readPayloadLimit(r io.Reader, n32 uint32, limit int, buf []byte) ([]byte, error) {
+	if limit <= 0 || limit > MaxFrameSize {
+		limit = MaxFrameSize
+	}
+	if n32 > uint32(limit) {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n32, limit)
 	}
 	n := int(n32)
-	payload := make([]byte, min(n, readChunk))
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	payload := buf[:0]
+	if payload == nil {
+		payload = []byte{}
 	}
 	for len(payload) < n {
 		old := len(payload)
-		payload = append(payload, make([]byte, min(n-old, readChunk))...)
+		next := old + min(n-old, readChunk)
+		if cap(payload) >= next {
+			payload = payload[:next]
+		} else {
+			payload = append(payload, make([]byte, next-old)...)
+		}
 		if _, err := io.ReadFull(r, payload[old:]); err != nil {
 			return nil, err
 		}
@@ -227,6 +245,35 @@ func ReadTaggedFrame(r io.Reader) (uint32, []byte, error) {
 	}
 	tag := binary.BigEndian.Uint32(hdr[4:])
 	payload, err := readPayload(r, binary.BigEndian.Uint32(hdr[:4]))
+	if err != nil {
+		return 0, nil, err
+	}
+	return tag, payload, nil
+}
+
+// ReadTaggedFrameLimit is ReadTaggedFrame with a per-call frame cap:
+// a length prefix above limit returns an error wrapping
+// ErrFrameTooLarge before any payload byte is read, so an ingest
+// service can refuse oversized frames cheaply instead of honoring the
+// 1 GiB defensive ceiling for every connection. A limit of zero (or
+// one above MaxFrameSize) falls back to MaxFrameSize.
+func ReadTaggedFrameLimit(r io.Reader, limit int) (uint32, []byte, error) {
+	return ReadTaggedFrameReuse(r, limit, nil)
+}
+
+// ReadTaggedFrameReuse is ReadTaggedFrameLimit with a reusable payload
+// buffer: the payload is appended into buf[:0], so a steady-state
+// reader that passes back the previously returned slice allocates
+// nothing per frame once the buffer has grown to the working frame
+// size. The returned slice aliases buf when capacity sufficed — the
+// caller owns exactly one of them.
+func ReadTaggedFrameReuse(r io.Reader, limit int, buf []byte) (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	tag := binary.BigEndian.Uint32(hdr[4:])
+	payload, err := readPayloadLimit(r, binary.BigEndian.Uint32(hdr[:4]), limit, buf)
 	if err != nil {
 		return 0, nil, err
 	}

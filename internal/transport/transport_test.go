@@ -191,7 +191,7 @@ func TestFrameOverNetPipe(t *testing.T) {
 func TestReadFrameRejectsHugeLength(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -236,7 +236,7 @@ func TestTaggedFrameRoundTrip(t *testing.T) {
 func TestReadTaggedFrameRejectsHugeLength(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1})
-	if _, _, err := ReadTaggedFrame(&buf); err != ErrFrameTooLarge {
+	if _, _, err := ReadTaggedFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -250,6 +250,74 @@ func TestReadTaggedFrameTruncated(t *testing.T) {
 		if _, _, err := ReadTaggedFrame(buf); err == nil {
 			t.Fatalf("truncated tagged frame %v should error", raw)
 		}
+	}
+}
+
+// A per-call limit rejects an over-limit prefix before touching the
+// payload, with an error wrapping ErrFrameTooLarge; frames at or
+// under the limit pass.
+func TestReadTaggedFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{5}, 100)
+	if err := WriteTaggedFrame(&buf, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTaggedFrameLimit(bytes.NewReader(buf.Bytes()), 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("over-limit frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	tag, got, err := ReadTaggedFrameLimit(bytes.NewReader(buf.Bytes()), 100)
+	if err != nil || tag != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("at-limit frame: tag=%d err=%v", tag, err)
+	}
+	// Limit zero falls back to the defensive ceiling.
+	if _, _, err := ReadTaggedFrameLimit(bytes.NewReader(buf.Bytes()), 0); err != nil {
+		t.Fatalf("zero limit: %v", err)
+	}
+	// The rejection consumes only the header: the reader's payload is
+	// untouched, so a caller that wants to resync could skip it.
+	r := bytes.NewReader(buf.Bytes())
+	_, _, _ = ReadTaggedFrameLimit(r, 10)
+	if r.Len() != len(payload) {
+		t.Fatalf("rejection consumed payload bytes: %d left, want %d", r.Len(), len(payload))
+	}
+}
+
+// The reuse form appends into the caller's buffer: once it has grown
+// to the working frame size, a steady-state read loop allocates
+// nothing per frame, and payload bytes are still exact.
+func TestReadTaggedFrameReuse(t *testing.T) {
+	var buf bytes.Buffer
+	frames := [][]byte{bytes.Repeat([]byte{1}, 300), []byte("short"), bytes.Repeat([]byte{2}, 200_000)}
+	for i, p := range frames {
+		if err := WriteTaggedFrame(&buf, uint32(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range frames {
+		tag, got, err := ReadTaggedFrameReuse(&buf, 0, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != uint32(i) || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: tag=%d len=%d", i, tag, len(got))
+		}
+		scratch = got
+	}
+	// With a warm buffer of sufficient capacity, the returned payload
+	// aliases it — no per-frame payload allocation.
+	var warm bytes.Buffer
+	payload := bytes.Repeat([]byte{9}, 512)
+	scratch = make([]byte, 0, len(payload))
+	if err := WriteTaggedFrame(&warm, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadTaggedFrameReuse(&warm, 0, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("warm reuse read did not reuse the caller's buffer")
 	}
 }
 
