@@ -88,8 +88,10 @@ func main() {
 	peosN := flag.Int("peos-n", 400, "peos-suite users per run")
 	peosD := flag.Int("peos-d", 16, "peos-suite domain size")
 	peosNR := flag.Int("peos-nr", 24, "peos-suite joint fake reports")
-	peosKeyBits := flag.Int("peos-keybits", 1024, "peos-suite DGK modulus bits")
+	peosKeyBits := flag.String("peos-keybits", "1024", "comma-separated DGK modulus bit sizes for the peos suite")
 	peosRs := flag.String("peos-r", "2,3", "comma-separated shuffler counts for the peos suite")
+	peosWorkers := flag.String("peos-workers", "0", "comma-separated decryption worker counts for the peos suite (0 = GOMAXPROCS)")
+	peosNaive := flag.Bool("peos-naive", false, "run the peos suite with the DGK fast path disabled (naive-AHE ablation)")
 	peosOut := flag.String("peos-out", "BENCH_peos.json", "peos-suite output JSON path")
 	flag.Parse()
 	if *n < 1 || *serviceN < 1 || *peosN < 1 {
@@ -110,7 +112,15 @@ func main() {
 		if err != nil {
 			log.Fatalf("bad -peos-r: %v", err)
 		}
-		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, *peosKeyBits, rs)
+		keyBits, err := parseInts(*peosKeyBits)
+		if err != nil {
+			log.Fatalf("bad -peos-keybits: %v", err)
+		}
+		workers, err := parseIntsMin(*peosWorkers, 0)
+		if err != nil {
+			log.Fatalf("bad -peos-workers: %v", err)
+		}
+		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, keyBits, rs, workers, *peosNaive)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,15 +162,20 @@ func main() {
 	writeJSON(*out, rep)
 }
 
-func parseInts(csv string) ([]int, error) {
+func parseInts(csv string) ([]int, error) { return parseIntsMin(csv, 1) }
+
+// parseIntsMin parses a comma-separated int list, requiring every
+// entry to be at least min (0 for worker counts, where 0 means
+// GOMAXPROCS).
+func parseIntsMin(csv string, min int) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(csv, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			return nil, fmt.Errorf("entry %q: %w", f, err)
 		}
-		if v < 1 {
-			return nil, fmt.Errorf("entry %q: must be >= 1", f)
+		if v < min {
+			return nil, fmt.Errorf("entry %q: must be >= %d", f, min)
 		}
 		out = append(out, v)
 	}

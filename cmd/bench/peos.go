@@ -33,6 +33,12 @@ type peosCase struct {
 	NR      int `json:"nr"`
 	D       int `json:"d"`
 	KeyBits int `json:"key_bits"`
+	// DecryptWorkers is the analyzer/server decryption fan-out for this
+	// case (0 = GOMAXPROCS); FastPath records whether the DGK
+	// fixed-base/windowed kernels were enabled (false = the naive
+	// reference path, the ablation baseline).
+	DecryptWorkers int  `json:"decrypt_workers"`
+	FastPath       bool `json:"fast_path"`
 	// In-process Algorithm 1 (protocol.PEOS.Run).
 	InProcessSeconds     float64 `json:"in_process_seconds"`
 	InProcessNsPerReport float64 `json:"in_process_ns_per_report"`
@@ -52,11 +58,7 @@ type peosReport struct {
 	Cases       []peosCase `json:"cases"`
 }
 
-func runPEOSSuite(n, d, nr, keyBits int, rs []int) (*peosReport, error) {
-	priv, err := ahe.GenerateDGK(keyBits, 64)
-	if err != nil {
-		return nil, err
-	}
+func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList []int, naive bool) (*peosReport, error) {
 	fo := ldp.NewGRR(d, 2)
 	src := rng.New(11)
 	values := make([]int, n)
@@ -67,48 +69,61 @@ func runPEOSSuite(n, d, nr, keyBits int, rs []int) (*peosReport, error) {
 		Benchmark:   "PEOS",
 		GeneratedBy: "cmd/bench",
 		Note: "in_process is protocol.PEOS.Run; cluster is internal/cluster " +
-			"(R shuffler nodes + analyzer over loopback TCP); one warm key pair, " +
-			"estimates of the two paths are bit-identical by the conformance tests",
+			"(R shuffler nodes + analyzer over loopback TCP); one warm key pair " +
+			"per key size, estimates of the two paths are bit-identical by the " +
+			"conformance tests; fast_path=false is the naive-AHE ablation",
 	}
-	for _, r := range rs {
-		c := peosCase{R: r, N: n, NR: nr, D: d, KeyBits: keyBits}
-
-		var meter *transport.Meter
-		inNs := timeIt(func() {
-			p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(21))
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := p.Run(values, rng.New(22))
-			if err != nil {
-				log.Fatal(err)
-			}
-			meter = res.Meter
-			sink(res.Estimates)
-		})
-		c.InProcessSeconds = inNs / 1e9
-		c.InProcessNsPerReport = inNs / float64(n)
-		c.UserSentBytes = meter.Stats(protocol.PartyUsers).SentBytes
-		c.ShufflerSentBytes = meter.Stats(protocol.ShufflerName(0)).SentBytes
-		c.ServerRecvBytes = meter.Stats(protocol.PartyServer).RecvBytes
-
-		clNs, err := timePEOSCluster(fo, priv, values, r, nr)
+	for _, keyBits := range keyBitsList {
+		priv, err := ahe.GenerateDGK(keyBits, 64)
 		if err != nil {
 			return nil, err
 		}
-		c.ClusterSeconds = clNs / 1e9
-		c.ClusterNsPerReport = clNs / float64(n)
+		priv.SetFastPath(!naive)
+		for _, r := range rs {
+			for _, workers := range workersList {
+				c := peosCase{R: r, N: n, NR: nr, D: d, KeyBits: keyBits,
+					DecryptWorkers: workers, FastPath: !naive}
 
-		fmt.Printf("peos r=%d n=%d nr=%d key=%d: in-process %.2fs (%.0f ns/report)  cluster %.2fs (%.0f ns/report)\n",
-			r, n, nr, keyBits, c.InProcessSeconds, c.InProcessNsPerReport, c.ClusterSeconds, c.ClusterNsPerReport)
-		rep.Cases = append(rep.Cases, c)
+				var meter *transport.Meter
+				inNs := timeIt(func() {
+					p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(21))
+					if err != nil {
+						log.Fatal(err)
+					}
+					p.DecryptWorkers = workers
+					res, err := p.Run(values, rng.New(22))
+					if err != nil {
+						log.Fatal(err)
+					}
+					meter = res.Meter
+					sink(res.Estimates)
+				})
+				c.InProcessSeconds = inNs / 1e9
+				c.InProcessNsPerReport = inNs / float64(n)
+				c.UserSentBytes = meter.Stats(protocol.PartyUsers).SentBytes
+				c.ShufflerSentBytes = meter.Stats(protocol.ShufflerName(0)).SentBytes
+				c.ServerRecvBytes = meter.Stats(protocol.PartyServer).RecvBytes
+
+				clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers)
+				if err != nil {
+					return nil, err
+				}
+				c.ClusterSeconds = clNs / 1e9
+				c.ClusterNsPerReport = clNs / float64(n)
+
+				fmt.Printf("peos r=%d n=%d nr=%d key=%d workers=%d fast=%v: in-process %.2fs (%.0f ns/report)  cluster %.2fs (%.0f ns/report)\n",
+					r, n, nr, keyBits, workers, !naive,
+					c.InProcessSeconds, c.InProcessNsPerReport, c.ClusterSeconds, c.ClusterNsPerReport)
+				rep.Cases = append(rep.Cases, c)
+			}
+		}
 	}
 	return rep, nil
 }
 
 // timePEOSCluster stands up a fresh loopback cluster and times one
 // full collection round (client submission through served estimate).
-func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr int) (float64, error) {
+func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, workers int) (float64, error) {
 	lns := make([]net.Listener, r)
 	topo := cluster.Topology{Shufflers: make([]string, r)}
 	for j := range lns {
@@ -130,6 +145,7 @@ func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []i
 		FO:             fo,
 		NR:             nr,
 		Priv:           priv,
+		Workers:        workers,
 		CollectTimeout: 5 * time.Minute,
 	})
 	if err != nil {

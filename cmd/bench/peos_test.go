@@ -6,7 +6,7 @@ import "testing"
 // be populated and positive, and the cluster path must complete — the
 // same guarantee the CI bench-smoke job checks from the outside.
 func TestPEOSSuiteSmoke(t *testing.T) {
-	rep, err := runPEOSSuite(40, 8, 4, 512, []int{2})
+	rep, err := runPEOSSuite(40, 8, 4, []int{512}, []int{2}, []int{0}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,6 +16,9 @@ func TestPEOSSuiteSmoke(t *testing.T) {
 	c := rep.Cases[0]
 	if c.R != 2 || c.N != 40 || c.NR != 4 || c.KeyBits != 512 {
 		t.Fatalf("case parameters %+v", c)
+	}
+	if !c.FastPath || c.DecryptWorkers != 0 {
+		t.Fatalf("sweep fields not populated: %+v", c)
 	}
 	if c.InProcessSeconds <= 0 || c.ClusterSeconds <= 0 {
 		t.Fatalf("timings not populated: %+v", c)

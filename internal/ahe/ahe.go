@@ -59,6 +59,25 @@ type PrivateKey interface {
 	Decrypt(c *Ciphertext) (uint64, error)
 }
 
+// Pooler is implemented by public keys that can precompute encryption
+// randomizers off the critical path (DGK's background (r, h^r) pool).
+// Call sites with an encryption-heavy phase — the PEOS user loop, the
+// cluster client, the shufflers' rerandomize sites — start the pool
+// for the phase's duration and stop it when done:
+//
+//	if pl, ok := pub.(ahe.Pooler); ok {
+//		defer pl.StartRandomizerPool(0)()
+//	}
+//
+// Starting is reference-counted and the returned stop is idempotent,
+// so nested components sharing one key compose safely.
+type Pooler interface {
+	// StartRandomizerPool starts or joins the key's background
+	// randomizer refiller with the given pool capacity (<1 selects
+	// DefaultPoolSize) and returns the matching stop function.
+	StartRandomizerPool(capacity int) (stop func())
+}
+
 // serializeFixed left-pads v to size bytes.
 func serializeFixed(v *big.Int, size int) []byte {
 	out := make([]byte, size)

@@ -188,6 +188,45 @@ func TestDeserializeRejectsBadInput(t *testing.T) {
 	}
 }
 
+// Regression: Deserialize used to accept the all-zero blob. Zero is
+// not a unit, is never produced by Encrypt, and is an absorbing
+// element under Add — one planted by a malicious client silently
+// destroys the whole shuffled accumulator. It must be refused at the
+// door like any other out-of-range value, for both schemes.
+func TestDeserializeRejectsZeroCiphertext(t *testing.T) {
+	for _, key := range testKeys(t) {
+		zero := make([]byte, key.CiphertextBytes())
+		if _, err := key.Deserialize(zero); err == nil {
+			t.Fatalf("%s: accepted the zero ciphertext", key.Scheme())
+		}
+		// A non-zero non-unit (a multiple of a secret factor) is just as
+		// invalid; for DGK check the shared factor is rejected too.
+		if dgk, ok := key.(*DGKPrivateKey); ok {
+			pBlob := serializeFixed(dgk.p, dgk.CiphertextBytes())
+			if _, err := dgk.Deserialize(pBlob); err == nil {
+				t.Fatal("DGK: accepted a non-unit ciphertext")
+			}
+		}
+	}
+}
+
+// Regression for the dgkPrime short-modulus bug: u*vp*fp + 1 can land
+// a bit short of the requested prime size, and a run of unlucky draws
+// used to yield keys whose modulus was several bits below the security
+// target. Every generated key must now have a full-width modulus.
+func TestGenerateDGKModulusWidth(t *testing.T) {
+	const keyBits = 448
+	for i := 0; i < 5; i++ {
+		key, err := GenerateDGK(keyBits, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := key.Modulus().BitLen(); got < keyBits-1 {
+			t.Fatalf("keygen %d: modulus is %d bits, want >= %d", i, got, keyBits-1)
+		}
+	}
+}
+
 // Property: homomorphic sum of a random share vector decrypts to the
 // plaintext sum mod 2^l — the exact operation EOS performs.
 func TestQuickShareAccumulation(t *testing.T) {

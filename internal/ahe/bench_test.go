@@ -82,6 +82,70 @@ func BenchmarkDGKRerandomize(b *testing.B) {
 	}
 }
 
+// withNaive runs the benchmark body with the fast path disabled and
+// restores it afterwards — the ablation counterpart of the fast-path
+// benchmarks above.
+func withNaive(b *testing.B, key *DGKPrivateKey, body func()) {
+	key.SetFastPath(false)
+	defer key.SetFastPath(true)
+	b.ResetTimer()
+	body()
+}
+
+func BenchmarkDGKEncryptNaive(b *testing.B) {
+	key, _ := benchKeys(b)
+	withNaive(b, key, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Encrypt(uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDGKDecryptNaive(b *testing.B) {
+	key, _ := benchKeys(b)
+	c, err := key.Encrypt(0xdeadbeef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	withNaive(b, key, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Decrypt(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDGKRerandomizeNaive(b *testing.B) {
+	key, _ := benchKeys(b)
+	c, _ := key.Encrypt(1)
+	withNaive(b, key, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Rerandomize(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDGKEncryptPooled measures Encrypt with the background
+// randomizer pool keeping (r, h^r) pairs warm — the client/shuffler
+// steady state. On a loaded single-core machine it converges to the
+// unpooled table path; spare cores turn h^r into a pool pop.
+func BenchmarkDGKEncryptPooled(b *testing.B) {
+	key, _ := benchKeys(b)
+	stop := key.StartRandomizerPool(0)
+	defer stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Encrypt(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPaillierEncrypt(b *testing.B) {
 	_, key := benchKeys(b)
 	b.ResetTimer()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
+	"sync/atomic"
 )
 
 // DGK in the full-decryption variant (§VI-A3, [24] with the
@@ -21,14 +23,30 @@ import (
 //
 // Decryption works mod p only: c^vp = (g^vp)^m (h^vp)^r = gamma^m with
 // gamma = g^vp of order u = 2^l, and the discrete log of gamma^m in the
-// 2-group of order 2^l is recovered bit by bit (Pohlig–Hellman needs
-// only l small exponentiations because 2^l is smooth).
+// 2-group of order 2^l is recovered digit by digit (Pohlig–Hellman
+// needs only small exponentiations because 2^l is smooth).
 //
 // The homomorphic sum therefore lives in Z_{2^l} exactly — partial sums
 // of shares wrap just like plaintext shares do, which is the property
 // PEOS needs so fake reports are indistinguishable after decryption.
+//
+// Fast path. Both bases of Enc are fixed per key, so every public-key
+// operation runs over fixed-base window tables (fixedbase.go) built
+// once per key and shared read-only, optionally fronted by the
+// background randomizer pool (randpool.go); decryption recovers the
+// discrete log 8 bits per round from one shared squaring chain and
+// per-key digit tables — O(l) modular multiplications per ciphertext
+// instead of the naive O(l^2) squaring triangle. The naive math/big
+// path is retained verbatim behind SetFastPath(false) as the
+// correctness reference; the conformance tests in fixedbase_test.go
+// hold the two paths bit-identical.
 
 const dgkSubgroupBits = 160 // t: size of vp, vq
+
+// dgkDecDigitBits is the Pohlig–Hellman digit width of the fast
+// decryption path: 8 bits per round bounds every lookup table at 256
+// entries while keeping the round count at ceil(l/8).
+const dgkDecDigitBits = 8
 
 // DGKPrivateKey holds the full key. It implements PrivateKey.
 type DGKPrivateKey struct {
@@ -40,6 +58,8 @@ type DGKPrivateKey struct {
 	// precomputed so Pohlig–Hellman decryption needs no ModInverse.
 	gammaP    []*big.Int
 	gammaInvP []*big.Int
+	// dec holds the windowed-decryption digit tables (fast path).
+	dec *dgkDecFast
 }
 
 // DGKPublicKey implements PublicKey.
@@ -48,6 +68,39 @@ type DGKPublicKey struct {
 	g, h *big.Int
 	l    int // plaintext bits
 	rnd  int // randomizer bit-length (2.5 t)
+	// fb is the shared fast-path state (fixed-base tables, naive-path
+	// flag, randomizer pool). It is a pointer so every copy of the key
+	// struct — including the embedded copy inside DGKPrivateKey and
+	// interface values — shares one set of tables. nil (a key built by
+	// hand inside the package) means naive-only.
+	fb *dgkFast
+}
+
+// dgkFast is the per-key fast-path state shared by all copies of a
+// DGKPublicKey.
+type dgkFast struct {
+	once sync.Once
+	gTab *fbTable // fixed-base windows for g, exponents < 2^l
+	hTab *fbTable // fixed-base windows for h, exponents < 2^rnd
+	// naive, when true, routes every operation through the retained
+	// math/big reference path (SetFastPath).
+	naive atomic.Bool
+
+	// pool is the optional background randomizer pool; poolMu guards
+	// only start/stop bookkeeping — the hot path drains through the
+	// atomic pointer without taking any lock.
+	pool     atomic.Pointer[randPool]
+	poolMu   sync.Mutex
+	poolRefs int
+}
+
+// ensure builds the fixed-base tables once. k is a copy of the owning
+// key (all its big.Int fields are shared pointers, so any copy works).
+func (fb *dgkFast) ensure(k DGKPublicKey) {
+	fb.once.Do(func() {
+		fb.gTab = newFBTable(k.g, k.n, k.l)
+		fb.hTab = newFBTable(k.h, k.n, k.rnd)
+	})
 }
 
 // GenerateDGK creates a DGK key pair with an n of about keyBits bits
@@ -117,14 +170,16 @@ func GenerateDGK(keyBits, plaintextBits int) (*DGKPrivateKey, error) {
 		h:   h,
 		l:   plaintextBits,
 		rnd: dgkSubgroupBits * 5 / 2,
+		fb:  &dgkFast{},
 	}
 	return finishDGKPrivateKey(pub, p, vp)
 }
 
-// finishDGKPrivateKey derives the decryption accelerators (gamma and
-// its power tables) from the key material (pub, p, vp). Key generation
-// and private-key deserialization share it, so a restored key decrypts
-// exactly like the original.
+// finishDGKPrivateKey derives the decryption accelerators (gamma, its
+// power tables, and the windowed-decryption digit tables) from the key
+// material (pub, p, vp). Key generation and private-key
+// deserialization share it, so a restored key decrypts exactly like
+// the original.
 func finishDGKPrivateKey(pub DGKPublicKey, p, vp *big.Int) (*DGKPrivateKey, error) {
 	gamma := new(big.Int).Exp(new(big.Int).Mod(pub.g, p), vp, p)
 	gammaInv := new(big.Int).ModInverse(gamma, p)
@@ -137,8 +192,9 @@ func finishDGKPrivateKey(pub DGKPublicKey, p, vp *big.Int) (*DGKPrivateKey, erro
 		vp:           vp,
 		gamma:        gamma,
 	}
-	// Precompute gamma^(2^i) and gamma^(-2^i) for the bitwise discrete
-	// log (one ModInverse at keygen instead of one per decrypted bit).
+	// Precompute gamma^(2^i) and gamma^(-2^i) for the digit-wise
+	// discrete log (one ModInverse at keygen instead of one per
+	// decrypted bit).
 	priv.gammaP = make([]*big.Int, pub.l)
 	priv.gammaInvP = make([]*big.Int, pub.l)
 	cur := new(big.Int).Set(gamma)
@@ -149,7 +205,89 @@ func finishDGKPrivateKey(pub DGKPublicKey, p, vp *big.Int) (*DGKPrivateKey, erro
 		cur = new(big.Int).Mod(new(big.Int).Mul(cur, cur), p)
 		curInv = new(big.Int).Mod(new(big.Int).Mul(curInv, curInv), p)
 	}
+	priv.dec = newDGKDecFast(priv)
 	return priv, nil
+}
+
+// dgkDecFast holds the per-key digit tables of the windowed
+// Pohlig–Hellman decryption. Immutable after construction.
+type dgkDecFast struct {
+	// exps[i] = l - 8i - widths[i]: the power of two that maps round
+	// i's digit into the top window, strictly decreasing to 0.
+	exps []int
+	// widths[i] is round i's digit width: 8 for all but possibly the
+	// final round (l mod 8, when l is not a multiple of 8).
+	widths []int
+	// look[i] maps gamma^(d << (l - widths[i])) mod p — serialized via
+	// big.Int.Bytes — back to the digit d. All full-width rounds share
+	// one map.
+	look []map[string]byte
+	// inv[pos][d-1] = gamma^(-d << pos) mod p for the correction
+	// factors that cancel already-recovered digits out of the shared
+	// squaring chain.
+	inv map[int][]*big.Int
+}
+
+// newDGKDecFast precomputes the digit tables: one 2^8-entry lookup
+// (plus a smaller one when l is not a multiple of 8) and at most
+// ceil(l/8)-1 inverse rows of 255 entries — a few thousand modular
+// multiplications mod p, once per private key.
+func newDGKDecFast(k *DGKPrivateKey) *dgkDecFast {
+	l := k.l
+	nd := (l + dgkDecDigitBits - 1) / dgkDecDigitBits
+	df := &dgkDecFast{
+		exps:   make([]int, nd),
+		widths: make([]int, nd),
+		look:   make([]map[string]byte, nd),
+		inv:    make(map[int][]*big.Int),
+	}
+	for i := 0; i < nd; i++ {
+		w := dgkDecDigitBits
+		if rem := l - dgkDecDigitBits*i; rem < w {
+			w = rem
+		}
+		df.widths[i] = w
+		df.exps[i] = l - dgkDecDigitBits*i - w
+	}
+	// Lookup tables keyed by digit width: gamma^(d << (l-w)).
+	byWidth := make(map[int]map[string]byte)
+	for i := 0; i < nd; i++ {
+		w := df.widths[i]
+		tab := byWidth[w]
+		if tab == nil {
+			tab = make(map[string]byte, 1<<uint(w))
+			base := k.gammaP[l-w] // gamma^(2^(l-w))
+			cur := big.NewInt(1)
+			for d := 0; d < 1<<uint(w); d++ {
+				tab[string(cur.Bytes())] = byte(d)
+				if d+1 < 1<<uint(w) {
+					nxt := new(big.Int).Mul(cur, base)
+					cur = nxt.Mod(nxt, k.p)
+				}
+			}
+			byWidth[w] = tab
+		}
+		df.look[i] = tab
+	}
+	// Correction rows: round i cancels digit j (< i) with
+	// gamma^(-d_j << (exps[i] + 8j)).
+	for i := 1; i < nd; i++ {
+		for j := 0; j < i; j++ {
+			pos := df.exps[i] + dgkDecDigitBits*j
+			if _, ok := df.inv[pos]; ok {
+				continue
+			}
+			row := make([]*big.Int, (1<<dgkDecDigitBits)-1)
+			base := k.gammaInvP[pos] // gamma^(-2^pos)
+			row[0] = base
+			for d := 2; d < 1<<dgkDecDigitBits; d++ {
+				v := new(big.Int).Mul(row[d-2], base)
+				row[d-1] = v.Mod(v, k.p)
+			}
+			df.inv[pos] = row
+		}
+	}
+	return df
 }
 
 // dgkPrime finds a prime p = u*v*f + 1 of exactly `bits` bits.
@@ -168,6 +306,12 @@ func dgkPrime(bits int, u, v *big.Int) (*big.Int, error) {
 		f.SetBit(f, fBits-1, 1) // force the top bit so p has full size
 		p := new(big.Int).Mul(uv, f)
 		p.Add(p, one)
+		// uv*f with f's top bit forced can still land one bit short of
+		// the target (uv*f in [uv*2^(fBits-1), uv*2^fBits) straddles
+		// 2^(bits-1)); resample rather than hand back a weaker modulus.
+		if p.BitLen() != bits {
+			continue
+		}
 		if p.ProbablyPrime(20) {
 			return p, nil
 		}
@@ -235,6 +379,69 @@ func (k DGKPublicKey) PlaintextBits() int { return k.l }
 // Modulus returns n (for tests and serialization checks).
 func (k DGKPublicKey) Modulus() *big.Int { return new(big.Int).Set(k.n) }
 
+// SetFastPath enables (the default) or disables the fixed-base fast
+// path for every operation of this key, including copies that share
+// its table state — the naive math/big path is the retained
+// correctness reference the conformance tests compare against. The
+// switch is atomic and safe to flip concurrently with operations.
+func (k DGKPublicKey) SetFastPath(on bool) {
+	if k.fb != nil {
+		k.fb.naive.Store(!on)
+	}
+}
+
+// fastEnabled reports whether the fixed-base path should serve
+// public-key operations.
+func (k DGKPublicKey) fastEnabled() bool {
+	return k.fb != nil && !k.fb.naive.Load()
+}
+
+// StartRandomizerPool implements Pooler: it starts (or joins) the
+// key's background refiller producing (r, h^r) pairs off the critical
+// path, sized to `capacity` pairs (<1 means DefaultPoolSize). The
+// returned stop function is idempotent; the pool shuts down when every
+// starter has called stop.
+func (k DGKPublicKey) StartRandomizerPool(capacity int) (stop func()) {
+	if k.fb == nil {
+		return func() {}
+	}
+	fb := k.fb
+	fb.poolMu.Lock()
+	if fb.poolRefs == 0 {
+		fb.ensure(k)
+		key := k // the fill closure's stable copy
+		fb.pool.Store(newRandPool(capacity, func() (*big.Int, *big.Int, error) {
+			r, err := key.randomizer()
+			if err != nil {
+				return nil, nil, err
+			}
+			hr := fb.hTab.Exp(r)
+			if hr == nil {
+				hr = new(big.Int).Exp(key.h, r, key.n)
+			}
+			return r, hr, nil
+		}))
+	}
+	fb.poolRefs++
+	fb.poolMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			fb.poolMu.Lock()
+			fb.poolRefs--
+			last := fb.poolRefs == 0
+			var p *randPool
+			if last {
+				p = fb.pool.Swap(nil)
+			}
+			fb.poolMu.Unlock()
+			if p != nil {
+				p.stop()
+			}
+		})
+	}
+}
+
 func (k DGKPublicKey) reduce(m uint64) *big.Int {
 	if k.l == 64 {
 		return new(big.Int).SetUint64(m)
@@ -247,8 +454,43 @@ func (k DGKPublicKey) randomizer() (*big.Int, error) {
 	return rand.Int(rand.Reader, bound)
 }
 
+// hPower returns h^r for a fresh randomizer r: a pooled pair when the
+// background pool has one ready, the fixed-base tables otherwise.
+func (k DGKPublicKey) hPower() (*big.Int, error) {
+	if p := k.fb.pool.Load(); p != nil {
+		if pair := p.get(); pair != nil {
+			return pair.hr, nil
+		}
+	}
+	r, err := k.randomizer()
+	if err != nil {
+		return nil, err
+	}
+	if hr := k.fb.hTab.Exp(r); hr != nil {
+		return hr, nil
+	}
+	return new(big.Int).Exp(k.h, r, k.n), nil
+}
+
 // Encrypt implements PublicKey: g^m h^r mod n.
 func (k DGKPublicKey) Encrypt(m uint64) (*Ciphertext, error) {
+	if !k.fastEnabled() {
+		return k.encryptNaive(m)
+	}
+	k.fb.ensure(k)
+	hr, err := k.hPower()
+	if err != nil {
+		return nil, err
+	}
+	gm := k.fb.gTab.Exp(k.reduce(m))
+	if gm == nil {
+		return k.encryptNaive(m)
+	}
+	return &Ciphertext{v: gm.Mul(gm, hr).Mod(gm, k.n)}, nil
+}
+
+// encryptNaive is the retained generic-exponentiation reference.
+func (k DGKPublicKey) encryptNaive(m uint64) (*Ciphertext, error) {
 	r, err := k.randomizer()
 	if err != nil {
 		return nil, err
@@ -267,6 +509,13 @@ func (k DGKPublicKey) Add(a, b *Ciphertext) *Ciphertext {
 // AddPlain implements PublicKey: multiply by g^m (no fresh randomness;
 // call Rerandomize if unlinkability is needed).
 func (k DGKPublicKey) AddPlain(a *Ciphertext, m uint64) (*Ciphertext, error) {
+	if k.fastEnabled() {
+		k.fb.ensure(k)
+		if gm := k.fb.gTab.Exp(k.reduce(m)); gm != nil {
+			v := gm.Mul(a.v, gm)
+			return &Ciphertext{v: v.Mod(v, k.n)}, nil
+		}
+	}
 	gm := new(big.Int).Exp(k.g, k.reduce(m), k.n)
 	v := new(big.Int).Mul(a.v, gm)
 	return &Ciphertext{v: v.Mod(v, k.n)}, nil
@@ -274,6 +523,15 @@ func (k DGKPublicKey) AddPlain(a *Ciphertext, m uint64) (*Ciphertext, error) {
 
 // Rerandomize implements PublicKey: multiply by h^r.
 func (k DGKPublicKey) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
+	if k.fastEnabled() {
+		k.fb.ensure(k)
+		hr, err := k.hPower()
+		if err != nil {
+			return nil, err
+		}
+		v := new(big.Int).Mul(a.v, hr)
+		return &Ciphertext{v: v.Mod(v, k.n)}, nil
+	}
 	r, err := k.randomizer()
 	if err != nil {
 		return nil, err
@@ -301,12 +559,94 @@ func (k DGKPublicKey) Deserialize(data []byte) (*Ciphertext, error) {
 	if v.Cmp(k.n) >= 0 {
 		return nil, errors.New("ahe: ciphertext out of range")
 	}
+	// Every valid ciphertext is a unit mod n (a product of powers of g
+	// and h). v = 0 in particular decrypts to silent garbage — the
+	// all-ones plaintext — so a zero or other non-unit is a range
+	// error, not a ciphertext.
+	if v.Sign() == 0 || new(big.Int).GCD(nil, nil, v, k.n).Cmp(bigOne) != 0 {
+		return nil, errors.New("ahe: ciphertext out of range (not a unit mod n)")
+	}
 	return &Ciphertext{v: v}, nil
 }
 
+// bigOne is the shared unit constant for the Deserialize gcd checks.
+var bigOne = big.NewInt(1)
+
 // Decrypt implements PrivateKey via Pohlig–Hellman in the 2^l-order
-// subgroup: recover m bit by bit from c^vp = gamma^m mod p.
+// subgroup: recover m from c^vp = gamma^m mod p, 8 bits per round on
+// the fast path (falling back to the naive bit-by-bit reference when
+// the fast path is disabled or the value is outside gamma's subgroup,
+// so the two paths are bit-identical on every input).
 func (k *DGKPrivateKey) Decrypt(c *Ciphertext) (uint64, error) {
+	if k.dec != nil && k.fastEnabled() {
+		if m, ok := k.decryptFast(c); ok {
+			return m, nil
+		}
+	}
+	return k.decryptNaive(c)
+}
+
+// decryptFast recovers the plaintext with one shared squaring chain
+// and the per-key digit tables:
+//
+//	cm = c^vp = gamma^m mod p
+//	round i digit: (cm * gamma^(-(m mod 2^(8i))))^(2^exps[i])
+//	             = gamma^(d_i << (l - w_i))     -> table lookup
+//
+// The powers cm^(2^e) come from ONE ascending chain of l-w_0
+// squarings snapshotted at each exps[i] (the naive path re-squares
+// from scratch every bit — the O(l^2) inner loop this replaces), and
+// the correction factors gamma^(-d_j << (exps[i]+8j)) are table rows.
+// Total: ~l squarings + O((l/8)^2) multiplications mod p.
+//
+// ok = false means the value is not in gamma's 2^l-order subgroup
+// (impossible for anything produced by Encrypt/Add/AddPlain/
+// Rerandomize); the caller falls back to the naive path so junk
+// inputs keep their reference behavior.
+func (k *DGKPrivateKey) decryptFast(c *Ciphertext) (uint64, bool) {
+	df := k.dec
+	nd := len(df.exps)
+	cm := new(big.Int).Exp(new(big.Int).Mod(c.v, k.p), k.vp, k.p)
+
+	// One squaring chain, snapshotted at each round's exponent
+	// (exps is strictly decreasing; exps[nd-1] == 0).
+	snaps := make([]*big.Int, nd)
+	cur := new(big.Int).Set(cm)
+	e := 0
+	for i := nd - 1; i >= 0; i-- {
+		for e < df.exps[i] {
+			cur.Mul(cur, cur)
+			cur.Mod(cur, k.p)
+			e++
+		}
+		snaps[i] = new(big.Int).Set(cur)
+	}
+
+	var m uint64
+	z := new(big.Int)
+	for i := 0; i < nd; i++ {
+		z.Set(snaps[i])
+		for j := 0; j < i; j++ {
+			d := byte(m >> uint(dgkDecDigitBits*j))
+			if d == 0 {
+				continue
+			}
+			z.Mul(z, df.inv[df.exps[i]+dgkDecDigitBits*j][d-1])
+			z.Mod(z, k.p)
+		}
+		d, ok := df.look[i][string(z.Bytes())]
+		if !ok {
+			return 0, false
+		}
+		m |= uint64(d) << uint(dgkDecDigitBits*i)
+	}
+	return m, true
+}
+
+// decryptNaive is the retained bit-by-bit reference: peel one bit per
+// round, re-squaring the accumulator down to the top of the group each
+// time (O(l^2) squarings).
+func (k *DGKPrivateKey) decryptNaive(c *Ciphertext) (uint64, error) {
 	cm := new(big.Int).Exp(new(big.Int).Mod(c.v, k.p), k.vp, k.p) // gamma^m
 	var m uint64
 	one := big.NewInt(1)

@@ -1,0 +1,100 @@
+package ahe
+
+// Fixed-base windowed exponentiation. DGK spends nearly all of its
+// time computing g^m and h^r for the two FIXED bases g and h of one
+// key — the classic fixed-base comb: precompute, once per key,
+//
+//	win[i][d-1] = base^(d << (8 i)) mod n,   d in 1..255
+//
+// (one 255-entry row per 8-bit window of the largest supported
+// exponent), and every later exponentiation becomes one table lookup
+// and one modular multiplication per NONZERO exponent byte — about 58
+// Mul+Mod for a full Encrypt versus the ~580 Montgomery operations of
+// two generic big.Int.Exp calls, measured ~5x faster at 1024 bits.
+//
+// A table is immutable after construction and safe for concurrent
+// readers; the per-key tables are built once behind a sync.Once (see
+// dgkFast) and shared by every copy of the key struct.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fbWindowBits is the window width. 8 keeps the row count at
+// maxBits/8 (50 rows for the 400-bit DGK randomizer — ~1.6 MB per
+// 1024-bit key, built once in ~15 ms) while cutting a 400-bit
+// exponentiation to at most 50 multiplications. Wider windows grow
+// the build cost 16x per +4 bits for <25% fewer multiplications.
+const fbWindowBits = 8
+
+// fbTable holds the precomputed window rows for one (base, modulus)
+// pair.
+type fbTable struct {
+	mod     *big.Int
+	maxBits int
+	// win[i][d-1] = base^(d << (8 i)) mod mod for d in 1..255.
+	win [][]*big.Int
+}
+
+// newFBTable precomputes the window rows for exponents in
+// [0, 2^maxBits). Build cost is one modular multiplication per table
+// entry: 255 * ceil(maxBits/8).
+func newFBTable(base, mod *big.Int, maxBits int) *fbTable {
+	if maxBits < 1 {
+		maxBits = 1
+	}
+	nw := (maxBits + fbWindowBits - 1) / fbWindowBits
+	t := &fbTable{mod: mod, maxBits: maxBits, win: make([][]*big.Int, nw)}
+	b := new(big.Int).Mod(base, mod)
+	for i := 0; i < nw; i++ {
+		row := make([]*big.Int, 255)
+		row[0] = b
+		for d := 2; d <= 255; d++ {
+			v := new(big.Int).Mul(row[d-2], b)
+			row[d-1] = v.Mod(v, mod)
+		}
+		t.win[i] = row
+		if i+1 < nw {
+			// The next row's unit is base^(256^(i+1)) = row[254] * b
+			// (b^255 * b) — one multiplication instead of 8 squarings.
+			nb := new(big.Int).Mul(row[254], b)
+			b = nb.Mod(nb, mod)
+		}
+	}
+	return t
+}
+
+// Exp returns base^e mod n via the precomputed windows, or nil when e
+// is negative or too wide for the table (the caller falls back to
+// big.Int.Exp). The result is freshly allocated; the table is only
+// read, so concurrent calls are safe.
+func (t *fbTable) Exp(e *big.Int) *big.Int {
+	if e.Sign() < 0 || e.BitLen() > t.maxBits {
+		return nil
+	}
+	var acc *big.Int
+	i := 0
+	for _, w := range e.Bits() {
+		for s := 0; s < bits.UintSize; s += fbWindowBits {
+			d := byte(w >> uint(s))
+			if d != 0 {
+				if i >= len(t.win) {
+					return nil // unreachable given the BitLen guard
+				}
+				ent := t.win[i][d-1]
+				if acc == nil {
+					acc = new(big.Int).Set(ent)
+				} else {
+					acc.Mul(acc, ent)
+					acc.Mod(acc, t.mod)
+				}
+			}
+			i++
+		}
+	}
+	if acc == nil {
+		return big.NewInt(1) // e == 0
+	}
+	return acc
+}

@@ -1,0 +1,245 @@
+package ahe
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shuffledp/internal/rng"
+)
+
+// TestFixedBaseExpMatchesBigExp holds the windowed kernel bit-identical
+// to math/big generic exponentiation across exponent shapes: zero,
+// single-window, zero-byte-riddled, and full-width.
+func TestFixedBaseExpMatchesBigExp(t *testing.T) {
+	p, err := rand.Prime(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := rand.Prime(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := new(big.Int).Mul(p, q)
+	base, err := rand.Int(rand.Reader, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBits = 400
+	tab := newFBTable(base, mod, maxBits)
+
+	exps := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(255),
+		big.NewInt(256),
+		new(big.Int).Lsh(big.NewInt(1), maxBits-1),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), maxBits), big.NewInt(1)),
+		new(big.Int).Lsh(big.NewInt(0xa5), 128), // isolated middle window
+	}
+	for i := 0; i < 40; i++ {
+		e, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), maxBits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	for _, e := range exps {
+		got := tab.Exp(e)
+		if got == nil {
+			t.Fatalf("table refused in-range exponent of %d bits", e.BitLen())
+		}
+		want := new(big.Int).Exp(base, e, mod)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("fixed-base mismatch at e=%v", e)
+		}
+	}
+	// Out-of-range exponents are refused (callers fall back), never
+	// silently truncated.
+	if tab.Exp(new(big.Int).Lsh(big.NewInt(1), maxBits)) != nil {
+		t.Fatal("table accepted an exponent wider than maxBits")
+	}
+	if tab.Exp(big.NewInt(-1)) != nil {
+		t.Fatal("table accepted a negative exponent")
+	}
+}
+
+// conformance key shapes: the PEOS production shape (l=64) plus an
+// off-width plaintext space exercising the partial final digit of the
+// windowed decryption.
+var (
+	confOnce sync.Once
+	confKeys []*DGKPrivateKey
+	confErr  error
+)
+
+func conformanceKeys(t *testing.T) []*DGKPrivateKey {
+	t.Helper()
+	confOnce.Do(func() {
+		for _, shape := range []struct{ keyBits, l int }{{512, 64}, {448, 13}} {
+			k, err := GenerateDGK(shape.keyBits, shape.l)
+			if err != nil {
+				confErr = err
+				return
+			}
+			confKeys = append(confKeys, k)
+		}
+	})
+	if confErr != nil {
+		t.Fatalf("GenerateDGK: %v", confErr)
+	}
+	return confKeys
+}
+
+// TestFastPathConformance is the named CI gate: the fixed-base /
+// windowed fast path must be bit-identical to the retained naive
+// reference — same decryptions for ciphertexts produced by either
+// path, through homomorphic chains, rerandomization, and the
+// randomizer pool, across random keys and plaintexts.
+func TestFastPathConformance(t *testing.T) {
+	for _, key := range conformanceKeys(t) {
+		mask := uint64(1)<<uint(key.PlaintextBits()) - 1
+		if key.PlaintextBits() == 64 {
+			mask = ^uint64(0)
+		}
+		r := rng.New(0xfa57)
+		f := func(seed uint16) bool {
+			m1 := r.Uint64() & mask
+			m2 := r.Uint64() & mask
+
+			// Fast-encrypted ciphertext...
+			key.SetFastPath(true)
+			c1, err := key.Encrypt(m1)
+			if err != nil {
+				return false
+			}
+			// ...and a naive-encrypted one.
+			key.SetFastPath(false)
+			c2, err := key.Encrypt(m2)
+			if err != nil {
+				return false
+			}
+			key.SetFastPath(true)
+
+			// A homomorphic chain touching every public-key op.
+			sum := key.Add(c1, c2)
+			sum, err = key.AddPlain(sum, uint64(seed))
+			if err != nil {
+				return false
+			}
+			sum, err = key.Rerandomize(sum)
+			if err != nil {
+				return false
+			}
+			want := (m1 + m2 + uint64(seed)) & mask
+
+			// Both decryption paths agree on every ciphertext.
+			for _, c := range []*Ciphertext{c1, c2, sum} {
+				fast, ok := key.decryptFast(c)
+				if !ok {
+					return false
+				}
+				naive, err := key.decryptNaive(c)
+				if err != nil || fast != naive {
+					return false
+				}
+			}
+			got, err := key.Decrypt(sum)
+			return err == nil && got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("l=%d: %v", key.PlaintextBits(), err)
+		}
+	}
+}
+
+// TestFastPathConformanceJunkInput: a deserialized value outside
+// gamma's subgroup is not fast-decodable; Decrypt must fall back and
+// return exactly what the naive reference returns.
+func TestFastPathConformanceJunkInput(t *testing.T) {
+	key := conformanceKeys(t)[0]
+	for i := 0; i < 10; i++ {
+		raw := make([]byte, key.CiphertextBytes())
+		if _, err := rand.Read(raw); err != nil {
+			t.Fatal(err)
+		}
+		raw[0] = 0 // keep it under the modulus
+		c, err := key.Deserialize(raw)
+		if err != nil {
+			continue // non-unit draws are rejected at the door
+		}
+		fast, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := key.decryptNaive(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != naive {
+			t.Fatalf("junk input diverged: fast %x naive %x", fast, naive)
+		}
+	}
+}
+
+// TestRandomizerPool exercises the pooled encrypt path: concurrent
+// encrypts draining the pool while the refiller pushes, reference-
+// counted start/stop, and idempotent stop — all under -race in CI.
+func TestRandomizerPool(t *testing.T) {
+	key := conformanceKeys(t)[0]
+	stopA := key.StartRandomizerPool(16)
+	stopB := asPooler(key).StartRandomizerPool(16) // join via the interface
+	defer stopB()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				m := uint64(w*100 + i)
+				c, err := key.Encrypt(m)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				got, err := key.Decrypt(c)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got != m {
+					errs[w] = errRoundTrip
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stopA()
+	stopA() // idempotent
+	// The pool is refcounted: stopB's pool is still live, encrypts
+	// still work, and the final stop tears it down.
+	if _, err := key.Encrypt(7); err != nil {
+		t.Fatal(err)
+	}
+	stopB()
+	if _, err := key.Encrypt(7); err != nil { // post-stop: inline path
+		t.Fatal(err)
+	}
+}
+
+// asPooler converts a private key to the Pooler interface the call
+// sites use, proving the promoted method satisfies it.
+func asPooler(k *DGKPrivateKey) Pooler { return k }
+
+var errRoundTrip = errors.New("ahe: pooled round trip mismatch")

@@ -31,6 +31,11 @@ const (
 	// far past any sane key size) so a corrupt length prefix cannot
 	// force a huge allocation.
 	dgkMaxIntBytes = 1 << 13
+	// dgkMaxRndBits bounds the randomizer bit length a blob may claim.
+	// The scheme generates 2.5t = 400; a corrupt value in the billions
+	// would otherwise make every Encrypt allocate (and exponentiate
+	// over) a multi-hundred-megabyte exponent.
+	dgkMaxRndBits = 1 << 13
 )
 
 // ErrKeyFormat is returned when a key blob is malformed, truncated, or
@@ -107,10 +112,25 @@ func unmarshalDGKPublicBody(r *keyReader) (*DGKPublicKey, error) {
 	if l < 1 || l > 64 || rnd < 1 || n.Sign() <= 0 || g.Sign() <= 0 || h.Sign() <= 0 {
 		return nil, ErrKeyFormat
 	}
+	if rnd > dgkMaxRndBits {
+		return nil, fmt.Errorf("%w: absurd randomizer length %d bits", ErrKeyFormat, rnd)
+	}
+	// n = pq is odd and must at least hold the plaintext and one
+	// subgroup per factor; a "valid-looking" even or tiny n makes the
+	// homomorphic ops silently meaningless.
+	if n.Bit(0) == 0 || n.BitLen() < 2*(l+dgkSubgroupBits) {
+		return nil, fmt.Errorf("%w: modulus is even or too small for the subgroup structure", ErrKeyFormat)
+	}
 	if g.Cmp(n) >= 0 || h.Cmp(n) >= 0 {
 		return nil, fmt.Errorf("%w: group elements outside the modulus", ErrKeyFormat)
 	}
-	return &DGKPublicKey{n: n, g: g, h: h, l: l, rnd: rnd}, nil
+	// g = 1 or h = 1 parses fine but loses the plaintext (every
+	// "ciphertext" of such a key is a power of the other generator).
+	one := big.NewInt(1)
+	if g.Cmp(one) == 0 || h.Cmp(one) == 0 {
+		return nil, fmt.Errorf("%w: degenerate generator", ErrKeyFormat)
+	}
+	return &DGKPublicKey{n: n, g: g, h: h, l: l, rnd: rnd, fb: &dgkFast{}}, nil
 }
 
 // UnmarshalDGKPublicKey reverses MarshalDGKPublicKey. Malformed input
@@ -158,7 +178,8 @@ func UnmarshalDGKPrivateKey(data []byte) (*DGKPrivateKey, error) {
 	if len(r.data) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrKeyFormat, len(r.data))
 	}
-	if p.Sign() <= 0 || vp.Sign() <= 0 {
+	one := big.NewInt(1)
+	if p.Cmp(one) <= 0 || vp.Cmp(one) <= 0 || p.Cmp(pub.n) >= 0 {
 		return nil, ErrKeyFormat
 	}
 	// p must divide n; a blob mixing halves of two keys decrypts
@@ -166,5 +187,25 @@ func UnmarshalDGKPrivateKey(data []byte) (*DGKPrivateKey, error) {
 	if new(big.Int).Mod(pub.n, p).Sign() != 0 {
 		return nil, fmt.Errorf("%w: p does not divide n", ErrKeyFormat)
 	}
-	return finishDGKPrivateKey(*pub, p, vp)
+	// vp must divide p-1 — it is the order of h's component mod p, and
+	// the decryption exponent. A corrupt vp would not crash anything;
+	// it would decrypt every ciphertext to confident garbage.
+	pm1 := new(big.Int).Sub(p, one)
+	if new(big.Int).Mod(pm1, vp).Sign() != 0 {
+		return nil, fmt.Errorf("%w: vp does not divide p-1", ErrKeyFormat)
+	}
+	priv, err := finishDGKPrivateKey(*pub, p, vp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKeyFormat, err)
+	}
+	// gamma = g^vp mod p must have exact order 2^l for Pohlig–Hellman
+	// digit recovery to be well-defined: gamma^(2^l) = 1 and
+	// gamma^(2^(l-1)) != 1. This is the cheapest complete check that
+	// the (n, g, p, vp) quadruple is one consistent key.
+	u := new(big.Int).Lsh(one, uint(pub.l))
+	if new(big.Int).Exp(priv.gamma, u, p).Cmp(one) != 0 ||
+		new(big.Int).Exp(priv.gamma, new(big.Int).Rsh(u, 1), p).Cmp(one) == 0 {
+		return nil, fmt.Errorf("%w: gamma does not have order 2^l", ErrKeyFormat)
+	}
+	return priv, nil
 }

@@ -156,6 +156,13 @@ func (k PaillierPublicKey) Deserialize(data []byte) (*Ciphertext, error) {
 	if v.Cmp(k.n2) >= 0 {
 		return nil, errors.New("ahe: ciphertext out of range")
 	}
+	// Valid Paillier ciphertexts are units mod n^2 (equivalently,
+	// coprime to n). v = 0 in particular drives Decrypt through a
+	// negative intermediate into garbage, so reject non-units as a
+	// range error here.
+	if v.Sign() == 0 || new(big.Int).GCD(nil, nil, v, k.n).Cmp(bigOne) != 0 {
+		return nil, errors.New("ahe: ciphertext out of range (not a unit mod n^2)")
+	}
 	return &Ciphertext{v: v}, nil
 }
 

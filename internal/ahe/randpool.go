@@ -1,0 +1,136 @@
+package ahe
+
+// Background randomizer pool. Even with the fixed-base tables, h^r is
+// the dominant term of Encrypt and Rerandomize (~50 of the ~58
+// multiplications). The pool moves that work off the critical path: a
+// refiller goroutine precomputes (r, h^r) pairs whenever the pool runs
+// low, and the hot path drains them with a lock-free Treiber-stack pop
+// — an Encrypt that hits the pool costs one table exponentiation of
+// g^m (at most 8 multiplications) plus one modular multiplication.
+//
+// Correctness is unaffected: r is drawn from crypto/rand exactly as the
+// inline path draws it, and none of the protocol conformance suites
+// depend on encryption randomness (share and fake randomness come from
+// the deterministic Source streams, which the pool never touches). A
+// drained-empty pool falls back to the inline fixed-base computation,
+// so the pool is a pure latency optimization with no failure mode.
+
+import (
+	"math/big"
+	"sync/atomic"
+)
+
+// DefaultPoolSize is the randomizer-pool capacity used by the PEOS
+// call sites (protocol.Run, cluster client and shuffler nodes) — deep
+// enough to absorb a burst of a few hundred encryptions, small enough
+// that a warm pool holds only a few hundred kilobytes of pairs.
+const DefaultPoolSize = 256
+
+// hrPair is one precomputed randomizer: r and h^r mod n.
+type hrPair struct {
+	r    *big.Int
+	hr   *big.Int
+	next *hrPair
+}
+
+// randPool is a lock-free stack of precomputed randomizer pairs plus
+// the refiller goroutine that keeps it near capacity.
+type randPool struct {
+	head     atomic.Pointer[hrPair]
+	size     atomic.Int64
+	capacity int64
+	wake     chan struct{}
+	done     chan struct{}
+	exited   chan struct{}
+}
+
+// newRandPool starts a pool of the given capacity; fill computes one
+// fresh (r, h^r) pair (it runs only on the refiller goroutine).
+func newRandPool(capacity int, fill func() (r, hr *big.Int, err error)) *randPool {
+	if capacity < 1 {
+		capacity = DefaultPoolSize
+	}
+	p := &randPool{
+		capacity: int64(capacity),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		exited:   make(chan struct{}),
+	}
+	go p.refill(fill)
+	return p
+}
+
+// refill tops the stack up to capacity, then sleeps until a drain
+// signals it (or the pool stops). A fill error ends the refiller; the
+// hot path simply keeps using its inline fallback.
+func (p *randPool) refill(fill func() (r, hr *big.Int, err error)) {
+	defer close(p.exited)
+	for {
+		for p.size.Load() < p.capacity {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			r, hr, err := fill()
+			if err != nil {
+				return
+			}
+			p.push(&hrPair{r: r, hr: hr})
+		}
+		select {
+		case <-p.done:
+			return
+		case <-p.wake:
+		}
+	}
+}
+
+// push is only called from the refiller goroutine, but CAS-loops
+// anyway so the stack stays consistent with concurrent pops.
+func (p *randPool) push(n *hrPair) {
+	for {
+		old := p.head.Load()
+		n.next = old
+		if p.head.CompareAndSwap(old, n) {
+			p.size.Add(1)
+			return
+		}
+	}
+}
+
+// get pops one precomputed pair, or returns nil when the pool is dry
+// (the caller computes inline). Lock-free: a CAS retry loop with no
+// mutex on the drain path. The Treiber ABA hazard does not apply —
+// popped nodes are never pushed back, so a head pointer can never
+// reappear.
+func (p *randPool) get() *hrPair {
+	for {
+		n := p.head.Load()
+		if n == nil {
+			p.nudge()
+			return nil
+		}
+		if p.head.CompareAndSwap(n, n.next) {
+			if p.size.Add(-1) < p.capacity/2 {
+				p.nudge()
+			}
+			n.next = nil
+			return n
+		}
+	}
+}
+
+// nudge wakes the refiller without blocking.
+func (p *randPool) nudge() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stop terminates the refiller and waits for it to exit.
+func (p *randPool) stop() {
+	close(p.done)
+	<-p.exited
+}

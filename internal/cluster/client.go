@@ -83,6 +83,9 @@ type Client struct {
 	// reference's split-for-split.
 	nonce      uint64
 	reconnects int
+	// stopPool releases the key's background randomizer pool; nil when
+	// the key has none.
+	stopPool func()
 }
 
 // NewClient connects to every shuffler in the topology and performs
@@ -105,6 +108,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		mod:    secretshare.NewModulus(64),
 		queued: make([][][]byte, cfg.Topology.R()),
 		nonce:  binary.LittleEndian.Uint64(seed[:]),
+	}
+	// Every report encrypts one share; keep (r, h^r) pairs precomputed
+	// in the background for the lifetime of the client. The pool draws
+	// from crypto/rand only, never cfg.Source, so shares stay
+	// bit-identical to the in-process reference run.
+	if pl, ok := cfg.Pub.(ahe.Pooler); ok {
+		c.stopPool = pl.StartRandomizerPool(0)
 	}
 	for _, addr := range cfg.Topology.Shufflers {
 		conn, err := dialRetry(cfg.Dial, addr, cfg.DialTimeout)
@@ -284,8 +294,12 @@ func (c *Client) Flush() error {
 }
 
 // Close flushes and closes every shuffler connection (EOF is the
-// client's "done"). Safe on a partially-dialed client.
+// client's "done"). Safe on a partially-dialed client and safe to call
+// more than once.
 func (c *Client) Close() error {
+	if c.stopPool != nil {
+		c.stopPool() // idempotent
+	}
 	var first error
 	for j, w := range c.w {
 		if w == nil {

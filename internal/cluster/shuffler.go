@@ -223,6 +223,11 @@ type Shuffler struct {
 	doneThrough int64 // highest collection known sealed/pruned; -1 initially
 	buffered    int   // total shares across s.cols, bounded by MaxBuffered
 	closed      bool
+
+	// stopPool releases the key's background randomizer pool (nil when
+	// the key has none). The enc-holder's fake-share encryptions and
+	// every node's rerandomize pass draw from it.
+	stopPool func()
 }
 
 // DefaultMaxBuffered is the ShufflerConfig.MaxBuffered default: at
@@ -261,7 +266,7 @@ func NewShuffler(cfg ShufflerConfig) (*Shuffler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Shuffler{
+	s := &Shuffler{
 		cfg:         cfg,
 		ln:          ln,
 		mod:         secretshare.NewModulus(64),
@@ -271,7 +276,16 @@ func NewShuffler(cfg ShufflerConfig) (*Shuffler, error) {
 		cols:        make(map[uint32]*collectionBuf),
 		fakes:       make(map[uint32]*fakeSet),
 		doneThrough: -1,
-	}, nil
+	}
+	// Precompute encryption randomizers in the background for the
+	// node's lifetime: fake-share encryptions (enc holder) and the
+	// rerandomize pass of every shuffle both drain the pool. Pool
+	// randomness is crypto/rand, never cfg.Source/FakeSource, so the
+	// cluster's estimates stay bit-identical to the in-process run.
+	if pl, ok := cfg.Pub.(ahe.Pooler); ok {
+		s.stopPool = pl.StartRandomizerPool(0)
+	}
+	return s, nil
 }
 
 // Addr returns the bound listen address.
@@ -929,6 +943,9 @@ func (s *Shuffler) Close() error {
 }
 
 func (s *Shuffler) teardown() {
+	if s.stopPool != nil {
+		s.stopPool() // idempotent; teardown runs from both Run and Close
+	}
 	s.ln.Close()
 	s.mu.Lock()
 	cur := s.cur

@@ -1,6 +1,7 @@
 package oblivious
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"testing"
@@ -364,6 +365,83 @@ func TestRevealParallelMatchesSequential(t *testing.T) {
 		for i := range seq {
 			if par[i] != seq[i] {
 				t.Fatalf("workers=%d: mismatch at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestRevealParallelEmptyState: a collection with zero reports must
+// reveal to an empty vector, not spin up workers or index out of range.
+func TestRevealParallelEmptyState(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	st := &State{Plain: [][]uint64{{}, {}, nil}, Enc: nil, EncHolder: 2}
+	for _, workers := range []int{0, 1, 8} {
+		out, err := RevealParallel(st, mod, key, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("workers=%d: got %d words from an empty state", workers, len(out))
+		}
+	}
+}
+
+var errInjectedDecrypt = errors.New("oblivious test: injected decrypt fault")
+
+// failingKey wraps a real private key and fails every Decrypt after
+// the first failAt calls — a mid-chunk fault injected into the reveal
+// fan-out.
+type failingKey struct {
+	ahe.PrivateKey
+	mu     sync.Mutex
+	calls  int
+	failAt int
+	err    error
+}
+
+func (k *failingKey) Decrypt(c *ahe.Ciphertext) (uint64, error) {
+	k.mu.Lock()
+	n := k.calls
+	k.calls++
+	k.mu.Unlock()
+	if n >= k.failAt {
+		return 0, k.err
+	}
+	return k.PrivateKey.Decrypt(c)
+}
+
+// TestRevealParallelDecryptErrorPropagates: when one worker's Decrypt
+// fails mid-chunk, RevealParallel must return that error — not
+// deadlock waiting on the failed worker, not panic, not report partial
+// sums as success. Runs under -race in CI to catch unsynchronized
+// error plumbing.
+func TestRevealParallelDecryptErrorPropagates(t *testing.T) {
+	key := dgk(t)
+	mod := secretshare.NewModulus(32)
+	src := rng.New(44)
+	const r, n = 3, 24
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	shares := secretshare.SplitVector(values, r, mod, src)
+	enc := make([]*ahe.Ciphertext, n)
+	for i, s := range shares[2] {
+		c, err := key.Encrypt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	shares[2] = nil
+	wantErr := errInjectedDecrypt
+	for _, workers := range []int{1, 2, 4, n + 5} {
+		for _, failAt := range []int{0, 1, n / 2, n - 1} {
+			st := &State{Plain: shares, Enc: enc, EncHolder: 2}
+			fk := &failingKey{PrivateKey: key, failAt: failAt, err: wantErr}
+			if _, err := RevealParallel(st, mod, fk, workers); err != wantErr {
+				t.Fatalf("workers=%d failAt=%d: got %v, want the injected error", workers, failAt, err)
 			}
 		}
 	}

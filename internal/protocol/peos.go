@@ -46,6 +46,10 @@ type PEOS struct {
 	// rerandomization disabled — the paper's Table III cost model.
 	// See oblivious.Config.SkipRerandomize for the security caveat.
 	FastShuffle bool
+	// DecryptWorkers bounds the server's decryption fan-out; <1 selects
+	// GOMAXPROCS. The cmd/bench PEOS suite sweeps it to separate the
+	// algorithmic AHE speedups from plain parallelism.
+	DecryptWorkers int
 
 	enc *ldp.WordEncoder
 	mod secretshare.Modulus
@@ -95,6 +99,15 @@ func (p *PEOS) Run(values []int, ldpRand *rng.Rand) (*Result, error) {
 	meter := &transport.Meter{}
 	pub := ahe.PublicKey(p.Priv)
 	total := n + p.NR
+
+	// Pre-generate encryption randomizers off the measured path: every
+	// user share, fake share, and rerandomization below draws (r, h^r)
+	// pairs, and the pool keeps refilling while the protocol computes.
+	// Pool randomness is crypto/rand, never p.Source, so estimates stay
+	// bit-identical with or without it.
+	if pl, ok := pub.(ahe.Pooler); ok {
+		defer pl.StartRandomizerPool(0)()
+	}
 
 	// --- Users (Algorithm 1, "User i"). ---
 	// plainShares[j][i] is user i's j-th share; encShares[i] is the
@@ -189,7 +202,7 @@ func (p *PEOS) Run(values []int, ldpRand *rng.Rand) (*Result, error) {
 	meter.Track(PartyServer, func() {
 		// Decryptions fan out across cores, as in the paper's server
 		// (§VII-D "the decryptions is done in parallel").
-		words, srvErr = oblivious.RevealParallel(st, p.mod, p.Priv, 0)
+		words, srvErr = oblivious.RevealParallel(st, p.mod, p.Priv, p.DecryptWorkers)
 	})
 	if srvErr != nil {
 		return nil, srvErr
