@@ -92,6 +92,7 @@ func main() {
 	peosRs := flag.String("peos-r", "2,3", "comma-separated shuffler counts for the peos suite")
 	peosWorkers := flag.String("peos-workers", "0", "comma-separated decryption worker counts for the peos suite (0 = GOMAXPROCS)")
 	peosNaive := flag.Bool("peos-naive", false, "run the peos suite with the DGK fast path disabled (naive-AHE ablation)")
+	peosAnalyzers := flag.String("peos-analyzers", "1,2,4", "comma-separated analyzer shard counts for the peos scaling sweep")
 	peosOut := flag.String("peos-out", "BENCH_peos.json", "peos-suite output JSON path")
 	flag.Parse()
 	if *n < 1 || *serviceN < 1 || *peosN < 1 {
@@ -120,7 +121,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("bad -peos-workers: %v", err)
 		}
-		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, keyBits, rs, workers, *peosNaive)
+		analyzerCounts, err := parseInts(*peosAnalyzers)
+		if err != nil {
+			log.Fatalf("bad -peos-analyzers: %v", err)
+		}
+		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, keyBits, rs, workers, analyzerCounts, *peosNaive)
 		if err != nil {
 			log.Fatal(err)
 		}

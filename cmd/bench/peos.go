@@ -51,14 +51,42 @@ type peosCase struct {
 	ServerRecvBytes   int64 `json:"server_recv_bytes"`
 }
 
+// peosScalingCase is one row of the analyzer scale-out sweep: the same
+// collection round, analyzer tier sharded A ways by domain partition.
+// CoordinatorWindowWords is the coordinator's share of the post-shuffle
+// vector — the words IT must decrypt; the rest decrypt on the other
+// shards. The scaling signal is CoordinatorDecryptNsPerReport (measured
+// ns/word × window words / n): that is the per-report decrypt bill of
+// the busiest node, and it drops as 1/A. ClusterSeconds is the measured
+// wall clock of the whole round; on a host with at least A cores the
+// wall clock follows the decrypt bill, on fewer cores (all nodes in one
+// process sharing a core, as in CI) it stays flat — which is why the
+// decrypt bill, not the wall clock, carries the speedup column.
+type peosScalingCase struct {
+	Analyzers                     int     `json:"analyzers"`
+	R                             int     `json:"r"`
+	N                             int     `json:"n"`
+	NR                            int     `json:"nr"`
+	KeyBits                       int     `json:"key_bits"`
+	FastPath                      bool    `json:"fast_path"`
+	CoordinatorWindowWords        int     `json:"coordinator_window_words"`
+	CoordinatorDecryptNsPerReport float64 `json:"coordinator_decrypt_ns_per_report"`
+	ClusterSeconds                float64 `json:"cluster_seconds"`
+	ClusterNsPerReport            float64 `json:"cluster_ns_per_report"`
+	DecryptSpeedupVsOneAnalyzer   float64 `json:"decrypt_speedup_vs_one_analyzer"`
+}
+
 type peosReport struct {
 	Benchmark   string     `json:"benchmark"`
 	GeneratedBy string     `json:"generated_by"`
 	Note        string     `json:"note"`
 	Cases       []peosCase `json:"cases"`
+	// AnalyzerScaling sweeps the sharded analyzer tier at the first
+	// (key_bits, r, workers) point of the grid.
+	AnalyzerScaling []peosScalingCase `json:"analyzer_scaling,omitempty"`
 }
 
-func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList []int, naive bool) (*peosReport, error) {
+func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts []int, naive bool) (*peosReport, error) {
 	fo := ldp.NewGRR(d, 2)
 	src := rng.New(11)
 	values := make([]int, n)
@@ -104,7 +132,7 @@ func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList []int, naive bool) 
 				c.ShufflerSentBytes = meter.Stats(protocol.ShufflerName(0)).SentBytes
 				c.ServerRecvBytes = meter.Stats(protocol.PartyServer).RecvBytes
 
-				clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers)
+				clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, 1)
 				if err != nil {
 					return nil, err
 				}
@@ -118,14 +146,80 @@ func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList []int, naive bool) 
 			}
 		}
 	}
+
+	// Analyzer scale-out sweep: the same synthetic round, sharded wider
+	// and wider. The sweep runs on the naive-AHE path deliberately:
+	// there the analyzer's decrypt work is the dominant term of the
+	// round (~1.1ms/word vs ~0.2ms/word of shuffler re-randomization),
+	// which is exactly the regime the sharded tier exists for — with
+	// the fixed-base fast path a single analyzer decrypts faster than
+	// the shuffle chain feeds it. Estimates stay bit-identical at every
+	// width (the conformance suite proves it). The per-word decrypt
+	// cost is measured on this key so the coordinator's decrypt bill
+	// per row is a measurement, not a model.
+	if len(analyzerCounts) > 0 {
+		keyBits, r, workers := keyBitsList[len(keyBitsList)-1], rs[0], 1
+		priv, err := ahe.GenerateDGK(keyBits, 64)
+		if err != nil {
+			return nil, err
+		}
+		priv.SetFastPath(false)
+		ct, err := priv.Encrypt(3)
+		if err != nil {
+			return nil, err
+		}
+		const decSamples = 64
+		decNsPerWord := timeIt(func() {
+			for i := 0; i < decSamples; i++ {
+				m, err := priv.Decrypt(ct)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sink([]float64{float64(m)})
+			}
+		}) / decSamples
+		var baseDecrypt float64
+		for _, analyzers := range analyzerCounts {
+			plan, err := cluster.EvenPlan(d, analyzers)
+			if err != nil {
+				return nil, err
+			}
+			clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, analyzers)
+			if err != nil {
+				return nil, err
+			}
+			window := plan.Cuts(n + nr)[1]
+			sc := peosScalingCase{
+				Analyzers:                     analyzers,
+				R:                             r,
+				N:                             n,
+				NR:                            nr,
+				KeyBits:                       keyBits,
+				FastPath:                      false,
+				CoordinatorWindowWords:        window,
+				CoordinatorDecryptNsPerReport: float64(window) * decNsPerWord / float64(n),
+				ClusterSeconds:                clNs / 1e9,
+				ClusterNsPerReport:            clNs / float64(n),
+			}
+			if baseDecrypt == 0 {
+				baseDecrypt = sc.CoordinatorDecryptNsPerReport
+			}
+			sc.DecryptSpeedupVsOneAnalyzer = baseDecrypt / sc.CoordinatorDecryptNsPerReport
+			fmt.Printf("peos scaling analyzers=%d r=%d key=%d: coordinator window %d/%d words, decrypt %.0f ns/report (%.2fx), round %.2fs\n",
+				analyzers, r, keyBits, sc.CoordinatorWindowWords, n+nr,
+				sc.CoordinatorDecryptNsPerReport, sc.DecryptSpeedupVsOneAnalyzer, sc.ClusterSeconds)
+			rep.AnalyzerScaling = append(rep.AnalyzerScaling, sc)
+		}
+	}
 	return rep, nil
 }
 
-// timePEOSCluster stands up a fresh loopback cluster and times one
-// full collection round (client submission through served estimate).
-func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, workers int) (float64, error) {
+// timePEOSCluster stands up a fresh loopback cluster — the analyzer
+// tier sharded `analyzers` ways — and times one full collection round
+// (client submission through served estimate).
+func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, workers, analyzers int) (float64, error) {
 	lns := make([]net.Listener, r)
-	topo := cluster.Topology{Shufflers: make([]string, r)}
+	topo := cluster.Topology{Shufflers: make([]string, r), Analyzers: make([]string, analyzers)}
 	for j := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -134,24 +228,34 @@ func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []i
 		lns[j] = ln
 		topo.Shufflers[j] = ln.Addr().String()
 	}
-	aln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return 0, err
+	alns := make([]net.Listener, analyzers)
+	for s := range alns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		alns[s] = ln
+		topo.Analyzers[s] = ln.Addr().String()
 	}
-	topo.Analyzer = aln.Addr().String()
-	analyzer, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{
-		Topology:       topo,
-		Listener:       aln,
-		FO:             fo,
-		NR:             nr,
-		Priv:           priv,
-		Workers:        workers,
-		CollectTimeout: 5 * time.Minute,
-	})
-	if err != nil {
-		return 0, err
+	nodes := make([]*cluster.Analyzer, analyzers)
+	for s := range nodes {
+		node, err := cluster.NewAnalyzer(cluster.AnalyzerConfig{
+			Topology:       topo,
+			Listener:       alns[s],
+			FO:             fo,
+			NR:             nr,
+			Priv:           priv,
+			Shard:          s,
+			Workers:        workers,
+			CollectTimeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer node.Close()
+		nodes[s] = node
 	}
-	defer analyzer.Close()
+	analyzer := nodes[0]
 	shufflers := make([]*cluster.Shuffler, r)
 	for j := 0; j < r; j++ {
 		sh, err := cluster.NewShuffler(cluster.ShufflerConfig{

@@ -6,7 +6,7 @@ import "testing"
 // be populated and positive, and the cluster path must complete — the
 // same guarantee the CI bench-smoke job checks from the outside.
 func TestPEOSSuiteSmoke(t *testing.T) {
-	rep, err := runPEOSSuite(40, 8, 4, []int{512}, []int{2}, []int{0}, false)
+	rep, err := runPEOSSuite(40, 8, 4, []int{512}, []int{2}, []int{0}, []int{1, 2}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,5 +31,30 @@ func TestPEOSSuiteSmoke(t *testing.T) {
 	// the protocol's meter accounting.
 	if want := int64(40 * (8 + 64)); c.UserSentBytes != want {
 		t.Fatalf("user bytes %d, want %d", c.UserSentBytes, want)
+	}
+	// The analyzer scale-out sweep: one row per requested shard count,
+	// speedup relative to the first row, coordinator window strictly
+	// smaller once the tier is sharded.
+	if len(rep.AnalyzerScaling) != 2 {
+		t.Fatalf("want 2 scaling rows, got %d", len(rep.AnalyzerScaling))
+	}
+	one, two := rep.AnalyzerScaling[0], rep.AnalyzerScaling[1]
+	if one.Analyzers != 1 || two.Analyzers != 2 {
+		t.Fatalf("scaling rows %+v", rep.AnalyzerScaling)
+	}
+	if one.ClusterSeconds <= 0 || two.ClusterSeconds <= 0 {
+		t.Fatalf("scaling timings not populated: %+v", rep.AnalyzerScaling)
+	}
+	if one.CoordinatorWindowWords != 44 || two.CoordinatorWindowWords != 22 {
+		t.Fatalf("coordinator windows %d, %d", one.CoordinatorWindowWords, two.CoordinatorWindowWords)
+	}
+	// The acceptance headline: the per-report decrypt bill of the
+	// busiest node halves when the tier is sharded two ways.
+	if one.CoordinatorDecryptNsPerReport <= 0 ||
+		two.CoordinatorDecryptNsPerReport != one.CoordinatorDecryptNsPerReport/2 {
+		t.Fatalf("decrypt bills %+v", rep.AnalyzerScaling)
+	}
+	if one.DecryptSpeedupVsOneAnalyzer != 1 || two.DecryptSpeedupVsOneAnalyzer != 2 {
+		t.Fatalf("decrypt speedups %+v", rep.AnalyzerScaling)
 	}
 }

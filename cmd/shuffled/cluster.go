@@ -24,6 +24,19 @@ package main
 // restarted (recovered) analyzer keeps decrypting the cluster's
 // ciphertexts. Oracle parameters (-oracle/-d/-dprime/-epsl) and -nr
 // must match across all roles, like the protocol parameters they are.
+//
+// The analyzer tier can be sharded by domain partition: give every
+// role the full shard list and each analyzer process its index —
+//
+//	shuffled analyzer -analyzers :7900,:7910 -shard 0 ... # coordinator
+//	shuffled analyzer -analyzers :7900,:7910 -shard 1 ... # window shard
+//	shuffled shuffler -analyzer :7900,:7910 ...
+//
+// Shard 0 coordinates rounds exactly like the single analyzer (its
+// durable state stays byte-identical); higher shards serve their
+// domain window passively and exit once -collections windows have
+// committed. -partition overrides the even domain split, and a
+// restarted shard recovers from its own -data-dir.
 
 import (
 	"errors"
@@ -31,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -70,17 +84,55 @@ func (of oracleFlags) build() (ldp.FrequencyOracle, error) {
 	return nil, fmt.Errorf("unknown -oracle %q (PEOS runs grr or solh)", *of.oracle)
 }
 
-func parseTopology(shufflers, analyzer string) (cluster.Topology, error) {
-	topo := cluster.Topology{Analyzer: analyzer}
+// parseTopology builds the cluster topology from the address flags.
+// analyzers is a comma-separated list in shard order; a single address
+// is the classic one-analyzer deployment (the cluster package treats a
+// 1-element list and the legacy singular field identically).
+func parseTopology(shufflers, analyzers string) (cluster.Topology, error) {
+	var topo cluster.Topology
 	for _, a := range strings.Split(shufflers, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			topo.Shufflers = append(topo.Shufflers, a)
 		}
 	}
+	for _, a := range strings.Split(analyzers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			topo.Analyzers = append(topo.Analyzers, a)
+		}
+	}
 	if len(topo.Shufflers) < 2 {
 		return topo, errors.New("-shufflers needs at least 2 comma-separated addresses")
 	}
+	if len(topo.Analyzers) == 0 {
+		return topo, errors.New("at least one analyzer address is required")
+	}
 	return topo, nil
+}
+
+// parsePartition parses `-partition "0,8,16"` into a PartitionPlan:
+// the cumulative domain bounds, one boundary per shard edge. Empty
+// means the even split (the analyzer derives it from d and the
+// topology).
+func parsePartition(s string, analyzers, d int) (cluster.PartitionPlan, error) {
+	if s == "" {
+		return cluster.PartitionPlan{}, nil
+	}
+	var bounds []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return cluster.PartitionPlan{}, fmt.Errorf("-partition %q: %w", s, err)
+		}
+		bounds = append(bounds, b)
+	}
+	p := cluster.PartitionPlan{Analyzers: len(bounds) - 1, Bounds: bounds}
+	if p.Analyzers != analyzers {
+		return p, fmt.Errorf("-partition %q describes %d shard(s), topology has %d analyzer(s)", s, p.Analyzers, analyzers)
+	}
+	if err := p.Validate(d); err != nil {
+		return p, fmt.Errorf("-partition %q: %w", s, err)
+	}
+	return p, nil
 }
 
 // loadOrCreateKey returns the analyzer's DGK key pair: loaded from
@@ -128,6 +180,9 @@ func loadPublicKey(path string) (ahe.PublicKey, error) {
 func runAnalyzer(args []string) {
 	fs := flag.NewFlagSet("shuffled analyzer", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7900", "analyzer listen address")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer shard addresses, in shard order (empty = single analyzer at -listen)")
+	shard := fs.Int("shard", 0, "this analyzer's shard index into -analyzers (0 = coordinator)")
+	partition := fs.String("partition", "", "comma-separated cumulative domain bounds, e.g. 0,8,16 (empty = even split)")
 	shufflers := fs.String("shufflers", "", "comma-separated shuffler addresses, in role order")
 	nr := fs.Int("nr", 24, "joint fake reports per collection")
 	keyPath := fs.String("key", "peos.key", "DGK private-key file (created on first run)")
@@ -148,7 +203,33 @@ func runAnalyzer(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	topo, err := parseTopology(*shufflers, *listen)
+	// With -analyzers the node serves one shard of the list; -listen,
+	// when given explicitly, overrides this shard's entry (mirroring the
+	// shuffler's -listen). Without -analyzers it is the classic single
+	// analyzer at -listen.
+	analyzerList := *analyzers
+	if analyzerList == "" {
+		analyzerList = *listen
+	}
+	topo, err := parseTopology(*shufflers, analyzerList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shard < 0 || *shard >= topo.A() {
+		log.Fatalf("-shard %d out of range: -analyzers lists %d shard(s)", *shard, topo.A())
+	}
+	if *analyzers != "" {
+		listenSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "listen" {
+				listenSet = true
+			}
+		})
+		if listenSet {
+			topo.Analyzers[*shard] = *listen
+		}
+	}
+	plan, err := parsePartition(*partition, topo.A(), fo.Domain())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,6 +246,8 @@ func runAnalyzer(args []string) {
 		FO:             fo,
 		NR:             *nr,
 		Priv:           priv,
+		Shard:          *shard,
+		Plan:           plan,
 		DataDir:        *dataDir,
 		Sync:           syncPolicy,
 		CollectTimeout: *timeout,
@@ -188,6 +271,22 @@ func runAnalyzer(args []string) {
 		log.Fatal(err)
 	}
 	defer a.Close()
+
+	// A window shard is passive: the coordinator drives the rounds and
+	// two-phase-commits this node's windows. It serves until the target
+	// number of windows has committed, then exits — symmetric with the
+	// coordinator's loop below, so a sharded deployment winds down
+	// cleanly when the rounds are done.
+	if *shard != 0 {
+		fmt.Printf("analyzer shard %d/%d listening on %s (coordinator %s)\n",
+			*shard, topo.A(), a.Addr(), topo.Coordinator())
+		for a.Collections() < *collections {
+			time.Sleep(100 * time.Millisecond)
+		}
+		reals, _ := a.Totals()
+		fmt.Printf("shard %d done: %d windows committed, %d words revealed\n", *shard, a.Collections(), reals)
+		return
+	}
 	fmt.Printf("analyzer listening on %s, waiting for %d shufflers\n", a.Addr(), topo.R())
 
 	for a.Collections() < *collections {
@@ -215,7 +314,7 @@ func runShuffler(args []string) {
 	index := fs.Int("index", 0, "this shuffler's role id in [0, R)")
 	listen := fs.String("listen", "", "listen address (defaults to the -shufflers entry for -index)")
 	shufflers := fs.String("shufflers", "", "comma-separated shuffler addresses, in role order")
-	analyzer := fs.String("analyzer", "127.0.0.1:7900", "analyzer address")
+	analyzer := fs.String("analyzer", "127.0.0.1:7900", "analyzer address, or comma-separated shard addresses in shard order")
 	nr := fs.Int("nr", 24, "joint fake reports per collection")
 	keyPath := fs.String("key", "peos.key.pub", "analyzer's DGK public-key file")
 	idle := fs.Duration("idle-timeout", 2*time.Minute, "drop client connections silent past this (0 = never)")
@@ -251,8 +350,8 @@ func runShuffler(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("shuffler %d listening on %s (analyzer %s, %d fakes/round)\n",
-		*index, sh.Addr(), topo.Analyzer, *nr)
+	fmt.Printf("shuffler %d listening on %s (%d analyzer shard(s), coordinator %s, %d fakes/round)\n",
+		*index, sh.Addr(), topo.A(), topo.Coordinator(), *nr)
 	if err := sh.Run(); err != nil {
 		log.Fatal(err)
 	}
@@ -264,7 +363,7 @@ func runShuffler(args []string) {
 func runClient(args []string) {
 	fs := flag.NewFlagSet("shuffled client", flag.ExitOnError)
 	shufflers := fs.String("shufflers", "", "comma-separated shuffler addresses, in role order")
-	analyzer := fs.String("analyzer", "127.0.0.1:7900", "analyzer address (topology completeness only)")
+	analyzer := fs.String("analyzer", "127.0.0.1:7900", "analyzer address(es), comma-separated (topology completeness only)")
 	keyPath := fs.String("key", "peos.key.pub", "analyzer's DGK public-key file")
 	n := fs.Int("n", 400, "users to report (indices base..base+n-1)")
 	base := fs.Int("base", 0, "first user index this client covers")

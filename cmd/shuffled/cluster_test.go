@@ -132,11 +132,105 @@ func TestParseTopologyAndOracleFlags(t *testing.T) {
 	if _, err := parseTopology("a", "c"); err == nil {
 		t.Fatal("accepted a single shuffler address")
 	}
+	if _, err := parseTopology("a,b", " ,"); err == nil {
+		t.Fatal("accepted an empty analyzer list")
+	}
+	// A single analyzer address is the legacy deployment: one entry in
+	// the shard list, which the cluster package treats identically to
+	// the old singular field.
 	topo, err := parseTopology(" a , b ,c", "anlz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if topo.R() != 3 || topo.Shufflers[2] != "c" || topo.Analyzer != "anlz" {
+	if topo.R() != 3 || topo.Shufflers[2] != "c" || topo.A() != 1 || topo.Coordinator() != "anlz" {
 		t.Fatalf("parsed %+v", topo)
+	}
+	topo, err = parseTopology("a,b", " x , y ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.A() != 2 || topo.Analyzers[1] != "y" || topo.Coordinator() != "x" {
+		t.Fatalf("parsed shard list %+v", topo.Analyzers)
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	if p, err := parsePartition("", 3, 8); err != nil || p.Analyzers != 0 {
+		t.Fatalf("empty -partition: %+v, %v", p, err)
+	}
+	p, err := parsePartition("0, 3, 8", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Analyzers != 2 || p.Bounds[1] != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if _, err := parsePartition("0,8", 2, 8); err == nil {
+		t.Fatal("accepted a plan with the wrong shard count")
+	}
+	if _, err := parsePartition("0,9,8", 2, 8); err == nil {
+		t.Fatal("accepted decreasing bounds")
+	}
+	if _, err := parsePartition("0,x,8", 2, 8); err == nil {
+		t.Fatal("accepted a non-numeric bound")
+	}
+}
+
+// A sharded deployment through the role subcommands: two analyzer
+// processes (coordinator + window shard), two shufflers, one client,
+// one round. The shard exits on its own once its window has committed.
+func TestRoleSubcommandsShardedRound(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "peos.key")
+	addrs := freeAddrs(t, 4)
+	coordAddr, shardAddr, sh0Addr, sh1Addr := addrs[0], addrs[1], addrs[2], addrs[3]
+	analyzers := coordAddr + "," + shardAddr
+	shufflers := sh0Addr + "," + sh1Addr
+
+	coordDone := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		runAnalyzer([]string{
+			"-analyzers", analyzers, "-shard", "0", "-shufflers", shufflers,
+			"-key", keyPath, "-keybits", "512",
+			"-oracle", "grr", "-d", "8", "-nr", "6", "-partition", "0,4,8",
+			"-n", "80", "-collections", "1", "-timeout", "30s",
+		})
+	}()
+	waitFile(t, keyPath+".pub")
+	shardDone := make(chan struct{})
+	go func() {
+		defer close(shardDone)
+		runAnalyzer([]string{
+			"-analyzers", analyzers, "-shard", "1", "-shufflers", shufflers,
+			"-key", keyPath,
+			"-oracle", "grr", "-d", "8", "-nr", "6", "-partition", "0,4,8",
+			"-n", "80", "-collections", "1", "-timeout", "30s",
+		})
+	}()
+	shufflerDone := make(chan struct{}, 2)
+	for _, args := range [][]string{
+		{"-index", "0", "-shufflers", shufflers, "-analyzer", analyzers,
+			"-key", keyPath + ".pub", "-nr", "6", "-seal-timeout", "30s"},
+		{"-index", "1", "-shufflers", shufflers, "-analyzer", analyzers,
+			"-key", keyPath + ".pub", "-nr", "6", "-seal-timeout", "30s"},
+	} {
+		args := args
+		go func() {
+			runShuffler(args)
+			shufflerDone <- struct{}{}
+		}()
+	}
+	runClient([]string{
+		"-shufflers", shufflers, "-analyzer", analyzers,
+		"-key", keyPath + ".pub", "-oracle", "grr", "-d", "8",
+		"-n", "80", "-collection", "0", "-seed", "5",
+	})
+	for _, ch := range []<-chan struct{}{coordDone, shardDone, shufflerDone, shufflerDone} {
+		select {
+		case <-ch:
+		case <-time.After(60 * time.Second):
+			t.Fatal("a role did not finish")
+		}
 	}
 }

@@ -15,11 +15,16 @@
 // cumulative estimate must equal the protocol estimator over all
 // rounds' reports. Any drift exits non-zero.
 //
+// With -analyzers > 1 the analyzer tier itself is sharded by domain
+// partition: shard 0 coordinates rounds and higher shards serve their
+// domain window, and the demo additionally proves the merge — summing
+// every shard's window tally reproduces the coordinator's counts.
+//
 // With -kill, the demo instead rehearses the failure drill the CI
-// smoke job runs: one shuffler is hard-killed mid-stream, the round
-// must fail with a clean protocol error (no hang, no partial
-// estimate), and a rerun on a fresh cluster must complete and match
-// the reference.
+// smoke job runs: one shuffler (or, when sharded, one analyzer shard)
+// is hard-killed mid-stream, the round must fail with a clean protocol
+// error (no hang, no partial estimate), and a rerun on a fresh cluster
+// must complete and match the reference.
 //
 // With -chaos, the same run happens through a deterministic fault
 // layer (internal/faultnet): the shuffler mesh takes a hard connection
@@ -29,8 +34,9 @@
 // STILL end bit-identical to the in-process reference with every
 // fault healed automatically — the self-healing demo.
 //
-//	go run ./examples/peos_cluster [-n 400] [-d 16] [-shufflers 2] [-fakes 24]
-//	                               [-collections 2] [-keybits 512] [-seed 1] [-kill|-chaos]
+//	go run ./examples/peos_cluster [-n 400] [-d 16] [-shufflers 2] [-analyzers 1]
+//	                               [-fakes 24] [-collections 2] [-keybits 512]
+//	                               [-seed 1] [-kill|-chaos]
 package main
 
 import (
@@ -53,6 +59,7 @@ var (
 	nFlag       = flag.Int("n", 400, "users per collection round")
 	dFlag       = flag.Int("d", 16, "value domain size")
 	rFlag       = flag.Int("shufflers", 2, "shuffler nodes (R >= 2)")
+	aFlag       = flag.Int("analyzers", 1, "analyzer shard nodes (1 = the classic single analyzer)")
 	nrFlag      = flag.Int("fakes", 24, "joint fake reports per round")
 	colFlag     = flag.Int("collections", 2, "collection rounds")
 	keyBits     = flag.Int("keybits", 512, "DGK modulus bits (paper deploys 3072)")
@@ -83,21 +90,36 @@ func retryPolicy() cluster.RetryPolicy {
 }
 
 // nodes is one running cluster: listeners bound first so the topology
-// carries real ports, then one goroutine per role.
+// carries real ports, then one goroutine per role. analyzers[0] is the
+// coordinator; any further entries are passive window shards.
 type nodes struct {
 	topo      cluster.Topology
-	analyzer  *cluster.Analyzer
+	analyzers []*cluster.Analyzer
 	shufflers []*cluster.Shuffler
 	runErr    []chan error
 }
 
-// startNodes boots an analyzer and R shufflers on loopback. Collection
-// c of shuffler j draws its fake shares from substream c*R+j of seed,
-// the convention the in-process reference mirrors.
+func (ns *nodes) analyzer() *cluster.Analyzer { return ns.analyzers[0] }
+
+// mergedEstimates is the sharded tier's merge proof: sum every
+// analyzer node's window tally and run the shared estimator over it —
+// it must reproduce the coordinator's estimates exactly.
+func (ns *nodes) mergedEstimates(fo ldp.FrequencyOracle) []float64 {
+	shards := make([][]int, len(ns.analyzers))
+	for s, a := range ns.analyzers {
+		shards[s] = a.ShardCounts()
+	}
+	reals, fakes := ns.analyzer().Totals()
+	return protocol.EstimateCounts(fo, protocol.MergeShardCounts(shards), reals, fakes)
+}
+
+// startNodes boots the analyzer tier and R shufflers on loopback.
+// Collection c of shuffler j draws its fake shares from substream
+// c*R+j of seed, the convention the in-process reference mirrors.
 func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int) (*nodes, error) {
-	r := *rFlag
+	r, a := *rFlag, *aFlag
 	lns := make([]net.Listener, r)
-	topo := cluster.Topology{Shufflers: make([]string, r)}
+	topo := cluster.Topology{Shufflers: make([]string, r), Analyzers: make([]string, a)}
 	for j := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -106,28 +128,36 @@ func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int)
 		lns[j] = ln
 		topo.Shufflers[j] = ln.Addr().String()
 	}
-	aln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	alns := make([]net.Listener, a)
+	for s := range alns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		alns[s] = ln
+		topo.Analyzers[s] = ln.Addr().String()
 	}
-	topo.Analyzer = aln.Addr().String()
 
-	acfg := cluster.AnalyzerConfig{
-		Topology:       topo,
-		Listener:       aln,
-		FO:             fo,
-		NR:             *nrFlag,
-		Priv:           priv,
-		CollectTimeout: *timeoutFlag,
+	ns := &nodes{topo: topo}
+	for s := 0; s < a; s++ {
+		acfg := cluster.AnalyzerConfig{
+			Topology:       topo,
+			Listener:       alns[s],
+			FO:             fo,
+			NR:             *nrFlag,
+			Priv:           priv,
+			Shard:          s,
+			CollectTimeout: *timeoutFlag,
+		}
+		if *chaosFlag {
+			acfg.Retry = retryPolicy()
+		}
+		an, err := cluster.NewAnalyzer(acfg)
+		if err != nil {
+			return nil, err
+		}
+		ns.analyzers = append(ns.analyzers, an)
 	}
-	if *chaosFlag {
-		acfg.Retry = retryPolicy()
-	}
-	analyzer, err := cluster.NewAnalyzer(acfg)
-	if err != nil {
-		return nil, err
-	}
-	ns := &nodes{topo: topo, analyzer: analyzer}
 	for j := 0; j < r; j++ {
 		scfg := cluster.ShufflerConfig{
 			Index:       j,
@@ -157,7 +187,9 @@ func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int)
 }
 
 func (ns *nodes) stop() {
-	ns.analyzer.Close()
+	for _, a := range ns.analyzers {
+		a.Close()
+	}
 	for _, sh := range ns.shufflers {
 		sh.Close()
 	}
@@ -246,8 +278,8 @@ func main() {
 		fmt.Println("chaos: mesh resets on connections 0 and 2 after 200 B, client reset on connection 0 after 600 B")
 	}
 
-	fmt.Printf("cluster: %d shufflers + analyzer on loopback TCP, %d fakes/round, %d users/round\n",
-		*rFlag, *nrFlag, *nFlag)
+	fmt.Printf("cluster: %d shufflers + %d analyzer shard(s) on loopback TCP, %d fakes/round, %d users/round\n",
+		*rFlag, *aFlag, *nrFlag, *nFlag)
 	ns, err := startNodes(priv, fo, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -288,7 +320,7 @@ func main() {
 		if err := client.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		col, err := ns.analyzer.Collect(*nFlag)
+		col, err := ns.analyzer().Collect(*nFlag)
 		if err != nil {
 			log.Fatalf("collection %d: %v", c, err)
 		}
@@ -309,10 +341,16 @@ func main() {
 			c, col.Reports, col.Fakes, col.Attempts, top, col.Estimates[:top])
 	}
 	wantCum := protocol.Estimate(fo, refAll, *colFlag**nFlag, *colFlag**nrFlag)
-	if !equal(ns.analyzer.Estimates(), wantCum) {
+	if !equal(ns.analyzer().Estimates(), wantCum) {
 		log.Fatal("FAIL: cumulative estimate diverged from the protocol estimator")
 	}
 	fmt.Printf("cumulative over %d rounds bit-identical to the in-process reference ✓\n", *colFlag)
+	if *aFlag > 1 {
+		if !equal(ns.mergedEstimates(fo), ns.analyzer().Estimates()) {
+			log.Fatal("FAIL: merged per-shard counts diverged from the coordinator")
+		}
+		fmt.Printf("merge proof: %d shards' window tallies re-sum to the coordinator's counts ✓\n", *aFlag)
+	}
 
 	if *chaosFlag {
 		mesh, cl := meshNet.Stats(), clientNet.Stats()
@@ -331,10 +369,15 @@ func main() {
 	}
 }
 
-// runKillDrill is the CI failure rehearsal: kill one shuffler
-// mid-stream, demand a clean protocol error, then rerun to completion
-// on a fresh cluster and demand bit-identity.
+// runKillDrill is the CI failure rehearsal: kill one node mid-stream
+// (a window shard when the tier is sharded, shuffler 0 otherwise),
+// demand a clean protocol error, then rerun to completion on a fresh
+// cluster and demand bit-identity.
 func runKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
+	if *aFlag > 1 {
+		runShardKillDrill(priv, fo)
+		return
+	}
 	fmt.Println("kill drill: shuffler 0 dies mid-stream")
 	ns, err := startNodes(priv, fo, 0)
 	if err != nil {
@@ -358,7 +401,7 @@ func runKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
 	}
 	done := make(chan res, 1)
 	go func() {
-		_, err := ns.analyzer.Collect(*nFlag)
+		_, err := ns.analyzer().Collect(*nFlag)
 		done <- res{err}
 	}()
 	select {
@@ -390,7 +433,7 @@ func runKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
 	if err := client.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	col, err := ns.analyzer.Collect(*nFlag)
+	col, err := ns.analyzer().Collect(*nFlag)
 	if err != nil {
 		log.Fatalf("rerun failed: %v", err)
 	}
@@ -402,4 +445,85 @@ func runKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
 		log.Fatal("FAIL: rerun estimates diverged from protocol.PEOS.Run")
 	}
 	fmt.Println("  rerun completed, estimates bit-identical to the in-process reference ✓")
+}
+
+// runShardKillDrill rehearses an analyzer-shard failure: the full
+// round's reports are in flight, then a window shard is hard-killed.
+// The coordinator must fail the round with a clean protocol error —
+// never a hang, never a partial window commit — and a rerun on a
+// fresh sharded cluster must match the reference and its merge proof.
+func runShardKillDrill(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle) {
+	fmt.Printf("kill drill: analyzer shard 1 of %d dies mid-round\n", *aFlag)
+	ns, err := startNodes(priv, fo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6000), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := synthValues(0)
+	if err := client.SendValues(0, values, rng.Substream(*seedFlag, 8000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	ns.analyzers[1].Crash()
+
+	type res struct {
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		_, err := ns.analyzer().Collect(*nFlag)
+		done <- res{err}
+	}()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			log.Fatal("FAIL: Collect succeeded with a dead analyzer shard")
+		}
+		fmt.Printf("  round failed cleanly: %v\n", r.err)
+	case <-time.After(*timeoutFlag):
+		log.Fatal("FAIL: Collect hung on a dead analyzer shard")
+	}
+	if ns.analyzer().Collections() != 0 {
+		log.Fatal("FAIL: a failed round left a committed window behind")
+	}
+	client.Close()
+	ns.stop()
+
+	fmt.Println("rerun on a fresh sharded cluster:")
+	ns, err = startNodes(priv, fo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ns.stop()
+	client, err = cluster.DialClient(ns.topo, fo, ahe.PublicKey(priv), rng.Substream(*seedFlag, 6001), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SendValues(0, values, rng.Substream(*seedFlag, 8000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	col, err := ns.analyzer().Collect(*nFlag)
+	if err != nil {
+		log.Fatalf("rerun failed: %v", err)
+	}
+	ref, err := refRun(priv, fo, values, func(j int) secretshare.Source { return fakeSource(0, j) }, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !equal(col.Estimates, ref.Estimates) {
+		log.Fatal("FAIL: rerun estimates diverged from protocol.PEOS.Run")
+	}
+	if !equal(ns.mergedEstimates(fo), ns.analyzer().Estimates()) {
+		log.Fatal("FAIL: rerun merge proof failed")
+	}
+	fmt.Println("  rerun completed, estimates bit-identical to the in-process reference, merge proof holds ✓")
 }

@@ -63,6 +63,24 @@ type AnalyzerConfig struct {
 	// HelloTimeout bounds the wait for an inbound connection's hello
 	// frame (0 = DefaultHelloTimeout).
 	HelloTimeout time.Duration
+	// Shard is this node's analyzer-shard index in [0, Topology.A()).
+	// Shard 0 — the default, and the only shard of a single-analyzer
+	// topology — is the coordinator: it drives Collect, owns the full
+	// durable history, and serves estimates. Shards >= 1 are passive
+	// window workers (DESIGN.md §13): they reveal their partition's cut
+	// of each round and keep their own ledger/WAL per committed window.
+	Shard int
+	// Plan is the analyzer tier's domain-partition plan; every shard
+	// (and no other role — shufflers learn the derived cuts from each
+	// seal frame) must be configured with the same plan. The zero value
+	// means EvenPlan(FO.Domain(), Topology.A()).
+	Plan PartitionPlan
+	// DialTimeout bounds connection establishment to the coordinator
+	// (shard nodes only; 0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// Dial, when non-nil, replaces net.DialTimeout for a shard node's
+	// coordinator link — the chaos-injection hook (faultnet fits).
+	Dial DialFunc
 }
 
 func (cfg *AnalyzerConfig) validate() error {
@@ -81,7 +99,27 @@ func (cfg *AnalyzerConfig) validate() error {
 	if cfg.Priv.PlaintextBits() != 64 {
 		return fmt.Errorf("cluster: PEOS requires a Z_{2^64} AHE plaintext space, got 2^%d", cfg.Priv.PlaintextBits())
 	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Topology.A() {
+		return fmt.Errorf("cluster: analyzer shard %d out of range [0, %d)", cfg.Shard, cfg.Topology.A())
+	}
 	return nil
+}
+
+// resolvePlan returns the tier's partition plan: the configured one
+// (validated against the oracle's domain and the topology's shard
+// count) or the balanced default.
+func (cfg *AnalyzerConfig) resolvePlan() (PartitionPlan, error) {
+	a := cfg.Topology.A()
+	if len(cfg.Plan.Bounds) == 0 && cfg.Plan.Analyzers == 0 {
+		return EvenPlan(cfg.FO.Domain(), a)
+	}
+	if err := cfg.Plan.Validate(cfg.FO.Domain()); err != nil {
+		return PartitionPlan{}, err
+	}
+	if cfg.Plan.Analyzers != a {
+		return PartitionPlan{}, fmt.Errorf("cluster: partition plan has %d shards, topology has %d analyzers", cfg.Plan.Analyzers, a)
+	}
+	return cfg.Plan, nil
 }
 
 // Collection is one sealed collection round's outcome.
@@ -108,17 +146,19 @@ type Collection struct {
 // Collect, query with Estimates/Totals, and stop with Close (orderly)
 // or Crash (simulated power cut).
 type Analyzer struct {
-	cfg AnalyzerConfig
-	enc *ldp.WordEncoder
-	mod secretshare.Modulus
-	ln  net.Listener
-	st  *store.Store
+	cfg  AnalyzerConfig
+	plan PartitionPlan
+	enc  *ldp.WordEncoder
+	mod  secretshare.Modulus
+	ln   net.Listener
+	st   *store.Store
 
-	mu       sync.Mutex
-	conns    []net.Conn            // by shuffler index
-	pending  map[net.Conn]struct{} // accepted, hello not yet read
-	connMore chan struct{}
-	closed   bool
+	mu         sync.Mutex
+	conns      []net.Conn            // by shuffler index (control links; data links on a shard)
+	shardConns []net.Conn            // coordinator only: by shard index, slot 0 unused
+	pending    map[net.Conn]struct{} // accepted, hello not yet read
+	connMore   chan struct{}
+	closed     bool
 
 	stateMu     sync.Mutex
 	counts      []int
@@ -126,6 +166,22 @@ type Analyzer struct {
 	fakes       int
 	collections int
 	attempts    uint32 // monotonic attempt counter; never reused, so a generation never repeats
+	// chunkCounts/chunkReals track the support counts and word count of
+	// the windows THIS node revealed — the coordinator's own cut of a
+	// sharded tier (equal to counts/reals on a single analyzer, where
+	// the window is the whole vector). ShardCounts serves them; the
+	// conformance suite sums them across the tier against counts.
+	chunkCounts []int
+	chunkReals  int
+
+	// Shard-node state (cfg.Shard > 0): the coordinator control link,
+	// buffered shuffler chunk frames, the in-flight window attempt, and
+	// the prepared-but-uncommitted windows of the two-phase commit.
+	coord     net.Conn
+	coordWMu  sync.Mutex // serializes writes on the coordinator link
+	chunks    *chunkBuf
+	curShard  *shardAttempt
+	preparedW map[uint32]*preparedWindow
 }
 
 // NewAnalyzer validates cfg, binds the listener, creates the durable
@@ -149,6 +205,9 @@ func NewAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
 		a.st = st
 	}
 	go a.acceptLoop()
+	if a.cfg.Shard > 0 {
+		go a.shardRun()
+	}
 	return a, nil
 }
 
@@ -163,12 +222,17 @@ func prepareAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	ln, err := listenOrUse(cfg.Listener, cfg.Topology.Analyzer)
+	plan, err := cfg.resolvePlan()
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{
+	ln, err := listenOrUse(cfg.Listener, cfg.Topology.AnalyzerAddrs()[cfg.Shard])
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
 		cfg:      cfg,
+		plan:     plan,
 		enc:      enc,
 		mod:      secretshare.NewModulus(64),
 		ln:       ln,
@@ -176,7 +240,16 @@ func prepareAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
 		pending:  make(map[net.Conn]struct{}),
 		connMore: make(chan struct{}, 1),
 		counts:   make([]int, cfg.FO.Domain()),
-	}, nil
+	}
+	if cfg.Shard == 0 && plan.Analyzers > 1 {
+		a.shardConns = make([]net.Conn, plan.Analyzers)
+		a.chunkCounts = make([]int, cfg.FO.Domain())
+	}
+	if cfg.Shard > 0 {
+		a.chunks = newChunkBuf()
+		a.preparedW = make(map[uint32]*preparedWindow)
+	}
+	return a, nil
 }
 
 func (a *Analyzer) storeMeta() store.Meta {
@@ -186,9 +259,13 @@ func (a *Analyzer) storeMeta() store.Meta {
 // Addr returns the bound listen address.
 func (a *Analyzer) Addr() string { return a.ln.Addr().String() }
 
-// acceptLoop registers shuffler connections by their hello index. A
-// reconnecting shuffler (say, restarted after the analyzer recovered)
-// replaces its old link.
+// acceptLoop registers inbound connections by their hello. On every
+// node, shuffler hellos claim the per-shuffler link slot (a
+// reconnecting shuffler replaces its old link); the coordinator of a
+// sharded tier additionally accepts shard hellos, validating the
+// peer's partition plan against its own. On a shard node the shuffler
+// links are chunk DATA links, each drained by its own reader into the
+// chunk buffer.
 func (a *Analyzer) acceptLoop() {
 	for {
 		conn, err := a.ln.Accept()
@@ -214,28 +291,56 @@ func (a *Analyzer) acceptLoop() {
 			}
 			conn.SetReadDeadline(time.Now().Add(helloBound(a.cfg.HelloTimeout)))
 			tag, payload, err := transport.ReadTaggedFrame(conn)
-			if err != nil || tag != tagShufflerHello {
-				drop()
-				return
-			}
-			conn.SetReadDeadline(time.Time{})
-			idx, err := parseHelloIndex(payload, a.cfg.Topology.R())
 			if err != nil {
 				drop()
 				return
 			}
-			a.mu.Lock()
-			delete(a.pending, conn)
-			if a.closed {
+			conn.SetReadDeadline(time.Time{})
+			switch tag {
+			case tagShufflerHello:
+				idx, err := parseHelloIndex(payload, a.cfg.Topology.R())
+				if err != nil {
+					drop()
+					return
+				}
+				a.mu.Lock()
+				delete(a.pending, conn)
+				if a.closed {
+					a.mu.Unlock()
+					conn.Close()
+					return
+				}
+				if old := a.conns[idx]; old != nil {
+					old.Close()
+				}
+				a.conns[idx] = conn
 				a.mu.Unlock()
-				conn.Close()
+				if a.cfg.Shard > 0 {
+					go a.readChunks(idx, conn)
+				}
+			case tagShardHello:
+				shard, plan, err := parseShardHello(payload)
+				if err != nil || a.cfg.Shard != 0 || a.shardConns == nil ||
+					shard >= a.plan.Analyzers || !planEqual(plan, a.plan) {
+					drop()
+					return
+				}
+				a.mu.Lock()
+				delete(a.pending, conn)
+				if a.closed {
+					a.mu.Unlock()
+					conn.Close()
+					return
+				}
+				if old := a.shardConns[shard]; old != nil {
+					old.Close()
+				}
+				a.shardConns[shard] = conn
+				a.mu.Unlock()
+			default:
+				drop()
 				return
 			}
-			if old := a.conns[idx]; old != nil {
-				old.Close()
-			}
-			a.conns[idx] = conn
-			a.mu.Unlock()
 			select {
 			case a.connMore <- struct{}{}:
 			default:
@@ -244,8 +349,9 @@ func (a *Analyzer) acceptLoop() {
 	}
 }
 
-// awaitShufflers blocks until every shuffler link exists.
-func (a *Analyzer) awaitShufflers() ([]net.Conn, error) {
+// awaitShufflers blocks until every shuffler control link — and, on a
+// sharded coordinator, every shard link — exists.
+func (a *Analyzer) awaitShufflers() (conns, shards []net.Conn, err error) {
 	var deadline <-chan time.Time
 	if a.cfg.CollectTimeout > 0 {
 		t := time.NewTimer(a.cfg.CollectTimeout)
@@ -260,19 +366,25 @@ func (a *Analyzer) awaitShufflers() ([]net.Conn, error) {
 				missing++
 			}
 		}
-		conns := append([]net.Conn(nil), a.conns...)
+		for s := 1; s < len(a.shardConns); s++ {
+			if a.shardConns[s] == nil {
+				missing++
+			}
+		}
+		conns = append([]net.Conn(nil), a.conns...)
+		shards = append([]net.Conn(nil), a.shardConns...)
 		closed := a.closed
 		a.mu.Unlock()
 		if closed {
-			return nil, errors.New("cluster: analyzer closed")
+			return nil, nil, errors.New("cluster: analyzer closed")
 		}
 		if missing == 0 {
-			return conns, nil
+			return conns, shards, nil
 		}
 		select {
 		case <-a.connMore:
 		case <-deadline:
-			return nil, fmt.Errorf("cluster: %d shuffler(s) never connected", missing)
+			return nil, nil, fmt.Errorf("cluster: %d cluster link(s) never connected", missing)
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
@@ -309,6 +421,9 @@ func (a *Analyzer) Collect(n int) (Collection, error) {
 	if n <= 0 {
 		return Collection{}, errors.New("cluster: Collect needs n > 0")
 	}
+	if a.cfg.Shard != 0 {
+		return Collection{}, errShardPassive
+	}
 	if a.isClosed() {
 		return Collection{}, errors.New("cluster: analyzer closed")
 	}
@@ -325,7 +440,7 @@ func (a *Analyzer) Collect(n int) (Collection, error) {
 				return Collection{}, errors.New("cluster: analyzer closed")
 			}
 		}
-		conns, err := a.awaitShufflers()
+		conns, shards, err := a.awaitShufflers()
 		if err != nil {
 			if a.isClosed() {
 				return Collection{}, err
@@ -345,10 +460,10 @@ func (a *Analyzer) Collect(n int) (Collection, error) {
 		}
 		charged = true
 		g := gen{col: collection, att: a.nextAttempt()}
-		words, badConn, err := a.attemptRound(conns, g, n)
+		words, badConn, badShard, err := a.attemptRound(conns, shards, g, n)
 		if err != nil {
 			lastErr = fmt.Errorf("cluster: collection %d attempt %d: %w", g.col, g.att, err)
-			a.recoverConns(conns, g, badConn)
+			a.recoverConns(conns, shards, g, badConn, badShard)
 			continue
 		}
 		col, err := a.seal(collection, n, words, true)
@@ -358,6 +473,15 @@ func (a *Analyzer) Collect(n int) (Collection, error) {
 			return Collection{}, err
 		}
 		col.Attempts = try + 1
+		// Second phase of the shard two-phase commit: the coordinator's
+		// durable seal above is the commit point, so the shards now
+		// seal their prepared windows too and confirm. A failure inside
+		// this window is a hard error (the coordinator's round stands;
+		// the shard heals its window from its WAL at the next seal's
+		// watermark — DESIGN.md §13 spells out the caveat).
+		if err := a.commitShards(shards, g); err != nil {
+			return col, fmt.Errorf("cluster: collection %d sealed, but committing analyzer shards failed: %w", collection, err)
+		}
 		a.broadcastDone(conns, collection)
 		return col, nil
 	}
@@ -375,32 +499,66 @@ func (a *Analyzer) nextAttempt() uint32 {
 	return att
 }
 
-// attemptRound runs one generation of a collection: seal broadcast,
-// then one vector per shuffler. On failure it reports which connection
-// had the I/O fault (-1 for protocol-level failures where every link
-// is still healthy), so the retry path drops exactly the dead link.
-func (a *Analyzer) attemptRound(conns []net.Conn, g gen, n int) ([]uint64, int, error) {
+// attemptRound runs one generation of a collection: shard seals (the
+// window workers arm first, so no chunk can beat its seal), the seal
+// broadcast to the shufflers, the coordinator's own window vectors,
+// then each shard's revealed words — reassembled in cut order into the
+// full post-shuffle word vector, byte-identical to what a single
+// analyzer reveals. On failure it reports which shuffler or shard link
+// had the I/O fault (-1/-1 for protocol-level failures where every
+// link is still healthy), so the retry path drops exactly the dead
+// link.
+func (a *Analyzer) attemptRound(conns, shards []net.Conn, g gen, n int) ([]uint64, int, int, error) {
+	total := n + a.cfg.NR
+	cuts := a.plan.Cuts(total)
+	for s := 1; s < len(shards); s++ {
+		if a.cfg.CollectTimeout > 0 {
+			shards[s].SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
+		}
+		err := writeShardSeal(shards[s], g, n)
+		shards[s].SetWriteDeadline(time.Time{})
+		if err != nil {
+			return nil, -1, s, fmt.Errorf("sealing with analyzer shard %d: %w", s, err)
+		}
+	}
 	for j, conn := range conns {
 		if a.cfg.CollectTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
 		}
-		err := writeSealFrame(conn, g, n)
+		err := writeSealFrame(conn, g, n, cuts)
 		conn.SetWriteDeadline(time.Time{})
 		if err != nil {
-			return nil, j, fmt.Errorf("sealing with shuffler %d: %w", j, err)
+			return nil, j, -1, fmt.Errorf("sealing with shuffler %d: %w", j, err)
 		}
 	}
-	return a.awaitVectors(conns, g, n)
+	words, badConn, err := a.awaitVectors(conns, g, cuts[1])
+	if err != nil {
+		return nil, badConn, -1, err
+	}
+	if len(shards) == 0 {
+		return words, -1, -1, nil
+	}
+	full := make([]uint64, total)
+	copy(full, words)
+	for s := 1; s < len(shards); s++ {
+		ws, err := a.awaitShardWords(shards[s], s, g, cuts[s+1]-cuts[s])
+		if err != nil {
+			return nil, -1, s, err
+		}
+		copy(full[cuts[s]:cuts[s+1]], ws)
+	}
+	return full, -1, -1, nil
 }
 
-// awaitVectors reads one vector frame per shuffler, reconstructs the
-// share sum, and decrypts the encrypted column. Frames stamped with an
-// older generation are leftovers of aborted attempts (a late vector or
-// its fail notice) and are skipped; the read deadline still bounds how
-// long stale traffic can stall the round.
-func (a *Analyzer) awaitVectors(conns []net.Conn, g gen, n int) ([]uint64, int, error) {
+// awaitVectors reads one vector frame per shuffler — each carrying
+// this node's cut window of the post-shuffle vector (the whole vector
+// on a single analyzer) — reconstructs the share sum, and decrypts the
+// encrypted column. Frames stamped with an older generation are
+// leftovers of aborted attempts (a late vector or its fail notice) and
+// are skipped; the read deadline still bounds how long stale traffic
+// can stall the round.
+func (a *Analyzer) awaitVectors(conns []net.Conn, g gen, total int) ([]uint64, int, error) {
 	r := a.cfg.Topology.R()
-	total := n + a.cfg.NR
 	st := &oblivious.State{Plain: make([][]uint64, r), EncHolder: -1}
 	for j, conn := range conns {
 	read:
@@ -461,10 +619,11 @@ func (a *Analyzer) awaitVectors(conns []net.Conn, g gen, n int) ([]uint64, int, 
 }
 
 // recoverConns cleans up after a failed attempt: the connection whose
-// I/O failed is dropped (its shuffler redials the control link), the
-// others get an abort frame so their attempt goroutines cancel
-// promptly; a link that cannot even take the abort is dropped too.
-func (a *Analyzer) recoverConns(conns []net.Conn, g gen, badConn int) {
+// I/O failed is dropped (its shuffler — or shard — redials the control
+// link), the others get an abort frame so their attempt goroutines
+// cancel promptly; a link that cannot even take the abort is dropped
+// too.
+func (a *Analyzer) recoverConns(conns, shards []net.Conn, g gen, badConn, badShard int) {
 	for j, conn := range conns {
 		if conn == nil {
 			continue
@@ -480,6 +639,24 @@ func (a *Analyzer) recoverConns(conns []net.Conn, g gen, badConn int) {
 		conn.SetWriteDeadline(time.Time{})
 		if err != nil {
 			a.dropShuffler(j, conn)
+		}
+	}
+	for s := 1; s < len(shards); s++ {
+		conn := shards[s]
+		if conn == nil {
+			continue
+		}
+		if s == badShard {
+			a.dropShard(s, conn)
+			continue
+		}
+		if a.cfg.CollectTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.CollectTimeout))
+		}
+		err := writeAbortFrame(conn, g)
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			a.dropShard(s, conn)
 		}
 	}
 }
@@ -510,6 +687,17 @@ func (a *Analyzer) dropShuffler(j int, conn net.Conn) {
 	a.mu.Lock()
 	if a.conns[j] == conn {
 		a.conns[j] = nil
+	}
+	a.mu.Unlock()
+	conn.Close()
+}
+
+// dropShard closes a dead analyzer-shard link and clears its slot (if
+// still current) so awaitShufflers waits for the shard's redial.
+func (a *Analyzer) dropShard(s int, conn net.Conn) {
+	a.mu.Lock()
+	if a.shardConns[s] == conn {
+		a.shardConns[s] = nil
 	}
 	a.mu.Unlock()
 	conn.Close()
@@ -552,6 +740,18 @@ func (a *Analyzer) seal(collection uint32, n int, words []uint64, persist bool) 
 	a.reals += n
 	a.fakes += a.cfg.NR
 	a.collections = int(collection) + 1
+	if a.chunkCounts != nil {
+		// Track the coordinator's own window tally. Recomputed from the
+		// words (not captured during the reveal) so a recovery replay —
+		// which re-seals from the WAL'd full vector — derives the same
+		// chunk deterministically.
+		cut := a.plan.Cuts(len(words))[1]
+		chunk := ldp.SupportCounts(a.cfg.FO, reports[:cut])
+		for v, c := range chunk {
+			a.chunkCounts[v] += c
+		}
+		a.chunkReals += cut
+	}
 	cum := protocol.EstimateCounts(a.cfg.FO, a.counts, a.reals, a.fakes)
 	a.stateMu.Unlock()
 	if a.st != nil {
@@ -590,6 +790,24 @@ func (a *Analyzer) Collections() int {
 	return a.collections
 }
 
+// ShardCounts returns the cumulative support counts over the vector
+// windows THIS node revealed: a shard's full tally, the coordinator's
+// own cut on a sharded tier, and the whole count vector on a single
+// analyzer. Summing every tier member's ShardCounts with
+// protocol.MergeShardCounts reproduces the coordinator's cumulative
+// counts exactly — the merge proof obligation of DESIGN.md §13. (A
+// coordinator recovered from a pre-sharding store starts with its
+// window tally equal to the full counts: it really did reveal every
+// word of those rounds.)
+func (a *Analyzer) ShardCounts() []int {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	if a.chunkCounts != nil {
+		return append([]int(nil), a.chunkCounts...)
+	}
+	return append([]int(nil), a.counts...)
+}
+
 // Close shuts the node down in an orderly way: the listener and every
 // shuffler link drop (shufflers read EOF and exit their Run cleanly),
 // and the durable store is flushed and closed.
@@ -612,10 +830,18 @@ func (a *Analyzer) shutdown(crash bool) {
 	}
 	a.closed = true
 	conns := append([]net.Conn(nil), a.conns...)
+	conns = append(conns, a.shardConns...)
+	if a.coord != nil {
+		conns = append(conns, a.coord)
+	}
 	for c := range a.pending {
 		conns = append(conns, c)
 	}
+	cur := a.curShard
 	a.mu.Unlock()
+	if cur != nil {
+		cur.abort()
+	}
 	a.ln.Close()
 	for _, c := range conns {
 		if c != nil {
@@ -635,10 +861,15 @@ func (a *Analyzer) shutdown(crash bool) {
 // --- durable state blob ---
 
 // stateMagic/stateVersion frame the cumulative-counts blob stored in
-// the checkpoint's aggregate slot.
+// the checkpoint's aggregate slot. Version 1 is the single-analyzer
+// (and shard-node) layout; version 2 — written only by a sharded
+// coordinator — appends the node's own window tally
+// ([chunkReals u64][chunkCounts u64 × d]) so ShardCounts survives
+// recovery.
 const (
-	stateMagic   = "PEOA"
-	stateVersion = 1
+	stateMagic        = "PEOA"
+	stateVersion      = 1
+	stateVersionShard = 2
 )
 
 // marshalState encodes (NR, reals, fakes, collections, counts). NR is
@@ -646,8 +877,12 @@ const (
 // refused (it would silently mis-calibrate every estimate) instead of
 // loaded. Callers hold stateMu.
 func (a *Analyzer) marshalState() []byte {
+	version := byte(stateVersion)
+	if a.chunkCounts != nil {
+		version = stateVersionShard
+	}
 	buf := append([]byte(nil), stateMagic...)
-	buf = append(buf, stateVersion)
+	buf = append(buf, version)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.cfg.NR))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.reals))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.fakes))
@@ -655,6 +890,12 @@ func (a *Analyzer) marshalState() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.counts)))
 	for _, c := range a.counts {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	if version == stateVersionShard {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.chunkReals))
+		for _, c := range a.chunkCounts {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+		}
 	}
 	return buf
 }
@@ -664,8 +905,9 @@ func (a *Analyzer) unmarshalState(data []byte) error {
 	if len(data) < hdr || string(data[:4]) != stateMagic {
 		return errors.New("cluster: malformed analyzer state blob")
 	}
-	if data[4] != stateVersion {
-		return fmt.Errorf("cluster: analyzer state version %d (this build reads %d)", data[4], stateVersion)
+	version := data[4]
+	if version != stateVersion && version != stateVersionShard {
+		return fmt.Errorf("cluster: analyzer state version %d (this build reads %d and %d)", version, stateVersion, stateVersionShard)
 	}
 	nr := int(binary.LittleEndian.Uint32(data[5:]))
 	if nr != a.cfg.NR {
@@ -678,7 +920,11 @@ func (a *Analyzer) unmarshalState(data []byte) error {
 	if d != a.cfg.FO.Domain() {
 		return fmt.Errorf("cluster: state blob covers domain %d, oracle has %d", d, a.cfg.FO.Domain())
 	}
-	if len(data) != hdr+8*d {
+	want := hdr + 8*d
+	if version == stateVersionShard {
+		want += 8 + 8*d
+	}
+	if len(data) != want {
 		return errors.New("cluster: truncated analyzer state blob")
 	}
 	a.reals = int(reals)
@@ -686,6 +932,23 @@ func (a *Analyzer) unmarshalState(data []byte) error {
 	a.collections = int(collections)
 	for v := range a.counts {
 		a.counts[v] = int(binary.LittleEndian.Uint64(data[hdr+8*v:]))
+	}
+	switch {
+	case version == stateVersionShard && a.chunkCounts != nil:
+		off := hdr + 8*d
+		a.chunkReals = int(binary.LittleEndian.Uint64(data[off:]))
+		for v := range a.chunkCounts {
+			a.chunkCounts[v] = int(binary.LittleEndian.Uint64(data[off+8+8*v:]))
+		}
+	case version == stateVersionShard:
+		return errors.New("cluster: sharded-coordinator state blob, but this node is not a sharded coordinator")
+	case a.chunkCounts != nil:
+		// A pre-sharding store scaled out under a sharded topology: this
+		// node revealed every word of the recorded rounds, so its window
+		// tally starts at the full counts (keeping the tier-wide merge
+		// sum exact — the fresh shards contribute zero for old rounds).
+		copy(a.chunkCounts, a.counts)
+		a.chunkReals = a.reals + a.fakes
 	}
 	return nil
 }
@@ -737,11 +1000,17 @@ func RecoverAnalyzer(cfg AnalyzerConfig) (*Analyzer, error) {
 		return nil, err
 	}
 	go a.acceptLoop()
+	if a.cfg.Shard > 0 {
+		go a.shardRun()
+	}
 	return a, nil
 }
 
 // restore applies the checkpoint and replays the WAL tail. It runs
-// before the accept loop exists, so it mutates state freely.
+// before the accept loop exists, so it mutates state freely. Shard
+// nodes replay with shard semantics (restoreShard): a words record is
+// a PREPARED window there, so marker-less words are kept pending for
+// the seal-watermark healing instead of dropped.
 func (a *Analyzer) restore(rec *store.Recovered) error {
 	if cp := rec.Checkpoint; cp != nil {
 		if err := a.unmarshalState(cp.AllTime); err != nil {
@@ -752,6 +1021,9 @@ func (a *Analyzer) restore(rec *store.Recovered) error {
 				return fmt.Errorf("cluster: restoring ledger: %w", err)
 			}
 		}
+	}
+	if a.cfg.Shard > 0 {
+		return a.restoreShard(rec)
 	}
 	// The tail holds, per interrupted collection, one words record and
 	// — if the seal got as far as the marker — the rotation marker.

@@ -1,0 +1,169 @@
+package cluster
+
+// The domain-partition plan behind analyzer sharding (DESIGN.md §13).
+//
+// A PartitionPlan splits the d frequency locations into contiguous,
+// possibly empty slices — one per analyzer shard. Shard a owns the
+// half-open location range [Bounds[a], Bounds[a+1]). Because the
+// post-shuffle report vector carries secret shares (the shufflers
+// cannot see which location a report supports), the plan cannot route
+// individual reports by value; instead it derives proportional CUTS of
+// the shuffled vector: shard a decrypts/reveals the window
+// [Cuts[a], Cuts[a+1]) of the n+NR words. Support counting is additive
+// over any split of the report vector, so summing the per-shard counts
+// (protocol.MergeShardCounts) reproduces the single-analyzer counts
+// exactly — the bit-identity the conformance suite proves.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PartitionPlan assigns each analyzer shard a contiguous slice of the
+// d domain locations. Bounds has Analyzers+1 entries with Bounds[0]=0,
+// Bounds[Analyzers]=d, non-decreasing; shard a owns locations
+// [Bounds[a], Bounds[a+1]). Empty slices are legal (analyzers > d).
+type PartitionPlan struct {
+	// Analyzers is the shard count (≥ 1). Shard 0 is the coordinator.
+	Analyzers int
+	// Bounds are the partition boundaries over the domain [0, d).
+	Bounds []int
+}
+
+// maxPlanAnalyzers bounds the shard count a wire frame may carry; it
+// exists to keep a malformed hello from allocating unbounded bounds.
+const maxPlanAnalyzers = 1 << 12
+
+// EvenPlan returns the balanced partition of d locations across the
+// given number of analyzers: shard a owns [a*d/analyzers,
+// (a+1)*d/analyzers). Sizes differ by at most one location.
+func EvenPlan(d, analyzers int) (PartitionPlan, error) {
+	if d < 1 {
+		return PartitionPlan{}, fmt.Errorf("cluster: partition needs d >= 1, got %d", d)
+	}
+	if analyzers < 1 || analyzers > maxPlanAnalyzers {
+		return PartitionPlan{}, fmt.Errorf("cluster: analyzers must be in [1, %d], got %d", maxPlanAnalyzers, analyzers)
+	}
+	bounds := make([]int, analyzers+1)
+	for a := range bounds {
+		bounds[a] = a * d / analyzers
+	}
+	return PartitionPlan{Analyzers: analyzers, Bounds: bounds}, nil
+}
+
+// Validate checks the structural plan invariants against the domain
+// size d: shard count in range, Bounds of the right length, starting
+// at 0, ending at d, and non-decreasing.
+func (p PartitionPlan) Validate(d int) error {
+	if p.Analyzers < 1 || p.Analyzers > maxPlanAnalyzers {
+		return fmt.Errorf("cluster: partition plan has %d analyzers, want [1, %d]", p.Analyzers, maxPlanAnalyzers)
+	}
+	if len(p.Bounds) != p.Analyzers+1 {
+		return fmt.Errorf("cluster: partition plan has %d bounds for %d analyzers", len(p.Bounds), p.Analyzers)
+	}
+	if p.Bounds[0] != 0 {
+		return fmt.Errorf("cluster: partition plan starts at %d, want 0", p.Bounds[0])
+	}
+	if p.Bounds[p.Analyzers] != d {
+		return fmt.Errorf("cluster: partition plan ends at %d, want d=%d", p.Bounds[p.Analyzers], d)
+	}
+	for a := 1; a < len(p.Bounds); a++ {
+		if p.Bounds[a] < p.Bounds[a-1] {
+			return fmt.Errorf("cluster: partition bound %d decreases (%d < %d)", a, p.Bounds[a], p.Bounds[a-1])
+		}
+	}
+	return nil
+}
+
+// D returns the domain size the plan covers (its final bound).
+func (p PartitionPlan) D() int {
+	if len(p.Bounds) == 0 {
+		return 0
+	}
+	return p.Bounds[len(p.Bounds)-1]
+}
+
+// Owner returns the shard index owning domain location loc. Empty
+// slices own no locations, so the answer is unique for every
+// loc in [0, D()).
+func (p PartitionPlan) Owner(loc int) int {
+	for a := 0; a < p.Analyzers; a++ {
+		if loc >= p.Bounds[a] && loc < p.Bounds[a+1] {
+			return a
+		}
+	}
+	return -1
+}
+
+// Cuts derives the report-vector split for a round with total words
+// (n reports + NR fakes): shard a reveals the window
+// [cuts[a], cuts[a+1]). Each shard's window is proportional to its
+// share of the domain, the windows are non-overlapping, and they cover
+// [0, total) exactly — the properties the partition tests pin down.
+func (p PartitionPlan) Cuts(total int) []int {
+	d := int64(p.D())
+	cuts := make([]int, len(p.Bounds))
+	for a, b := range p.Bounds {
+		// int64 math: total and the bound are both u32-sized, the
+		// product can exceed 32 bits.
+		cuts[a] = int(int64(total) * int64(b) / d)
+	}
+	return cuts
+}
+
+// encodePartitionPlan serializes a plan as
+// [analyzers u16][bound u32 × (analyzers+1)], the layout embedded in
+// the shard hello and exercised by FuzzPartitionWire.
+func encodePartitionPlan(p PartitionPlan) []byte {
+	buf := make([]byte, 2+4*len(p.Bounds))
+	binary.BigEndian.PutUint16(buf[0:2], uint16(p.Analyzers))
+	for i, b := range p.Bounds {
+		binary.BigEndian.PutUint32(buf[2+4*i:], uint32(b))
+	}
+	return buf
+}
+
+// parsePartitionPlan decodes encodePartitionPlan's layout, enforcing
+// the structural invariants (length, first bound 0, monotonicity)
+// against a hostile peer; the caller still validates the final bound
+// against its own domain size.
+func parsePartitionPlan(payload []byte) (PartitionPlan, error) {
+	if len(payload) < 2 {
+		return PartitionPlan{}, errBadFrame
+	}
+	analyzers := int(binary.BigEndian.Uint16(payload[0:2]))
+	if analyzers < 1 || analyzers > maxPlanAnalyzers {
+		return PartitionPlan{}, errBadFrame
+	}
+	if len(payload) != 2+4*(analyzers+1) {
+		return PartitionPlan{}, errBadFrame
+	}
+	bounds := make([]int, analyzers+1)
+	for i := range bounds {
+		bounds[i] = int(binary.BigEndian.Uint32(payload[2+4*i:]))
+	}
+	p := PartitionPlan{Analyzers: analyzers, Bounds: bounds}
+	if err := p.Validate(p.D()); err != nil {
+		return PartitionPlan{}, errBadFrame
+	}
+	return p, nil
+}
+
+// planEqual reports whether two plans are identical — the check the
+// coordinator runs against every shard hello so a topology where the
+// operators configured different -partition flags fails fast instead
+// of producing silently wrong windows.
+func planEqual(a, b PartitionPlan) bool {
+	if a.Analyzers != b.Analyzers || len(a.Bounds) != len(b.Bounds) {
+		return false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var errShardPassive = errors.New("cluster: shard analyzers are passive; call Collect on the coordinator (shard 0)")

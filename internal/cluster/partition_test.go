@@ -1,0 +1,207 @@
+package cluster
+
+// Partition-boundary properties: every domain location is owned by
+// exactly one shard, the proportional cuts tile the report vector
+// exactly, and the degenerate shapes — d=1, more analyzers than
+// locations, empty shards, non-dividing domain sizes — all validate
+// and route correctly. These invariants are what make the sharded
+// tier's merge exact (protocol.MergeShardCounts), so they are tested
+// directly, not only through the end-to-end conformance suite.
+
+import (
+	"bytes"
+	"testing"
+
+	"shuffledp/internal/transport"
+)
+
+func TestEvenPlanCoversEveryShape(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 8, 16, 37} {
+		for analyzers := 1; analyzers <= 6; analyzers++ {
+			p, err := EvenPlan(d, analyzers)
+			if err != nil {
+				t.Fatalf("EvenPlan(%d, %d): %v", d, analyzers, err)
+			}
+			if err := p.Validate(d); err != nil {
+				t.Fatalf("EvenPlan(%d, %d) invalid: %v", d, analyzers, err)
+			}
+			if p.D() != d {
+				t.Fatalf("EvenPlan(%d, %d).D() = %d", d, analyzers, p.D())
+			}
+			// Every location owned exactly once, by the shard whose
+			// bounds bracket it.
+			perShard := make([]int, analyzers)
+			for loc := 0; loc < d; loc++ {
+				s := p.Owner(loc)
+				if s < 0 || s >= analyzers {
+					t.Fatalf("EvenPlan(%d, %d).Owner(%d) = %d", d, analyzers, loc, s)
+				}
+				if loc < p.Bounds[s] || loc >= p.Bounds[s+1] {
+					t.Fatalf("owner %d of location %d contradicts bounds %v", s, loc, p.Bounds)
+				}
+				perShard[s]++
+			}
+			total := 0
+			for s, c := range perShard {
+				if c != p.Bounds[s+1]-p.Bounds[s] {
+					t.Fatalf("shard %d owns %d locations, bounds %v say %d", s, c, p.Bounds, p.Bounds[s+1]-p.Bounds[s])
+				}
+				total += c
+			}
+			if total != d {
+				t.Fatalf("plan %v covers %d of %d locations", p.Bounds, total, d)
+			}
+			// Balance: an even plan's shard sizes differ by at most one.
+			min, max := d, 0
+			for s := 0; s < analyzers; s++ {
+				size := p.Bounds[s+1] - p.Bounds[s]
+				if size < min {
+					min = size
+				}
+				if size > max {
+					max = size
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("EvenPlan(%d, %d) unbalanced: %v", d, analyzers, p.Bounds)
+			}
+		}
+	}
+	if p, err := EvenPlan(1, 3); err != nil || p.Owner(0) < 0 {
+		t.Fatalf("d=1 with 3 analyzers: plan %v err %v", p.Bounds, err)
+	}
+	if _, err := EvenPlan(0, 1); err == nil {
+		t.Fatal("EvenPlan accepted an empty domain")
+	}
+	if _, err := EvenPlan(8, 0); err == nil {
+		t.Fatal("EvenPlan accepted zero analyzers")
+	}
+	if _, err := EvenPlan(8, maxPlanAnalyzers+1); err == nil {
+		t.Fatal("EvenPlan accepted an oversized analyzer count")
+	}
+}
+
+func TestCutsTileTheVectorExactly(t *testing.T) {
+	plans := []PartitionPlan{
+		{Analyzers: 1, Bounds: []int{0, 8}},
+		{Analyzers: 2, Bounds: []int{0, 3, 8}},
+		{Analyzers: 3, Bounds: []int{0, 3, 3, 8}}, // middle shard empty
+		{Analyzers: 4, Bounds: []int{0, 1, 1, 1, 1}},
+		{Analyzers: 3, Bounds: []int{0, 12, 25, 37}},
+	}
+	for _, p := range plans {
+		if err := p.Validate(p.D()); err != nil {
+			t.Fatalf("plan %v: %v", p.Bounds, err)
+		}
+		for _, total := range []int{0, 1, 2, 7, 100, 101, 4096} {
+			cuts := p.Cuts(total)
+			if len(cuts) != p.Analyzers+1 {
+				t.Fatalf("plan %v: %d cuts for %d shards", p.Bounds, len(cuts), p.Analyzers)
+			}
+			if cuts[0] != 0 || cuts[p.Analyzers] != total {
+				t.Fatalf("plan %v total %d: cuts %v do not span the vector", p.Bounds, total, cuts)
+			}
+			sum := 0
+			for s := 0; s < p.Analyzers; s++ {
+				w := cuts[s+1] - cuts[s]
+				if w < 0 {
+					t.Fatalf("plan %v total %d: negative window %d in %v", p.Bounds, total, s, cuts)
+				}
+				// A window is proportional to its domain share, within
+				// the integer rounding of the two floor divisions.
+				exact := float64(total) * float64(p.Bounds[s+1]-p.Bounds[s]) / float64(p.D())
+				if float64(w) < exact-1 || float64(w) > exact+1 {
+					t.Fatalf("plan %v total %d: window %d is %d words, expected ~%.1f", p.Bounds, total, s, w, exact)
+				}
+				sum += w
+			}
+			if sum != total {
+				t.Fatalf("plan %v total %d: windows sum to %d", p.Bounds, total, sum)
+			}
+		}
+	}
+}
+
+func TestPartitionPlanValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    PartitionPlan
+		d    int
+	}{
+		{"no bounds", PartitionPlan{Analyzers: 2}, 8},
+		{"length mismatch", PartitionPlan{Analyzers: 2, Bounds: []int{0, 8}}, 8},
+		{"nonzero start", PartitionPlan{Analyzers: 1, Bounds: []int{1, 8}}, 8},
+		{"wrong end", PartitionPlan{Analyzers: 1, Bounds: []int{0, 7}}, 8},
+		{"decreasing", PartitionPlan{Analyzers: 2, Bounds: []int{0, 5, 4}}, 8},
+		{"negative bound", PartitionPlan{Analyzers: 2, Bounds: []int{0, -1, 8}}, 8},
+		{"zero analyzers", PartitionPlan{Analyzers: 0, Bounds: []int{0}}, 8},
+		{"too many analyzers", PartitionPlan{Analyzers: maxPlanAnalyzers + 1, Bounds: make([]int, maxPlanAnalyzers+2)}, 8},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(tc.d); err == nil {
+			t.Errorf("%s: Validate accepted %v over domain %d", tc.name, tc.p.Bounds, tc.d)
+		}
+	}
+	if Owner := (PartitionPlan{Analyzers: 1, Bounds: []int{0, 4}}).Owner(9); Owner != -1 {
+		t.Fatalf("Owner of an out-of-domain location = %d, want -1", Owner)
+	}
+}
+
+// FuzzPartitionWire throws arbitrary payloads at the partition-plan
+// and shard-hello parsers: no panic, and whatever parses must
+// re-encode to the exact payload (the round-trip contract every
+// control-frame parser in this package obeys). CI runs a short smoke
+// of this target; the checked-in corpus keeps the interesting shapes.
+func FuzzPartitionWire(f *testing.F) {
+	seedPlans := []PartitionPlan{
+		{Analyzers: 1, Bounds: []int{0, 1}},
+		{Analyzers: 2, Bounds: []int{0, 3, 8}},
+		{Analyzers: 3, Bounds: []int{0, 0, 0, 1}}, // analyzers > d
+		{Analyzers: 3, Bounds: []int{0, 3, 3, 8}}, // empty middle shard
+		{Analyzers: 2, Bounds: []int{0, 12, 37}},  // non-dividing domain
+	}
+	for _, p := range seedPlans {
+		f.Add(uint8(0), encodePartitionPlan(p))
+	}
+	var hello bytes.Buffer
+	if err := writeShardHello(&hello, 1, seedPlans[1]); err != nil {
+		f.Fatal(err)
+	}
+	if _, payload, err := transport.ReadTaggedFrame(&hello); err == nil {
+		f.Add(uint8(1), payload)
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		switch kind % 2 {
+		case 0:
+			p, err := parsePartitionPlan(payload)
+			if err != nil {
+				return
+			}
+			if err := p.Validate(p.D()); err != nil {
+				t.Fatalf("parsePartitionPlan returned an invalid plan %v: %v", p.Bounds, err)
+			}
+			if re := encodePartitionPlan(p); !bytes.Equal(re, payload) {
+				t.Fatalf("plan re-encode mismatch: %x vs %x", re, payload)
+			}
+		case 1:
+			shard, p, err := parseShardHello(payload)
+			if err != nil {
+				return
+			}
+			if shard < 1 || shard >= p.Analyzers {
+				t.Fatalf("parseShardHello accepted shard %d of %d", shard, p.Analyzers)
+			}
+			var buf bytes.Buffer
+			if err := writeShardHello(&buf, shard, p); err != nil {
+				t.Fatal(err)
+			}
+			_, re, err := transport.ReadTaggedFrame(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("shard hello re-encode mismatch: %x vs %x", re, payload)
+			}
+		}
+	})
+}

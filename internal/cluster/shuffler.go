@@ -118,6 +118,7 @@ type fakeSet struct {
 type attempt struct {
 	g      gen
 	n      int
+	cuts   []int // analyzer-shard windows of the output vector
 	cancel chan struct{}
 
 	mu      sync.Mutex
@@ -211,6 +212,10 @@ type Shuffler struct {
 	// attempt's fail notice must not interleave with its successor's
 	// vector).
 	anMu sync.Mutex
+	// shardMu guards the persistent data links to analyzer shards >= 1
+	// (and serializes their writes, including the lazy dial).
+	shardMu    sync.Mutex
+	shardConns map[string]net.Conn
 
 	mu          sync.Mutex
 	analyzer    net.Conn
@@ -343,11 +348,11 @@ func (s *Shuffler) Run() error {
 		}
 		switch tag {
 		case tagSeal:
-			g, n, err := parseSealFrame(payload)
+			g, n, cuts, err := parseSealFrame(payload)
 			if err != nil {
 				return err
 			}
-			s.startAttempt(g, n)
+			s.startAttempt(g, n, cuts)
 		case tagAbort:
 			g, err := parseAbortFrame(payload)
 			if err != nil {
@@ -369,7 +374,7 @@ func (s *Shuffler) Run() error {
 // connectAnalyzer dials the analyzer, identifies this node, and swaps
 // the fresh link in (closing a dead predecessor).
 func (s *Shuffler) connectAnalyzer() error {
-	conn, err := dialRetry(s.cfg.Dial, s.cfg.Topology.Analyzer, s.cfg.DialTimeout)
+	conn, err := dialRetry(s.cfg.Dial, s.cfg.Topology.Coordinator(), s.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -396,7 +401,7 @@ func (s *Shuffler) connectAnalyzer() error {
 // predecessor — a newer seal supersedes whatever was running) and
 // launches its goroutine. A seal for a generation not newer than the
 // current one is stale control traffic and ignored.
-func (s *Shuffler) startAttempt(g gen, n int) {
+func (s *Shuffler) startAttempt(g gen, n int, cuts []int) {
 	s.mu.Lock()
 	prev := s.cur
 	if prev != nil && !prev.g.less(g) {
@@ -407,7 +412,7 @@ func (s *Shuffler) startAttempt(g gen, n int) {
 		s.mu.Unlock()
 		return
 	}
-	cur := &attempt{g: g, n: n, cancel: make(chan struct{})}
+	cur := &attempt{g: g, n: n, cuts: cuts, cancel: make(chan struct{})}
 	s.cur = cur
 	// Collections before this one can never seal again; parked mesh
 	// connections from older generations serve aborted attempts.
@@ -566,13 +571,92 @@ func (s *Shuffler) collect(a *attempt) error {
 		return err
 	}
 
-	// Forward stage: the post-shuffle vector goes to the analyzer,
+	// Forward stage: the post-shuffle vector goes to the analyzer tier,
 	// stamped with the attempt's generation so a stale vector from an
-	// aborted attempt is recognizable.
-	if outEnc != nil {
-		return s.writeAnalyzer(tagEncVector, prefixed(a.g, encodeCiphertexts(s.cfg.Pub, outEnc)))
+	// aborted attempt is recognizable. The seal's cuts slice the vector
+	// into per-shard windows: window 0 rides the coordinator control
+	// link (with one analyzer, that is the whole vector — the legacy
+	// wire behavior), the rest go to their shards' data links. Empty
+	// windows are still sent, so every shard sees every attempt.
+	//
+	// Shard windows go out FIRST: once window 0 lands, the coordinator
+	// stops reading this shuffler's control link (it moves on to
+	// awaiting the shards' words), so a shard-link failure detected
+	// after window 0 would tagFail into an unread socket and deadlock
+	// the attempt until a timeout. Failing before window 0 keeps every
+	// failure inside the coordinator's awaitVectors stage, where it
+	// aborts and retries promptly.
+	if len(a.cuts) < 2 || a.cuts[len(a.cuts)-1] != total {
+		return fmt.Errorf("%w: seal cuts cover %v of %d reports", errBadFrame, a.cuts, total)
 	}
-	return s.writeAnalyzer(tagVector, prefixed(a.g, transport.EncodeUint64s(outPlain)))
+	addrs := s.cfg.Topology.AnalyzerAddrs()
+	if len(a.cuts)-1 != len(addrs) {
+		return fmt.Errorf("%w: seal names %d analyzer windows, topology has %d analyzers", errBadFrame, len(a.cuts)-1, len(addrs))
+	}
+	window := func(sh int) (uint32, []byte) {
+		lo, hi := a.cuts[sh], a.cuts[sh+1]
+		if outEnc != nil {
+			return tagEncVector, encodeCiphertexts(s.cfg.Pub, outEnc[lo:hi])
+		}
+		return tagVector, transport.EncodeUint64s(outPlain[lo:hi])
+	}
+	for sh := 1; sh < len(addrs); sh++ {
+		if a.canceled() {
+			return errAttemptAborted
+		}
+		tag, body := window(sh)
+		if err := s.writeShard(addrs[sh], tag, prefixed(a.g, body)); err != nil {
+			return fmt.Errorf("cluster: forwarding window %d: %w", sh, err)
+		}
+	}
+	if a.canceled() {
+		return errAttemptAborted
+	}
+	tag, body := window(0)
+	if err := s.writeAnalyzer(tag, prefixed(a.g, body)); err != nil {
+		return fmt.Errorf("cluster: forwarding window 0: %w", err)
+	}
+	return nil
+}
+
+// writeShard forwards one chunk frame to an analyzer shard over a
+// lazily-dialed persistent data link. A write failure drops the link
+// (the next attempt redials) and fails this attempt — the coordinator
+// retries the round.
+func (s *Shuffler) writeShard(addr string, tag uint32, payload []byte) error {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if s.isClosed() {
+		return errors.New("cluster: shuffler closed")
+	}
+	conn := s.shardConns[addr]
+	if conn == nil {
+		var err error
+		conn, err = dialRetry(s.cfg.Dial, addr, s.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		if err := writeHello(conn, tagShufflerHello, s.cfg.Index); err != nil {
+			conn.Close()
+			return err
+		}
+		if s.shardConns == nil {
+			s.shardConns = make(map[string]net.Conn)
+		}
+		s.shardConns[addr] = conn
+	}
+	if s.cfg.SealTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.SealTimeout)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if err := transport.WriteTaggedFrame(conn, tag, payload); err != nil {
+		conn.Close()
+		delete(s.shardConns, addr)
+		return err
+	}
+	return nil
 }
 
 // mesh forms the attempt's peer connections: dial every lower-index
@@ -962,6 +1046,12 @@ func (s *Shuffler) teardown() {
 	if analyzer != nil {
 		analyzer.Close()
 	}
+	s.shardMu.Lock()
+	for addr, c := range s.shardConns {
+		c.Close()
+		delete(s.shardConns, addr)
+	}
+	s.shardMu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}

@@ -1,0 +1,151 @@
+package stattest_test
+
+// Statistical acceptance of the SHARDED cluster deployment: the same
+// stattest band the streaming service passes, applied to a 2-shard
+// PEOS cluster round over loopback TCP on the clickstream workload
+// (the Zipf dataset of examples/clickstream_peos). The conformance
+// suite in internal/cluster proves the sharded tier bit-identical to
+// the single-analyzer protocol; this test closes the remaining gap —
+// that the protocol those shards jointly compute is itself a correctly
+// calibrated, unbiased estimator. A partition that dropped a window,
+// double-counted a boundary location, or mis-merged shard counts
+// would blow the MSE band by orders of magnitude.
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shuffledp"
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/stattest"
+)
+
+var (
+	clusterKeyOnce sync.Once
+	clusterKey     *ahe.DGKPrivateKey
+	clusterKeyErr  error
+)
+
+// clusterStatKey generates one DGK-512 pair for every trial of this
+// file. The estimates do not depend on the key (decryption is exact),
+// so sharing it keeps the trials deterministic-in-seed while paying
+// the keygen cost once.
+func clusterStatKey(t *testing.T) *ahe.DGKPrivateKey {
+	t.Helper()
+	clusterKeyOnce.Do(func() {
+		clusterKey, clusterKeyErr = ahe.GenerateDGK(512, 64)
+	})
+	if clusterKeyErr != nil {
+		t.Fatal(clusterKeyErr)
+	}
+	return clusterKey
+}
+
+// clusterTrial returns a stattest.Trial that stands up a fresh
+// loopback cluster — r shuffler nodes, the analyzer tier sharded
+// `analyzers` ways by the even domain partition — runs one full
+// collection round of the values, and returns the coordinator's served
+// estimates. All client and shuffler randomness derives from the trial
+// seed, so each estimate is a pure function of it.
+func clusterTrial(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, analyzers int) stattest.Trial {
+	return func(seed uint64) (est []float64, err error) {
+		topo := cluster.Topology{
+			Shufflers: make([]string, r),
+			Analyzers: make([]string, analyzers),
+		}
+		listen := func() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+		lns := make([]net.Listener, r)
+		for j := range lns {
+			if lns[j], err = listen(); err != nil {
+				return nil, err
+			}
+			topo.Shufflers[j] = lns[j].Addr().String()
+		}
+		alns := make([]net.Listener, analyzers)
+		for s := range alns {
+			if alns[s], err = listen(); err != nil {
+				return nil, err
+			}
+			topo.Analyzers[s] = alns[s].Addr().String()
+		}
+		nodes := make([]*cluster.Analyzer, analyzers)
+		for s := range nodes {
+			nodes[s], err = cluster.NewAnalyzer(cluster.AnalyzerConfig{
+				Topology:       topo,
+				Listener:       alns[s],
+				FO:             fo,
+				NR:             nr,
+				Priv:           priv,
+				Shard:          s,
+				CollectTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer nodes[s].Close()
+		}
+		for j := 0; j < r; j++ {
+			sh, err := cluster.NewShuffler(cluster.ShufflerConfig{
+				Index:       j,
+				Topology:    topo,
+				Listener:    lns[j],
+				NR:          nr,
+				Pub:         ahe.PublicKey(priv),
+				Source:      rng.Substream(seed, uint64(1000+j)),
+				SealTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer sh.Close()
+			go sh.Run()
+		}
+		cl, err := cluster.DialClient(topo, fo, ahe.PublicKey(priv), rng.Substream(seed, 1), 0)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		if err := cl.SendValues(0, values, rng.Substream(seed, 2)); err != nil {
+			return nil, err
+		}
+		if err := cl.Flush(); err != nil {
+			return nil, err
+		}
+		col, err := nodes[0].Collect(len(values))
+		if err != nil {
+			return nil, err
+		}
+		return col.Estimates, nil
+	}
+}
+
+// TestClusterTwoShardStatisticalAcceptance is the satellite acceptance
+// gate of the sharded analyzer tier: the clickstream workload (same
+// Zipf shape and seed as examples/clickstream_peos), GRR, r=2
+// shufflers, the analyzer tier split across 2 shards. The served
+// estimates must land in the standard MSE band around the analytic
+// LDP variance and show no systematic bias.
+func TestClusterTwoShardStatisticalAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real cryptography over TCP; skipped in -short")
+	}
+	const (
+		n, d      = 1200, 16
+		r, nr     = 2, 12
+		analyzers = 2
+		trials    = 3
+	)
+	values := shuffledp.SyntheticDataset(n, d, 1.4, 11)
+	truth := ldp.TrueFrequencies(values, d)
+	fo := ldp.NewGRR(d, 2)
+	priv := clusterStatKey(t)
+	stattest.CheckMSE(t, fo, truth, n, trials, 2100, 3,
+		clusterTrial(fo, priv, values, r, nr, analyzers))
+	stattest.CheckUnbiased(t, fo, truth, n, trials, 2200, 6,
+		clusterTrial(fo, priv, values, r, nr, analyzers))
+}
