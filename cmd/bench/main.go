@@ -38,6 +38,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -93,8 +94,35 @@ func main() {
 	peosWorkers := flag.String("peos-workers", "0", "comma-separated decryption worker counts for the peos suite (0 = GOMAXPROCS)")
 	peosNaive := flag.Bool("peos-naive", false, "run the peos suite with the DGK fast path disabled (naive-AHE ablation)")
 	peosAnalyzers := flag.String("peos-analyzers", "1,2,4", "comma-separated analyzer shard counts for the peos scaling sweep")
+	peosShufWorkers := flag.String("peos-shuffler-workers", "1,2,4", "comma-separated shuffler crypto worker counts for the peos scaling sweep")
+	peosChunkWords := flag.Int("peos-chunk-words", 64, "wire chunk window (elements) for the shuffler scaling sweep (0 = one frame)")
 	peosOut := flag.String("peos-out", "BENCH_peos.json", "peos-suite output JSON path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected suites to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the suites) to this path")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	if *n < 1 || *serviceN < 1 || *peosN < 1 {
 		log.Fatal("-n, -service-n, and -peos-n must be >= 1")
 	}
@@ -125,7 +153,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("bad -peos-analyzers: %v", err)
 		}
-		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, keyBits, rs, workers, analyzerCounts, *peosNaive)
+		shufWorkers, err := parseInts(*peosShufWorkers)
+		if err != nil {
+			log.Fatalf("bad -peos-shuffler-workers: %v", err)
+		}
+		rep, err := runPEOSSuite(*peosN, *peosD, *peosNR, keyBits, rs, workers, analyzerCounts, shufWorkers, *peosChunkWords, *peosNaive)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -76,6 +76,35 @@ type peosScalingCase struct {
 	DecryptSpeedupVsOneAnalyzer   float64 `json:"decrypt_speedup_vs_one_analyzer"`
 }
 
+// peosShufflerScalingCase is one row of the shuffler worker-pool sweep
+// (DESIGN.md §14): the same collection round with the shufflers'
+// ciphertext passes fanned out over Workers goroutines and the wire
+// chunk-streamed. WorkerCryptoNsPerReport is the per-report crypto bill
+// of one worker of the busiest (ciphertext-path) shuffler — measured
+// per-op ns times that node's exact per-word op count, divided across
+// the workers — and it drops as 1/Workers. ClusterSeconds is the
+// measured wall clock of the whole round; on a host with at least
+// Workers cores the wall clock follows the crypto bill, on fewer cores
+// (every node sharing one core, as in CI) it stays flat — which is why
+// the crypto bill, not the wall clock, carries the speedup column.
+type peosShufflerScalingCase struct {
+	Workers                  int     `json:"workers"`
+	ChunkWords               int     `json:"chunk_words"`
+	R                        int     `json:"r"`
+	N                        int     `json:"n"`
+	NR                       int     `json:"nr"`
+	KeyBits                  int     `json:"key_bits"`
+	FastPath                 bool    `json:"fast_path"`
+	AddPlainNsPerOp          float64 `json:"add_plain_ns_per_op"`
+	RerandomizeNsPerOp       float64 `json:"rerandomize_ns_per_op"`
+	WorkerCryptoNsPerReport  float64 `json:"worker_crypto_ns_per_report"`
+	CryptoSpeedupVsOneWorker float64 `json:"crypto_speedup_vs_one_worker"`
+	ClusterSeconds           float64 `json:"cluster_seconds"`
+	ClusterNsPerReport       float64 `json:"cluster_ns_per_report"`
+	PoolHits                 uint64  `json:"pool_hits"`
+	PoolMisses               uint64  `json:"pool_misses"`
+}
+
 type peosReport struct {
 	Benchmark   string     `json:"benchmark"`
 	GeneratedBy string     `json:"generated_by"`
@@ -84,9 +113,12 @@ type peosReport struct {
 	// AnalyzerScaling sweeps the sharded analyzer tier at the first
 	// (key_bits, r, workers) point of the grid.
 	AnalyzerScaling []peosScalingCase `json:"analyzer_scaling,omitempty"`
+	// ShufflerScaling sweeps the shufflers' worker pools over the
+	// -peos-shuffler-workers counts with the chunk-streamed wire on.
+	ShufflerScaling []peosShufflerScalingCase `json:"shuffler_scaling,omitempty"`
 }
 
-func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts []int, naive bool) (*peosReport, error) {
+func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts, shufflerWorkers []int, chunkWords int, naive bool) (*peosReport, error) {
 	fo := ldp.NewGRR(d, 2)
 	src := rng.New(11)
 	values := make([]int, n)
@@ -132,7 +164,7 @@ func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts []i
 				c.ShufflerSentBytes = meter.Stats(protocol.ShufflerName(0)).SentBytes
 				c.ServerRecvBytes = meter.Stats(protocol.PartyServer).RecvBytes
 
-				clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, 1)
+				clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, 1, 0, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -184,7 +216,7 @@ func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts []i
 			if err != nil {
 				return nil, err
 			}
-			clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, analyzers)
+			clNs, err := timePEOSCluster(fo, priv, values, r, nr, workers, analyzers, 0, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -211,13 +243,92 @@ func runPEOSSuite(n, d, nr int, keyBitsList, rs, workersList, analyzerCounts []i
 			rep.AnalyzerScaling = append(rep.AnalyzerScaling, sc)
 		}
 	}
+
+	// Shuffler worker-pool sweep (DESIGN.md §14): r = 2 on the fast
+	// path, where one hide-and-seek round costs the ciphertext-path
+	// shuffler exactly 2 AddPlain + 2 Rerandomize per word (the reshare
+	// split, the shuffle rerandomize, and the final fold). Both per-op
+	// costs are measured on this key with the scratch kernels — the
+	// same code the workers run — so each row's per-worker crypto bill
+	// is a measurement divided across the workers, not a model.
+	// Estimates stay bit-identical at every worker count and chunk size
+	// (TestParallelEOSConformance proves it under -race).
+	if len(shufflerWorkers) > 0 {
+		keyBits := keyBitsList[len(keyBitsList)-1]
+		const r = 2
+		priv, err := ahe.GenerateDGK(keyBits, 64)
+		if err != nil {
+			return nil, err
+		}
+		priv.SetFastPath(true)
+		pub := ahe.PublicKey(priv).(ahe.ScratchOps)
+		ct, err := priv.Encrypt(3)
+		if err != nil {
+			return nil, err
+		}
+		sc := pub.NewScratch()
+		const opSamples = 256
+		addNs := timeIt(func() {
+			for i := 0; i < opSamples; i++ {
+				if err := pub.AddPlainInto(ct, ct, uint64(i), sc); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}) / opSamples
+		rerNs := timeIt(func() {
+			for i := 0; i < opSamples; i++ {
+				if err := pub.RerandomizeInto(ct, ct, sc); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}) / opSamples
+		total := float64(n + nr)
+		var base float64
+		for _, w := range shufflerWorkers {
+			if w < 1 {
+				w = 1
+			}
+			hits0, misses0 := priv.RandomizerPoolStats()
+			clNs, err := timePEOSCluster(fo, priv, values, r, nr, 0, 1, w, chunkWords)
+			if err != nil {
+				return nil, err
+			}
+			hits1, misses1 := priv.RandomizerPoolStats()
+			row := peosShufflerScalingCase{
+				Workers:                 w,
+				ChunkWords:              chunkWords,
+				R:                       r,
+				N:                       n,
+				NR:                      nr,
+				KeyBits:                 keyBits,
+				FastPath:                true,
+				AddPlainNsPerOp:         addNs,
+				RerandomizeNsPerOp:      rerNs,
+				WorkerCryptoNsPerReport: (2*addNs + 2*rerNs) * total / float64(n) / float64(w),
+				ClusterSeconds:          clNs / 1e9,
+				ClusterNsPerReport:      clNs / float64(n),
+				PoolHits:                hits1 - hits0,
+				PoolMisses:              misses1 - misses0,
+			}
+			if base == 0 {
+				base = row.WorkerCryptoNsPerReport
+			}
+			row.CryptoSpeedupVsOneWorker = base / row.WorkerCryptoNsPerReport
+			fmt.Printf("peos shuffler scaling workers=%d chunk=%d key=%d: crypto %.0f ns/report/worker (%.2fx), pool %d hits / %d misses, round %.2fs\n",
+				w, chunkWords, keyBits, row.WorkerCryptoNsPerReport, row.CryptoSpeedupVsOneWorker,
+				row.PoolHits, row.PoolMisses, row.ClusterSeconds)
+			rep.ShufflerScaling = append(rep.ShufflerScaling, row)
+		}
+	}
 	return rep, nil
 }
 
 // timePEOSCluster stands up a fresh loopback cluster — the analyzer
-// tier sharded `analyzers` ways — and times one full collection round
-// (client submission through served estimate).
-func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, workers, analyzers int) (float64, error) {
+// tier sharded `analyzers` ways, each shuffler running `shufWorkers`
+// crypto goroutines with `chunkWords`-element wire windows — and times
+// one full collection round (client submission through served
+// estimate).
+func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []int, r, nr, workers, analyzers, shufWorkers, chunkWords int) (float64, error) {
 	lns := make([]net.Listener, r)
 	topo := cluster.Topology{Shufflers: make([]string, r), Analyzers: make([]string, analyzers)}
 	for j := range lns {
@@ -266,6 +377,8 @@ func timePEOSCluster(fo ldp.FrequencyOracle, priv *ahe.DGKPrivateKey, values []i
 			Pub:         ahe.PublicKey(priv),
 			Source:      rng.New(100 + uint64(j)),
 			SealTimeout: 5 * time.Minute,
+			Workers:     shufWorkers,
+			ChunkWords:  chunkWords,
 		})
 		if err != nil {
 			return 0, err

@@ -66,6 +66,8 @@ var (
 	seedFlag    = flag.Uint64("seed", 1, "base seed for all deterministic streams")
 	killFlag    = flag.Bool("kill", false, "kill shuffler 0 mid-stream, expect a clean error, rerun to completion")
 	chaosFlag   = flag.Bool("chaos", false, "inject deterministic faults (mesh reset + client disconnect) and self-heal")
+	workersFlag = flag.Int("shuffler-workers", 0, "goroutines per shuffler node's crypto passes (<=1 = serial)")
+	chunkFlag   = flag.Int("chunk-words", 0, "stream shuffle vectors in windows of this many elements (0 = one frame)")
 	timeoutFlag = flag.Duration("timeout", 60*time.Second, "per-phase safety timeout")
 )
 
@@ -168,6 +170,8 @@ func startNodes(priv *ahe.DGKPrivateKey, fo ldp.FrequencyOracle, collection int)
 			Source:      rng.Substream(*seedFlag, 5000+uint64(j)),
 			FakeSource:  fakeSource(collection, j),
 			SealTimeout: *timeoutFlag,
+			Workers:     *workersFlag,
+			ChunkWords:  *chunkFlag,
 		}
 		if meshNet != nil && j > 0 {
 			// Only higher-index shufflers dial shuffler 0, so this is

@@ -27,6 +27,12 @@ type Ciphertext struct {
 // Value exposes the raw group element (for serialization).
 func (c *Ciphertext) Value() *big.Int { return new(big.Int).Set(c.v) }
 
+// Clone returns an independent copy. The in-place ScratchOps kernels
+// mutate their operands, so any ciphertext a caller retains across an
+// evaluation pass (the cluster's per-collection fake cache) must hand
+// the pass a clone.
+func (c *Ciphertext) Clone() *Ciphertext { return &Ciphertext{v: new(big.Int).Set(c.v)} }
+
 // PublicKey is the encryptor/evaluator side: users encrypt their last
 // share with it, shufflers homomorphically add and rerandomize.
 type PublicKey interface {
@@ -59,6 +65,31 @@ type PrivateKey interface {
 	Decrypt(c *Ciphertext) (uint64, error)
 }
 
+// Scratch holds the per-worker big.Int accumulators the scratch
+// variants of the hot public-key operations (ScratchOps) reuse across
+// calls. One Scratch belongs to exactly one goroutine; distinct
+// workers of a parallel loop each allocate their own via NewScratch.
+type Scratch struct {
+	e, acc, tmp big.Int
+}
+
+// ScratchOps is implemented by public keys whose hot homomorphic
+// operations can run with caller-owned scratch state and an in-place
+// destination — the allocation-flat kernels the worker-pooled
+// oblivious-shuffle loops run on. Keys without it (Paillier) are
+// served by the plain AddPlain/Rerandomize fallback; the results are
+// identical either way, only the allocation profile differs.
+type ScratchOps interface {
+	PublicKey
+	// NewScratch returns a fresh scratch area for one worker goroutine.
+	NewScratch() *Scratch
+	// AddPlainInto stores AddPlain(a, m) into dst. dst may alias a —
+	// the in-place form the hot loops use.
+	AddPlainInto(dst, a *Ciphertext, m uint64, sc *Scratch) error
+	// RerandomizeInto stores Rerandomize(a) into dst. dst may alias a.
+	RerandomizeInto(dst, a *Ciphertext, sc *Scratch) error
+}
+
 // Pooler is implemented by public keys that can precompute encryption
 // randomizers off the critical path (DGK's background (r, h^r) pool).
 // Call sites with an encryption-heavy phase — the PEOS user loop, the
@@ -76,6 +107,19 @@ type Pooler interface {
 	// randomizer refiller with the given pool capacity (<1 selects
 	// DefaultPoolSize) and returns the matching stop function.
 	StartRandomizerPool(capacity int) (stop func())
+}
+
+// PoolerN extends Pooler with explicit refill concurrency, for sites
+// whose drain rate scales with a worker count (the parallel shuffler
+// loops): size the capacity with PoolSizeFor(workers) and let the
+// refill side keep up. The first starter of a key's pool fixes both
+// numbers; later joiners share it (same refcount semantics as Pooler).
+type PoolerN interface {
+	Pooler
+	// StartRandomizerPoolN is StartRandomizerPool with the refiller
+	// count exposed (<1 selects DefaultPoolRefillers, derived from
+	// GOMAXPROCS).
+	StartRandomizerPoolN(capacity, refillers int) (stop func())
 }
 
 // serializeFixed left-pads v to size bytes.

@@ -92,6 +92,13 @@ type dgkFast struct {
 	pool     atomic.Pointer[randPool]
 	poolMu   sync.Mutex
 	poolRefs int
+
+	// poolHits counts randomizers served from the pool and poolMisses
+	// randomizers computed inline (pool dry or never started) — the
+	// observable the scaling benches use to prove a parallel
+	// rerandomize loop stayed on the pooled fast path.
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
 }
 
 // ensure builds the fixed-base tables once. k is a copy of the owning
@@ -398,10 +405,19 @@ func (k DGKPublicKey) fastEnabled() bool {
 
 // StartRandomizerPool implements Pooler: it starts (or joins) the
 // key's background refiller producing (r, h^r) pairs off the critical
-// path, sized to `capacity` pairs (<1 means DefaultPoolSize). The
-// returned stop function is idempotent; the pool shuts down when every
-// starter has called stop.
+// path, sized to `capacity` pairs (<1 means DefaultPoolSize) with the
+// default (GOMAXPROCS-derived) refill concurrency. The returned stop
+// function is idempotent; the pool shuts down when every starter has
+// called stop.
 func (k DGKPublicKey) StartRandomizerPool(capacity int) (stop func()) {
+	return k.StartRandomizerPoolN(capacity, 0)
+}
+
+// StartRandomizerPoolN implements PoolerN: StartRandomizerPool with
+// the refiller-goroutine count exposed (<1 means
+// DefaultPoolRefillers). The first starter fixes both capacity and
+// refill concurrency; later joiners share the running pool.
+func (k DGKPublicKey) StartRandomizerPoolN(capacity, refillers int) (stop func()) {
 	if k.fb == nil {
 		return func() {}
 	}
@@ -410,7 +426,7 @@ func (k DGKPublicKey) StartRandomizerPool(capacity int) (stop func()) {
 	if fb.poolRefs == 0 {
 		fb.ensure(k)
 		key := k // the fill closure's stable copy
-		fb.pool.Store(newRandPool(capacity, func() (*big.Int, *big.Int, error) {
+		fb.pool.Store(newRandPool(capacity, refillers, func() (*big.Int, *big.Int, error) {
 			r, err := key.randomizer()
 			if err != nil {
 				return nil, nil, err
@@ -455,13 +471,16 @@ func (k DGKPublicKey) randomizer() (*big.Int, error) {
 }
 
 // hPower returns h^r for a fresh randomizer r: a pooled pair when the
-// background pool has one ready, the fixed-base tables otherwise.
+// background pool has one ready, the fixed-base tables otherwise. It
+// feeds the hit/miss counters RandomizerPoolStats reports.
 func (k DGKPublicKey) hPower() (*big.Int, error) {
 	if p := k.fb.pool.Load(); p != nil {
 		if pair := p.get(); pair != nil {
+			k.fb.poolHits.Add(1)
 			return pair.hr, nil
 		}
 	}
+	k.fb.poolMisses.Add(1)
 	r, err := k.randomizer()
 	if err != nil {
 		return nil, err
@@ -470,6 +489,39 @@ func (k DGKPublicKey) hPower() (*big.Int, error) {
 		return hr, nil
 	}
 	return new(big.Int).Exp(k.h, r, k.n), nil
+}
+
+// hPowerInto is hPower with the fixed-base fallback computed into the
+// caller's scratch accumulators. The returned big.Int is either a
+// pooled value or sc.acc; it is consumed before the next scratch call.
+func (k DGKPublicKey) hPowerInto(sc *Scratch) (*big.Int, error) {
+	if p := k.fb.pool.Load(); p != nil {
+		if pair := p.get(); pair != nil {
+			k.fb.poolHits.Add(1)
+			return pair.hr, nil
+		}
+	}
+	k.fb.poolMisses.Add(1)
+	r, err := k.randomizer()
+	if err != nil {
+		return nil, err
+	}
+	if hr := k.fb.hTab.ExpInto(&sc.acc, &sc.tmp, r); hr != nil {
+		return hr, nil
+	}
+	return new(big.Int).Exp(k.h, r, k.n), nil
+}
+
+// RandomizerPoolStats returns the cumulative randomizer accounting of
+// this key: hits (randomizers served from the background pool) and
+// misses (randomizers computed inline, because the pool was dry or
+// never started). The scaling benches record them to prove a
+// multi-worker rerandomize sweep stayed on the pooled fast path.
+func (k DGKPublicKey) RandomizerPoolStats() (hits, misses uint64) {
+	if k.fb == nil {
+		return 0, 0
+	}
+	return k.fb.poolHits.Load(), k.fb.poolMisses.Load()
 }
 
 // Encrypt implements PublicKey: g^m h^r mod n.
@@ -539,6 +591,71 @@ func (k DGKPublicKey) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
 	hr := new(big.Int).Exp(k.h, r, k.n)
 	v := new(big.Int).Mul(a.v, hr)
 	return &Ciphertext{v: v.Mod(v, k.n)}, nil
+}
+
+// NewScratch implements ScratchOps.
+func (k DGKPublicKey) NewScratch() *Scratch { return &Scratch{} }
+
+// reduceInto is reduce with a caller-owned destination.
+func (k DGKPublicKey) reduceInto(dst *big.Int, m uint64) *big.Int {
+	if k.l != 64 {
+		m &= (1 << uint(k.l)) - 1
+	}
+	return dst.SetUint64(m)
+}
+
+// AddPlainInto implements ScratchOps: AddPlain(a, m) into dst (which
+// may alias a), reusing sc's accumulators so a steady-state fold loop
+// allocates only what math/big's Mod allocates internally. With the
+// fast path disabled it routes through the retained naive reference —
+// same result, allocating profile.
+func (k DGKPublicKey) AddPlainInto(dst, a *Ciphertext, m uint64, sc *Scratch) error {
+	if k.fastEnabled() {
+		k.fb.ensure(k)
+		if gm := k.fb.gTab.ExpInto(&sc.acc, &sc.tmp, k.reduceInto(&sc.e, m)); gm != nil {
+			// gm is sc.acc; a.v is read before dst.v is written, so
+			// dst == a is safe.
+			sc.tmp.Mul(a.v, gm)
+			if dst.v == nil {
+				dst.v = new(big.Int)
+			}
+			dst.v.Mod(&sc.tmp, k.n)
+			return nil
+		}
+	}
+	c, err := k.AddPlain(a, m)
+	if err != nil {
+		return err
+	}
+	dst.v = c.v
+	return nil
+}
+
+// RerandomizeInto implements ScratchOps: Rerandomize(a) into dst
+// (which may alias a). The randomizer comes from the shared pool when
+// one is running — the same crypto/rand draw order as Rerandomize, so
+// the two are distribution-identical — and from an inline fixed-base
+// exponentiation into sc otherwise.
+func (k DGKPublicKey) RerandomizeInto(dst, a *Ciphertext, sc *Scratch) error {
+	if k.fastEnabled() {
+		k.fb.ensure(k)
+		hr, err := k.hPowerInto(sc)
+		if err != nil {
+			return err
+		}
+		sc.tmp.Mul(a.v, hr)
+		if dst.v == nil {
+			dst.v = new(big.Int)
+		}
+		dst.v.Mod(&sc.tmp, k.n)
+		return nil
+	}
+	c, err := k.Rerandomize(a)
+	if err != nil {
+		return err
+	}
+	dst.v = c.v
+	return nil
 }
 
 // CiphertextBytes implements PublicKey.

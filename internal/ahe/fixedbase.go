@@ -98,3 +98,42 @@ func (t *fbTable) Exp(e *big.Int) *big.Int {
 	}
 	return acc
 }
+
+// ExpInto is Exp with caller-owned accumulators: the result lands in
+// dst and tmp holds the ping-pong product, so a hot loop reuses the
+// same two big.Ints across calls instead of allocating a fresh chain
+// each time (math/big's Mod still allocates its internal quotient —
+// the scratch path is allocation-flat, not allocation-free). Returns
+// nil exactly when Exp would (negative or too-wide exponent; the
+// caller falls back to big.Int.Exp), dst otherwise. dst and tmp must
+// be distinct and must not alias e.
+func (t *fbTable) ExpInto(dst, tmp, e *big.Int) *big.Int {
+	if e.Sign() < 0 || e.BitLen() > t.maxBits {
+		return nil
+	}
+	started := false
+	i := 0
+	for _, w := range e.Bits() {
+		for s := 0; s < bits.UintSize; s += fbWindowBits {
+			d := byte(w >> uint(s))
+			if d != 0 {
+				if i >= len(t.win) {
+					return nil // unreachable given the BitLen guard
+				}
+				ent := t.win[i][d-1]
+				if !started {
+					dst.Set(ent)
+					started = true
+				} else {
+					tmp.Mul(dst, ent)
+					dst.Mod(tmp, t.mod)
+				}
+			}
+			i++
+		}
+	}
+	if !started {
+		return dst.SetInt64(1) // e == 0
+	}
+	return dst
+}

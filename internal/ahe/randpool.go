@@ -2,8 +2,8 @@ package ahe
 
 // Background randomizer pool. Even with the fixed-base tables, h^r is
 // the dominant term of Encrypt and Rerandomize (~50 of the ~58
-// multiplications). The pool moves that work off the critical path: a
-// refiller goroutine precomputes (r, h^r) pairs whenever the pool runs
+// multiplications). The pool moves that work off the critical path:
+// refiller goroutines precompute (r, h^r) pairs whenever the pool runs
 // low, and the hot path drains them with a lock-free Treiber-stack pop
 // — an Encrypt that hits the pool costs one table exponentiation of
 // g^m (at most 8 multiplications) plus one modular multiplication.
@@ -14,17 +14,64 @@ package ahe
 // the deterministic Source streams, which the pool never touches). A
 // drained-empty pool falls back to the inline fixed-base computation,
 // so the pool is a pure latency optimization with no failure mode.
+//
+// Sizing. Capacity and refill concurrency are both configurable
+// (StartRandomizerPoolN); the defaults derive from GOMAXPROCS so a
+// multi-worker rerandomize loop does not drain the pool into the slow
+// path on a machine with cores to spare. PoolSizeFor maps a consumer's
+// worker count to a capacity.
 
 import (
 	"math/big"
+	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
-// DefaultPoolSize is the randomizer-pool capacity used by the PEOS
-// call sites (protocol.Run, cluster client and shuffler nodes) — deep
-// enough to absorb a burst of a few hundred encryptions, small enough
-// that a warm pool holds only a few hundred kilobytes of pairs.
+// DefaultPoolSize is the per-worker randomizer-pool capacity used by
+// the PEOS call sites (protocol.Run, cluster client and shuffler
+// nodes) — deep enough to absorb a burst of a few hundred encryptions,
+// small enough that a warm pool holds only a few hundred kilobytes of
+// pairs.
 const DefaultPoolSize = 256
+
+// maxPoolSize caps PoolSizeFor so a very wide worker sweep cannot ask
+// for an unbounded precompute backlog.
+const maxPoolSize = 4096
+
+// PoolSizeFor returns the randomizer-pool capacity for a site running
+// `workers` concurrent encrypt/rerandomize goroutines: DefaultPoolSize
+// pairs per worker (workers < 1 counts as 1), capped at 4096 pairs so
+// wide sweeps stay bounded. The worker-pooled shuffler hot loops size
+// their pool with this so parallel rerandomize stays on the pooled
+// fast path instead of draining into inline exponentiation.
+func PoolSizeFor(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := DefaultPoolSize * workers
+	if size > maxPoolSize {
+		size = maxPoolSize
+	}
+	return size
+}
+
+// DefaultPoolRefillers is the refill concurrency selected when a
+// caller asks for the default (refillers < 1): half of GOMAXPROCS,
+// clamped to [1, 4]. Refillers only burn CPU while the pool is below
+// capacity — they park once it is full — so on a many-core host extra
+// refillers shorten the drain-recovery window without competing with
+// the consumers at steady state.
+func DefaultPoolRefillers() int {
+	r := runtime.GOMAXPROCS(0) / 2
+	if r < 1 {
+		r = 1
+	}
+	if r > 4 {
+		r = 4
+	}
+	return r
+}
 
 // hrPair is one precomputed randomizer: r and h^r mod n.
 type hrPair struct {
@@ -34,37 +81,47 @@ type hrPair struct {
 }
 
 // randPool is a lock-free stack of precomputed randomizer pairs plus
-// the refiller goroutine that keeps it near capacity.
+// the refiller goroutines that keep it near capacity.
 type randPool struct {
 	head     atomic.Pointer[hrPair]
 	size     atomic.Int64
 	capacity int64
 	wake     chan struct{}
 	done     chan struct{}
-	exited   chan struct{}
+	wg       sync.WaitGroup
 }
 
-// newRandPool starts a pool of the given capacity; fill computes one
-// fresh (r, h^r) pair (it runs only on the refiller goroutine).
-func newRandPool(capacity int, fill func() (r, hr *big.Int, err error)) *randPool {
+// newRandPool starts a pool of the given capacity (<1 means
+// DefaultPoolSize) refilled by `refillers` goroutines (<1 means
+// DefaultPoolRefillers); fill computes one fresh (r, h^r) pair and
+// must be safe for concurrent calls (crypto/rand and the immutable
+// fixed-base tables are).
+func newRandPool(capacity, refillers int, fill func() (r, hr *big.Int, err error)) *randPool {
 	if capacity < 1 {
 		capacity = DefaultPoolSize
+	}
+	if refillers < 1 {
+		refillers = DefaultPoolRefillers()
 	}
 	p := &randPool{
 		capacity: int64(capacity),
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
-		exited:   make(chan struct{}),
 	}
-	go p.refill(fill)
+	p.wg.Add(refillers)
+	for i := 0; i < refillers; i++ {
+		go p.refill(fill)
+	}
 	return p
 }
 
 // refill tops the stack up to capacity, then sleeps until a drain
-// signals it (or the pool stops). A fill error ends the refiller; the
-// hot path simply keeps using its inline fallback.
+// signals it (or the pool stops). With several refillers the
+// check-then-fill race can overshoot capacity by at most refillers-1
+// pairs — harmless. A fill error ends that refiller; the hot path
+// simply keeps using its inline fallback.
 func (p *randPool) refill(fill func() (r, hr *big.Int, err error)) {
-	defer close(p.exited)
+	defer p.wg.Done()
 	for {
 		for p.size.Load() < p.capacity {
 			select {
@@ -86,8 +143,8 @@ func (p *randPool) refill(fill func() (r, hr *big.Int, err error)) {
 	}
 }
 
-// push is only called from the refiller goroutine, but CAS-loops
-// anyway so the stack stays consistent with concurrent pops.
+// push CAS-loops so the stack stays consistent across concurrent
+// refillers and pops.
 func (p *randPool) push(n *hrPair) {
 	for {
 		old := p.head.Load()
@@ -121,7 +178,9 @@ func (p *randPool) get() *hrPair {
 	}
 }
 
-// nudge wakes the refiller without blocking.
+// nudge wakes a refiller without blocking. One token is enough: the
+// woken refiller loops until the pool is full again, and any refiller
+// that wakes spuriously just re-parks.
 func (p *randPool) nudge() {
 	select {
 	case p.wake <- struct{}{}:
@@ -129,8 +188,8 @@ func (p *randPool) nudge() {
 	}
 }
 
-// stop terminates the refiller and waits for it to exit.
+// stop terminates the refillers and waits for all of them to exit.
 func (p *randPool) stop() {
 	close(p.done)
-	<-p.exited
+	p.wg.Wait()
 }

@@ -44,6 +44,13 @@ type ClientConfig struct {
 	// sealed round. The zero policy reports each frame at most once,
 	// surfacing the first write error — the pre-existing behavior.
 	Retry RetryPolicy
+	// PoolSize overrides the key's randomizer-pool capacity for this
+	// client (<1 = ahe.DefaultPoolSize); PoolRefillers its refill
+	// concurrency (<1 = ahe.DefaultPoolRefillers). Both only matter for
+	// keys implementing ahe.PoolerN, and only the first starter of a
+	// shared key's pool fixes them.
+	PoolSize      int
+	PoolRefillers int
 }
 
 func (cfg *ClientConfig) validate() error {
@@ -113,8 +120,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	// in the background for the lifetime of the client. The pool draws
 	// from crypto/rand only, never cfg.Source, so shares stay
 	// bit-identical to the in-process reference run.
-	if pl, ok := cfg.Pub.(ahe.Pooler); ok {
-		c.stopPool = pl.StartRandomizerPool(0)
+	if pn, ok := cfg.Pub.(ahe.PoolerN); ok {
+		c.stopPool = pn.StartRandomizerPoolN(cfg.PoolSize, cfg.PoolRefillers)
+	} else if pl, ok := cfg.Pub.(ahe.Pooler); ok {
+		c.stopPool = pl.StartRandomizerPool(cfg.PoolSize)
 	}
 	for _, addr := range cfg.Topology.Shufflers {
 		conn, err := dialRetry(cfg.Dial, addr, cfg.DialTimeout)

@@ -1,0 +1,195 @@
+package cluster_test
+
+// TestParallelEOSConformance is the named conformance gate of the
+// worker-pooled, chunk-streamed shuffler tier (DESIGN.md §14): every
+// combination of per-node worker counts and chunked/unchunked wire —
+// including a mixed fleet where only one shuffler chunk-streams, a
+// mesh link torn mid-chunk-stream, and a client link torn mid-stream —
+// must produce estimates bit-identical to the serial in-process
+// protocol.PEOS.Run reference. CI runs this file under -race.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/cluster"
+	"shuffledp/internal/faultnet"
+	"shuffledp/internal/ldp"
+	"shuffledp/internal/protocol"
+	"shuffledp/internal/rng"
+)
+
+func TestParallelEOSConformance(t *testing.T) {
+	const (
+		r        = 2
+		n        = 30
+		d        = 8
+		nr       = 4
+		fakeSeed = 401
+		ldpSeed  = 403
+	)
+	priv := sharedKey(t)
+	fo := ldp.NewGRR(d, 2)
+	values := synthValues(n, d, 402)
+
+	// The serial reference every networked variant must reproduce. Each
+	// subtest starts a fresh cluster with the same fake seed and the
+	// same single collection, so one reference serves them all.
+	p, err := protocol.NewPEOS(fo, r, nr, priv, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FakeSource = refFakeSource(fakeSeed, r)
+	ref, err := p.Run(values, rng.New(ldpSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Estimates
+
+	// runOnce drives one collection through a fresh cluster and returns
+	// the estimates, the attempt count, and the client (for reconnect
+	// assertions). A nil dial uses the plain TCP client.
+	runOnce := func(t *testing.T, mutateA func(*cluster.AnalyzerConfig), mutateS func(int, *cluster.ShufflerConfig), dial cluster.DialFunc) ([]float64, int, *cluster.Client) {
+		t.Helper()
+		h := startCluster(t, r, nr, fo, priv, fakeSeed, mutateA, mutateS)
+		var cl *cluster.Client
+		var err error
+		if dial != nil {
+			cl, err = cluster.NewClient(cluster.ClientConfig{
+				Topology: h.topo,
+				FO:       fo,
+				Pub:      ahe.PublicKey(priv),
+				Source:   rng.New(3),
+				Dial:     dial,
+				Retry:    chaosRetry(),
+			})
+		} else {
+			cl, err = cluster.DialClient(h.topo, fo, ahe.PublicKey(priv), rng.New(3), 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		if err := cl.SendValues(0, values, rng.New(ldpSeed)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		col, err := h.analyzer.Collect(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col.Estimates, col.Attempts, cl
+	}
+
+	// The worker/chunk grid: serial reference wire, parallel crypto with
+	// the legacy wire, and parallel crypto with the chunk-streamed wire.
+	t.Run("grid", func(t *testing.T) {
+		for _, tc := range []struct{ workers, chunk int }{
+			{1, 0},
+			{2, 16},
+			{4, 0},
+			{4, 16},
+		} {
+			got, _, _ := runOnce(t, nil, func(_ int, cfg *cluster.ShufflerConfig) {
+				cfg.Workers = tc.workers
+				cfg.ChunkWords = tc.chunk
+			}, nil)
+			if !estimatesEqual(got, want) {
+				t.Fatalf("workers=%d chunk=%d diverged from the serial reference:\n net %v\n ref %v",
+					tc.workers, tc.chunk, got, want)
+			}
+		}
+	})
+
+	// A mixed fleet: shuffler 0 runs parallel and chunk-streams, shuffler
+	// 1 is a legacy serial node. The wire's final-fragment encoding is
+	// byte-identical to a legacy frame, so they must interoperate.
+	t.Run("mixed-fleet", func(t *testing.T) {
+		got, _, _ := runOnce(t, nil, func(j int, cfg *cluster.ShufflerConfig) {
+			if j == 0 {
+				cfg.Workers = 4
+				cfg.ChunkWords = 16
+			}
+		}, nil)
+		if !estimatesEqual(got, want) {
+			t.Fatalf("mixed legacy/chunked fleet diverged:\n net %v\n ref %v", got, want)
+		}
+	})
+
+	// A mesh connection reset mid-chunk-stream (8-word windows, the
+	// reset lands inside the streamed vector): the retry must replay the
+	// round on a fresh link and still converge bit-identically.
+	t.Run("mid-chunk-fault", func(t *testing.T) {
+		meshChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+			if conn == 0 {
+				return faultnet.Fault{ResetAfter: 180}
+			}
+			return faultnet.Fault{}
+		}})
+		var meshAddr string
+		got, attempts, _ := runOnce(t, func(cfg *cluster.AnalyzerConfig) {
+			cfg.Retry = chaosRetry()
+		}, func(j int, cfg *cluster.ShufflerConfig) {
+			cfg.Workers = 2
+			cfg.ChunkWords = 8
+			if j == 1 {
+				meshAddr = cfg.Topology.Shufflers[0]
+				cfg.Dial = chaosDialTo(meshChaos, meshAddr)
+			}
+		}, nil)
+		if attempts < 2 {
+			t.Fatalf("round took %d attempt(s); the mid-chunk reset should have forced a retry", attempts)
+		}
+		if got := meshChaos.Stats().Resets; got < 1 {
+			t.Fatalf("mesh chaos injected %d resets, want >= 1", got)
+		}
+		if !estimatesEqual(got, want) {
+			t.Fatalf("estimates diverged across the mid-chunk fault:\n net %v\n ref %v", got, want)
+		}
+	})
+
+	// A client link torn mid-stream while the fleet runs parallel and
+	// chunked: the client reconnects and resubmits (nonce-deduplicated),
+	// and the estimates still match.
+	t.Run("chaos-client-link", func(t *testing.T) {
+		clientChaos := faultnet.New(faultnet.Config{Plan: func(conn int) faultnet.Fault {
+			if conn == 0 {
+				return faultnet.Fault{ResetAfter: 500}
+			}
+			return faultnet.Fault{}
+		}})
+		var shuf0 string
+		mutateS := func(j int, cfg *cluster.ShufflerConfig) {
+			cfg.Workers = 4
+			cfg.ChunkWords = 8
+			if j == 0 {
+				shuf0 = cfg.Topology.Shufflers[j]
+			}
+		}
+		// Resolve shuffler 0's address before the client dials: the
+		// harness assigns it inside startCluster, so route through a
+		// closure that reads it at dial time.
+		dial := func(target string, timeout time.Duration) (net.Conn, error) {
+			if target == shuf0 {
+				return clientChaos.Dial(target, timeout)
+			}
+			return net.DialTimeout("tcp", target, timeout)
+		}
+		got, _, cl := runOnce(t, func(cfg *cluster.AnalyzerConfig) {
+			cfg.Retry = chaosRetry()
+		}, mutateS, dial)
+		if got := clientChaos.Stats().Resets; got < 1 {
+			t.Fatalf("client chaos injected %d resets, want >= 1", got)
+		}
+		if cl.Reconnects() < 1 {
+			t.Fatal("client never reconnected across the torn link")
+		}
+		if !estimatesEqual(got, want) {
+			t.Fatalf("estimates diverged across the torn client link:\n net %v\n ref %v", got, want)
+		}
+	})
+}

@@ -78,6 +78,18 @@ type ShufflerConfig struct {
 	// outbound connections (peer mesh and analyzer link) — the
 	// chaos-injection hook (faultnet.Network.Dial fits).
 	Dial DialFunc
+	// Workers sets oblivious.Config.Workers for this node's shuffle
+	// passes (DESIGN.md §14): <=1 runs the serial reference path.
+	// Estimates are bit-identical at every setting, so nodes in one
+	// fleet may disagree on it freely.
+	Workers int
+	// ChunkWords streams this node's outbound hide/reshare vectors in
+	// windows of at most ChunkWords elements, overlapping AHE compute
+	// with transmission (0 = one legacy frame per vector). Like
+	// Workers, it is a per-node knob: chunked and unchunked nodes
+	// interoperate because a final fragment is byte-identical to a
+	// legacy frame.
+	ChunkWords int
 }
 
 // collectionBuf buffers one collection's share column as it streams in
@@ -287,7 +299,11 @@ func NewShuffler(cfg ShufflerConfig) (*Shuffler, error) {
 	// rerandomize pass of every shuffle both drain the pool. Pool
 	// randomness is crypto/rand, never cfg.Source/FakeSource, so the
 	// cluster's estimates stay bit-identical to the in-process run.
-	if pl, ok := cfg.Pub.(ahe.Pooler); ok {
+	// The pool is sized to the worker count — a parallel shuffle
+	// drains Workers times faster than the serial path refills.
+	if pn, ok := cfg.Pub.(ahe.PoolerN); ok {
+		s.stopPool = pn.StartRandomizerPoolN(ahe.PoolSizeFor(cfg.Workers), 0)
+	} else if pl, ok := cfg.Pub.(ahe.Pooler); ok {
 		s.stopPool = pl.StartRandomizerPool(0)
 	}
 	return s, nil
@@ -547,7 +563,12 @@ func (s *Shuffler) collect(a *attempt) error {
 			}
 			enc[i] = c
 		}
-		copy(enc[a.n:], fakes.enc)
+		// Clones, not the cached objects: the shuffle's in-place
+		// ciphertext kernels consume their input vector, and the cache
+		// must survive an aborted attempt intact for the retry.
+		for i, c := range fakes.enc {
+			enc[a.n+i] = c.Clone()
+		}
 	} else {
 		plain = make([]uint64, total)
 		copy(plain, words)
@@ -566,6 +587,8 @@ func (s *Shuffler) collect(a *attempt) error {
 		Source:          s.cfg.Source,
 		Pub:             s.cfg.Pub,
 		SkipRerandomize: s.cfg.FastShuffle,
+		Workers:         s.cfg.Workers,
+		ChunkWords:      s.cfg.ChunkWords,
 	}, tr, plain, enc)
 	if err != nil {
 		return err

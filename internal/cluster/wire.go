@@ -20,6 +20,8 @@ package cluster
 //	roundPlain     [round u32][words ...]                   EOS peer traffic
 //	roundEnc       [round u32][cts ...]                     EOS peer traffic
 //	roundSeed      [round u32][seed u64be]                  EOS peer traffic
+//	roundPlainMore [round u32][words ...]                   EOS peer traffic
+//	roundEncMore   [round u32][cts ...]                     EOS peer traffic
 //	shardHello     [shard u16][analyzers u16]
 //	               [bound u32 × (analyzers+1)]              shard -> coordinator
 //	shardSeal      [collection u32][attempt u32][n u32]     coordinator -> shard
@@ -40,6 +42,16 @@ package cluster
 //
 // Ciphertext vectors are the fixed-size ahe serialization
 // concatenated, so the element count is implied by the payload length.
+//
+// Chunk streaming (DESIGN.md §14): a roundPlainMore/roundEncMore frame
+// is a non-final fragment of a chunk-streamed shuffle vector — the
+// payload layout is exactly the legacy roundPlain/roundEnc layout, the
+// tag itself carries the "more fragments follow" bit, and the final
+// fragment of a stream always uses the legacy tag. A node with
+// chunking disabled therefore emits byte-identical legacy frames, and
+// its frames are accepted unchanged by chunk-aware peers, so mixed
+// fleets interoperate; fragment reassembly lives in the oblivious
+// engine (oblivious.Msg.More).
 //
 // The self-healing fields: a peer hello names the exact collection
 // attempt its mesh connection serves, so a connection left over from
@@ -87,6 +99,8 @@ const (
 	tagShardWords
 	tagShardCommit
 	tagShardAck
+	tagRoundPlainMore
+	tagRoundEncMore
 )
 
 // errBadFrame wraps every malformed-payload failure so callers can
@@ -438,9 +452,17 @@ func (t *connTransport) Send(to int, m oblivious.Msg) error {
 	binary.BigEndian.PutUint32(round[:], uint32(m.Round))
 	switch m.Kind {
 	case oblivious.MsgPlain:
-		return transport.WriteTaggedFrame(conn, tagRoundPlain, append(round[:], transport.EncodeUint64s(m.Words)...))
+		tag := tagRoundPlain
+		if m.More {
+			tag = tagRoundPlainMore
+		}
+		return transport.WriteTaggedFrame(conn, tag, append(round[:], transport.EncodeUint64s(m.Words)...))
 	case oblivious.MsgEnc:
-		return transport.WriteTaggedFrame(conn, tagRoundEnc, append(round[:], encodeCiphertexts(t.pub, m.Enc)...))
+		tag := tagRoundEnc
+		if m.More {
+			tag = tagRoundEncMore
+		}
+		return transport.WriteTaggedFrame(conn, tag, append(round[:], encodeCiphertexts(t.pub, m.Enc)...))
 	case oblivious.MsgSeed:
 		payload := make([]byte, 12)
 		copy(payload, round[:])
@@ -471,13 +493,15 @@ func (t *connTransport) Recv(from int) (oblivious.Msg, error) {
 	m := oblivious.Msg{Round: int(binary.BigEndian.Uint32(payload))}
 	body := payload[4:]
 	switch tag {
-	case tagRoundPlain:
+	case tagRoundPlain, tagRoundPlainMore:
 		m.Kind = oblivious.MsgPlain
+		m.More = tag == tagRoundPlainMore
 		if m.Words, err = transport.DecodeUint64s(body); err != nil {
 			return oblivious.Msg{}, err
 		}
-	case tagRoundEnc:
+	case tagRoundEnc, tagRoundEncMore:
 		m.Kind = oblivious.MsgEnc
+		m.More = tag == tagRoundEncMore
 		if m.Enc, err = decodeCiphertexts(t.pub, body); err != nil {
 			return oblivious.Msg{}, err
 		}

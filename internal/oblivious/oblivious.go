@@ -51,6 +51,15 @@ type Config struct {
 	// seeing the same ciphertext before and after a round can track
 	// that position, so leave it off outside benchmarks.
 	SkipRerandomize bool
+	// Workers fans the per-element AHE passes (rerandomize, encrypted
+	// split, plaintext fold) out over this many goroutines in
+	// contiguous order-preserving chunks. <= 1 runs serially (the
+	// default and the reference). Every deterministic Source draw
+	// happens in serial element order regardless of Workers, so the
+	// share plaintexts — and therefore the estimates — are
+	// bit-identical to the serial path for a fixed seed; only the
+	// crypto/rand rerandomizer nonces differ (DESIGN.md §14).
+	Workers int
 }
 
 // State is the shufflers' joint state: party j holds Plain[j], except
@@ -265,7 +274,7 @@ func runRound(st *State, cfg Config, hiders []int) error {
 	if encAt >= 0 {
 		var err error
 		cfg.Meter.Track(shufflerName(encAt), func() {
-			err = addPlainAll(encAcc, acc[encAt], cfg.Mod, cfg.Pub)
+			err = addPlainAll(encAcc, acc[encAt], cfg.Mod, cfg.Pub, cfg.Workers)
 		})
 		if err != nil {
 			return err
@@ -296,7 +305,7 @@ func runRound(st *State, cfg Config, hiders []int) error {
 			// Refresh ciphertexts so positions are unlinkable across
 			// the permutation.
 			if !cfg.SkipRerandomize {
-				err = rerandomizeAll(encAcc, cfg.Pub)
+				err = rerandomizeAll(encAcc, cfg.Pub, cfg.Workers)
 			}
 		})
 		if err != nil {
@@ -354,7 +363,7 @@ func runRound(st *State, cfg Config, hiders []int) error {
 	if newEncHolder >= 0 {
 		var err error
 		cfg.Meter.Track(shufflerName(newEncHolder), func() {
-			err = addPlainAll(newEnc, newPlain[newEncHolder], cfg.Mod, cfg.Pub)
+			err = addPlainAll(newEnc, newPlain[newEncHolder], cfg.Mod, cfg.Pub, cfg.Workers)
 		})
 		if err != nil {
 			return err
@@ -374,14 +383,22 @@ func splitPlain(vec []uint64, k int, cfg Config) [][]uint64 {
 
 // splitEncrypted splits an encrypted vector into k-1 uniform plaintext
 // vectors and one ciphertext remainder: rem_i = enc_i - sum(parts_i),
-// computed homomorphically and rerandomized.
+// computed homomorphically and rerandomized. Stage A (the
+// deterministic Source draws) runs serially in element order no
+// matter what cfg.Workers says — the bit-identity invariant — and
+// stage B (the AHE bill, whose only randomness is crypto/rand) fans
+// out over the workers. The remainder reuses the input ciphertext
+// objects as its buffers, so the engine-owned vector is transformed
+// in place and the parallel path allocates no fresh ciphertexts.
 func splitEncrypted(enc []*ahe.Ciphertext, k int, cfg Config) (parts [][]uint64, rem []*ahe.Ciphertext, err error) {
 	n := len(enc)
 	parts = make([][]uint64, k-1)
 	for i := range parts {
 		parts[i] = make([]uint64, n)
 	}
-	rem = make([]*ahe.Ciphertext, n)
+	// Stage A: draw all shares and the per-element correction, in the
+	// exact order the serial engine draws them.
+	negSum := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		var sum uint64
 		for j := range parts {
@@ -389,16 +406,43 @@ func splitEncrypted(enc []*ahe.Ciphertext, k int, cfg Config) (parts [][]uint64,
 			parts[j][i] = s
 			sum = cfg.Mod.Add(sum, s)
 		}
-		c, err := cfg.Pub.AddPlain(enc[i], cfg.Mod.Neg(sum))
-		if err != nil {
-			return nil, nil, err
-		}
-		if !cfg.SkipRerandomize {
-			if c, err = cfg.Pub.Rerandomize(c); err != nil {
-				return nil, nil, err
+		negSum[i] = cfg.Mod.Neg(sum)
+	}
+	// Stage B: subtract and rerandomize, chunked across the workers.
+	rem = make([]*ahe.Ciphertext, n)
+	copy(rem, enc)
+	so, _ := cfg.Pub.(ahe.ScratchOps)
+	err = parFor(n, cfg.Workers, func(_, lo, hi int) error {
+		if so != nil {
+			sc := so.NewScratch()
+			for i := lo; i < hi; i++ {
+				if err := so.AddPlainInto(rem[i], rem[i], negSum[i], sc); err != nil {
+					return err
+				}
+				if !cfg.SkipRerandomize {
+					if err := so.RerandomizeInto(rem[i], rem[i], sc); err != nil {
+						return err
+					}
+				}
 			}
+			return nil
 		}
-		rem[i] = c
+		for i := lo; i < hi; i++ {
+			c, err := cfg.Pub.AddPlain(rem[i], negSum[i])
+			if err != nil {
+				return err
+			}
+			if !cfg.SkipRerandomize {
+				if c, err = cfg.Pub.Rerandomize(c); err != nil {
+					return err
+				}
+			}
+			rem[i] = c
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return parts, rem, nil
 }
@@ -410,27 +454,57 @@ func addInto(dst, src []uint64, mod secretshare.Modulus) {
 }
 
 // addPlainAll folds a plaintext vector into a ciphertext vector,
-// reducing each addend into the share ring first.
-func addPlainAll(enc []*ahe.Ciphertext, plain []uint64, mod secretshare.Modulus, pub ahe.PublicKey) error {
-	for i := range enc {
-		c, err := pub.AddPlain(enc[i], mod.Reduce(plain[i]))
-		if err != nil {
-			return err
+// reducing each addend into the share ring first. The fold is
+// deterministic given its inputs, so the worker fan-out is a pure
+// latency win; with a ScratchOps key the ciphertexts are updated in
+// place through per-worker scratch.
+func addPlainAll(enc []*ahe.Ciphertext, plain []uint64, mod secretshare.Modulus, pub ahe.PublicKey, workers int) error {
+	so, _ := pub.(ahe.ScratchOps)
+	return parFor(len(enc), workers, func(_, lo, hi int) error {
+		if so != nil {
+			sc := so.NewScratch()
+			for i := lo; i < hi; i++ {
+				if err := so.AddPlainInto(enc[i], enc[i], mod.Reduce(plain[i]), sc); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		enc[i] = c
-	}
-	return nil
+		for i := lo; i < hi; i++ {
+			c, err := pub.AddPlain(enc[i], mod.Reduce(plain[i]))
+			if err != nil {
+				return err
+			}
+			enc[i] = c
+		}
+		return nil
+	})
 }
 
-func rerandomizeAll(enc []*ahe.Ciphertext, pub ahe.PublicKey) error {
-	for i := range enc {
-		c, err := pub.Rerandomize(enc[i])
-		if err != nil {
-			return err
+// rerandomizeAll refreshes every ciphertext. Its randomness is all
+// crypto/rand (pool or inline), so chunk order across workers cannot
+// influence any plaintext.
+func rerandomizeAll(enc []*ahe.Ciphertext, pub ahe.PublicKey, workers int) error {
+	so, _ := pub.(ahe.ScratchOps)
+	return parFor(len(enc), workers, func(_, lo, hi int) error {
+		if so != nil {
+			sc := so.NewScratch()
+			for i := lo; i < hi; i++ {
+				if err := so.RerandomizeInto(enc[i], enc[i], sc); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		enc[i] = c
-	}
-	return nil
+		for i := lo; i < hi; i++ {
+			c, err := pub.Rerandomize(enc[i])
+			if err != nil {
+				return err
+			}
+			enc[i] = c
+		}
+		return nil
+	})
 }
 
 func applyPermUint64(vec []uint64, perm []int) []uint64 {

@@ -1,0 +1,57 @@
+package oblivious
+
+// Worker-pool layer for the shuffler-side hot loops (DESIGN.md §14).
+// The three ciphertext passes of a hide-and-seek round —
+// rerandomizeAll, addPlainAll, and stage B of splitEncrypted — fan out
+// over Config.Workers goroutines in contiguous, order-preserving
+// chunks, the same decomposition RevealParallel already uses for the
+// server's decrypt phase. Determinism is preserved by construction:
+// every draw from the deterministic Source happens on the caller's
+// goroutine in serial element order before any worker starts, so the
+// only randomness inside a worker is crypto/rand (rerandomizer
+// nonces), which never reaches a plaintext or an estimate.
+
+import "sync"
+
+// parFor splits [0, n) into at most `workers` contiguous chunks and
+// runs fn(w, lo, hi) on one goroutine per chunk. workers <= 1 (or a
+// chunk count of 1) runs fn inline on the caller's goroutine, so the
+// serial path pays no goroutine or scheduling overhead. fn must touch
+// only its own [lo, hi) window; the first error (lowest worker index)
+// wins.
+func parFor(n, workers int, fn func(w, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, 0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

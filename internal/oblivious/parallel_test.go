@@ -1,0 +1,330 @@
+package oblivious
+
+// Tests for the worker-pooled, chunk-streamed EOS paths (DESIGN.md
+// §14): parFor's chunking and error discipline, the bit-identity of
+// the parallel simulator against the serial reference, the chunked
+// distributed engine against the unchunked one, and the stream
+// reassembly edge cases of recvVector. CI runs the cluster-level
+// conformance gate under -race; these pin the engine-level invariants.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shuffledp/internal/ahe"
+	"shuffledp/internal/rng"
+	"shuffledp/internal/secretshare"
+)
+
+func TestParForChunking(t *testing.T) {
+	called := 0
+	if err := parFor(0, 4, func(_, _, _ int) error { called++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := parFor(-3, 4, func(_, _, _ int) error { called++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called != 0 {
+		t.Fatalf("parFor called fn %d times on empty ranges", called)
+	}
+
+	// Every worker count must cover [0, n) exactly once, in contiguous
+	// non-overlapping chunks.
+	const n = 17
+	for _, workers := range []int{0, 1, 2, 3, 4, n, n + 5} {
+		var mu sync.Mutex
+		hits := make([]int, n)
+		if err := parFor(n, workers, func(_, lo, hi int) error {
+			if lo < 0 || hi > n || lo >= hi {
+				return fmt.Errorf("bad chunk [%d, %d)", lo, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParForLowestErrorWins(t *testing.T) {
+	errA := errors.New("worker 1 failed")
+	errB := errors.New("worker 3 failed")
+	// 4 workers over 8 elements: chunks are [0,2) [2,4) [4,6) [6,8).
+	err := parFor(8, 4, func(w, _, _ int) error {
+		switch w {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("parFor returned %v, want the lowest-index worker's error %v", err, errA)
+	}
+}
+
+// buildEncState deterministically builds an EOS state: r share vectors
+// of the given values, the last one encrypted. All randomness comes
+// from the build source, so two calls yield bit-identical states.
+func buildEncState(t *testing.T, values []uint64, r int, mod secretshare.Modulus, pub ahe.PublicKey, build *rng.Rand) *State {
+	t.Helper()
+	vectors := secretshare.SplitVector(values, r, mod, build)
+	enc := make([]*ahe.Ciphertext, len(values))
+	for i, w := range vectors[r-1] {
+		c, err := pub.Encrypt(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = c
+	}
+	st := &State{Plain: vectors, Enc: enc, EncHolder: r - 1}
+	st.Plain[r-1] = nil
+	return st
+}
+
+// TestRunParallelMatchesSerial is the simulator-level bit-identity
+// claim of Config.Workers: for a fixed seed, the parallel engine's
+// plaintext shares, holder choice, and revealed (ordered) output are
+// identical to the serial engine's — only the ciphertext group
+// elements differ, and those never reach a plaintext.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	const (
+		r    = 3
+		n    = 33
+		seed = 41
+	)
+	priv, err := ahe.GenerateDGK(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := secretshare.NewModulus(64)
+	values := make([]uint64, n)
+	src := rng.New(7)
+	for i := range values {
+		values[i] = src.Uint64()
+	}
+	run := func(workers int) (*State, []uint64) {
+		st := buildEncState(t, values, r, mod, ahe.PublicKey(priv), rng.New(1))
+		if err := Run(st, Config{Mod: mod, Source: rng.New(seed), Pub: ahe.PublicKey(priv), Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out, err := Reveal(st, mod, priv)
+		if err != nil {
+			t.Fatalf("workers=%d reveal: %v", workers, err)
+		}
+		return st, out
+	}
+	stSerial, outSerial := run(0)
+	stPar, outPar := run(4)
+	if stPar.EncHolder != stSerial.EncHolder {
+		t.Fatalf("holders diverged: serial %d, parallel %d", stSerial.EncHolder, stPar.EncHolder)
+	}
+	for j := range stSerial.Plain {
+		if fmt.Sprint(stPar.Plain[j]) != fmt.Sprint(stSerial.Plain[j]) {
+			t.Fatalf("party %d plaintext shares diverged under Workers=4", j)
+		}
+	}
+	// Ordered comparison: the permutation itself must match, not just
+	// the multiset.
+	if fmt.Sprint(outPar) != fmt.Sprint(outSerial) {
+		t.Fatalf("revealed outputs diverged:\nserial   %v\nparallel %v", outSerial, outPar)
+	}
+}
+
+// runPartiesOpt is runParties with the parallel knobs exposed.
+func runPartiesOpt(t *testing.T, r int, vectors [][]uint64, enc []*ahe.Ciphertext, encHolder int, pub ahe.PublicKey, seed uint64, workers, chunkWords int) ([][]uint64, []([]*ahe.Ciphertext), []error) {
+	t.Helper()
+	pipes := newPipes(r)
+	mod := secretshare.NewModulus(64)
+	outPlain := make([][]uint64, r)
+	outEnc := make([][]*ahe.Ciphertext, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	for j := 0; j < r; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			cfg := PartyConfig{
+				Index:      j,
+				Parties:    r,
+				Mod:        mod,
+				Source:     rng.Substream(seed, uint64(j)),
+				Pub:        pub,
+				Workers:    workers,
+				ChunkWords: chunkWords,
+			}
+			var plain []uint64
+			var e []*ahe.Ciphertext
+			if j == encHolder {
+				e = enc
+			} else {
+				plain = append([]uint64(nil), vectors[j]...)
+			}
+			outPlain[j], outEnc[j], errs[j] = RunParty(cfg, &chanTransport{me: j, pipes: pipes}, plain, e)
+		}(j)
+	}
+	wg.Wait()
+	return outPlain, outEnc, errs
+}
+
+// TestRunPartyChunkedMatchesSerial is the distributed-engine
+// bit-identity claim: every (Workers, ChunkWords) combination —
+// including chunk sizes that leave a short tail window — produces the
+// same plaintext shares, the same final holder, and the same ordered
+// reveal as the serial unchunked engine, for a fixed seed.
+func TestRunPartyChunkedMatchesSerial(t *testing.T) {
+	const (
+		r    = 3
+		n    = 20
+		seed = 17
+	)
+	priv, err := ahe.GenerateDGK(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := ahe.PublicKey(priv)
+	mod := secretshare.NewModulus(64)
+	values := make([]uint64, n)
+	src := rng.New(23)
+	for i := range values {
+		values[i] = src.Uint64()
+	}
+	vectors := secretshare.SplitVector(values, r, mod, src)
+	encHolder := r - 1
+	mkEnc := func() []*ahe.Ciphertext {
+		enc := make([]*ahe.Ciphertext, n)
+		for i, w := range vectors[encHolder] {
+			c, err := pub.Encrypt(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc[i] = c
+		}
+		return enc
+	}
+	reveal := func(outPlain [][]uint64, outEnc [][]*ahe.Ciphertext) ([]uint64, int) {
+		st := &State{Plain: make([][]uint64, r), EncHolder: -1}
+		for j := 0; j < r; j++ {
+			if outEnc[j] != nil {
+				st.Enc = outEnc[j]
+				st.EncHolder = j
+			} else {
+				st.Plain[j] = outPlain[j]
+			}
+		}
+		out, err := Reveal(st, mod, priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, st.EncHolder
+	}
+
+	refPlain, refEnc, errs := runPartiesOpt(t, r, vectors, mkEnc(), encHolder, pub, seed, 0, 0)
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("reference party %d: %v", j, err)
+		}
+	}
+	refOut, refHolder := reveal(refPlain, refEnc)
+
+	for _, workers := range []int{1, 4} {
+		for _, chunk := range []int{0, 3, 7, n, 2 * n} {
+			name := fmt.Sprintf("workers=%d/chunk=%d", workers, chunk)
+			outPlain, outEnc, errs := runPartiesOpt(t, r, vectors, mkEnc(), encHolder, pub, seed, workers, chunk)
+			for j, err := range errs {
+				if err != nil {
+					t.Fatalf("%s party %d: %v", name, j, err)
+				}
+			}
+			out, holder := reveal(outPlain, outEnc)
+			if holder != refHolder {
+				t.Fatalf("%s: holder %d, want %d", name, holder, refHolder)
+			}
+			for j := 0; j < r; j++ {
+				if fmt.Sprint(outPlain[j]) != fmt.Sprint(refPlain[j]) {
+					t.Fatalf("%s: party %d plaintext shares diverged", name, j)
+				}
+			}
+			if fmt.Sprint(out) != fmt.Sprint(refOut) {
+				t.Fatalf("%s: revealed output diverged:\n got %v\nwant %v", name, out, refOut)
+			}
+		}
+	}
+}
+
+// TestSendVectorRecvVectorRoundTrip: a chunk-streamed plaintext vector
+// reassembles exactly, whatever the window size — including windows
+// that divide the length evenly (no empty trailing fragment).
+func TestSendVectorRecvVectorRoundTrip(t *testing.T) {
+	words := make([]uint64, 10)
+	for i := range words {
+		words[i] = uint64(i) * 3
+	}
+	for _, chunk := range []int{0, 1, 3, 5, 10, 99} {
+		pipes := newPipes(2)
+		tr0 := &chanTransport{me: 0, pipes: pipes}
+		tr1 := &chanTransport{me: 1, pipes: pipes}
+		errc := make(chan error, 1)
+		go func() { errc <- sendVector(tr0, 1, 2, chunk, words) }()
+		m, err := recvVector(tr1, 0, 2, len(words))
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("chunk=%d send: %v", chunk, err)
+		}
+		if m.Kind != MsgPlain || m.More {
+			t.Fatalf("chunk=%d: reassembled message %+v", chunk, m)
+		}
+		if fmt.Sprint(m.Words) != fmt.Sprint(words) {
+			t.Fatalf("chunk=%d: got %v, want %v", chunk, m.Words, words)
+		}
+	}
+}
+
+// TestRecvVectorRejectsMalformedStreams: the reassembler must fail
+// loudly on protocol violations — a chunk-streamed seed, a kind switch
+// mid-stream, a stream that overruns the vector length, and a round
+// change mid-stream.
+func TestRecvVectorRejectsMalformedStreams(t *testing.T) {
+	feed := func(msgs ...Msg) (Msg, error) {
+		pipes := newPipes(2)
+		for _, m := range msgs {
+			pipes[0][1] <- m
+		}
+		return recvVector(&chanTransport{me: 1, pipes: pipes}, 0, 0, 4)
+	}
+	if _, err := feed(Msg{Kind: MsgSeed, Seed: 9, More: true}); err == nil {
+		t.Fatal("accepted a chunk-streamed permutation seed")
+	}
+	if _, err := feed(
+		Msg{Kind: MsgPlain, Words: []uint64{1}, More: true},
+		Msg{Kind: MsgEnc, Enc: []*ahe.Ciphertext{}},
+	); err == nil {
+		t.Fatal("accepted a kind switch mid-stream")
+	}
+	if _, err := feed(
+		Msg{Kind: MsgPlain, Words: []uint64{1, 2, 3}, More: true},
+		Msg{Kind: MsgPlain, Words: []uint64{4, 5}},
+	); err == nil {
+		t.Fatal("accepted a stream overrunning the vector length")
+	}
+	if _, err := feed(
+		Msg{Kind: MsgPlain, Words: []uint64{1}, More: true},
+		Msg{Kind: MsgPlain, Round: 1, Words: []uint64{2}},
+	); err == nil {
+		t.Fatal("accepted a round change mid-stream")
+	}
+}

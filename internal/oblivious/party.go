@@ -69,6 +69,12 @@ type Msg struct {
 	Enc []*ahe.Ciphertext
 	// Seed is the joint permutation seed (MsgSeed).
 	Seed uint64
+	// More marks a chunk-streamed fragment: the logical vector
+	// continues in the next message from the same sender (same kind,
+	// same round). The final fragment — and every unchunked message —
+	// has More false, so a legacy single-frame vector is simply the
+	// one-fragment case and mixed fleets interoperate.
+	More bool
 }
 
 // Transport delivers messages between the r parties of one shuffle.
@@ -144,6 +150,16 @@ type PartyConfig struct {
 	// Rounds overrides the number of hide-and-seek rounds (0 means the
 	// full C(r, t) schedule, required for the security guarantee).
 	Rounds int
+	// Workers fans this party's per-element AHE passes out over
+	// goroutine chunks (see Config.Workers; <= 1 is the serial
+	// reference, bit-identical estimates either way).
+	Workers int
+	// ChunkWords, when > 0, streams the hide/reshare vectors in
+	// windows of this many elements: the AHE work on window k+1
+	// overlaps the transmission of window k, and each window travels
+	// as a Msg fragment with More set (the receiver reassembles).
+	// 0 sends every vector as one legacy frame.
+	ChunkWords int
 }
 
 func (cfg PartyConfig) validate(plain []uint64, enc []*ahe.Ciphertext) error {
@@ -188,7 +204,7 @@ func RunParty(cfg PartyConfig, tr Transport, plain []uint64, enc []*ahe.Cipherte
 	if enc != nil {
 		n = len(enc)
 	}
-	icfg := Config{Mod: cfg.Mod, Source: cfg.Source, Pub: cfg.Pub, SkipRerandomize: cfg.SkipRerandomize}
+	icfg := Config{Mod: cfg.Mod, Source: cfg.Source, Pub: cfg.Pub, SkipRerandomize: cfg.SkipRerandomize, Workers: cfg.Workers}
 	for round := 0; round < rounds; round++ {
 		var err error
 		plain, enc, err = runPartyRound(cfg, icfg, tr, round, partitions[round], n, plain, enc)
@@ -223,6 +239,143 @@ func expectMsg(tr Transport, from, round int) (Msg, error) {
 	return m, nil
 }
 
+// recvVector receives one logical vector from a peer, reassembling
+// chunk-streamed fragments (Msg.More) in FIFO order. An unchunked
+// message is the one-fragment case, so a receiver on this path accepts
+// legacy and chunk-streaming senders alike. n bounds the reassembled
+// length (the call sites still validate the exact final length, with
+// their phase-specific error text).
+func recvVector(tr Transport, from, round, n int) (Msg, error) {
+	m, err := expectMsg(tr, from, round)
+	if err != nil || !m.More {
+		return m, err
+	}
+	switch m.Kind {
+	case MsgPlain:
+		words := make([]uint64, 0, n)
+		m.Words = append(words, m.Words...)
+	case MsgEnc:
+		enc := make([]*ahe.Ciphertext, 0, n)
+		m.Enc = append(enc, m.Enc...)
+	default:
+		return Msg{}, fmt.Errorf("party %d chunk-streamed kind %d", from, m.Kind)
+	}
+	m.More = false
+	for {
+		frag, err := expectMsg(tr, from, round)
+		if err != nil {
+			return Msg{}, err
+		}
+		if frag.Kind != m.Kind {
+			return Msg{}, fmt.Errorf("party %d switched from kind %d to %d mid-stream", from, m.Kind, frag.Kind)
+		}
+		if m.Kind == MsgPlain {
+			m.Words = append(m.Words, frag.Words...)
+			if len(m.Words) > n {
+				return Msg{}, fmt.Errorf("party %d streamed %d words, want at most %d", from, len(m.Words), n)
+			}
+		} else {
+			m.Enc = append(m.Enc, frag.Enc...)
+			if len(m.Enc) > n {
+				return Msg{}, fmt.Errorf("party %d streamed %d ciphertexts, want at most %d", from, len(m.Enc), n)
+			}
+		}
+		if !frag.More {
+			return m, nil
+		}
+	}
+}
+
+// sendVector sends one logical plaintext vector, fragmented into
+// chunk-sized windows when chunking is on (chunk > 0). A vector that
+// fits one window — and every send with chunk <= 0 — goes out as a
+// single legacy frame.
+func sendVector(tr Transport, to, round, chunk int, words []uint64) error {
+	if chunk <= 0 || len(words) <= chunk {
+		return tr.Send(to, Msg{Kind: MsgPlain, Round: round, Words: words})
+	}
+	for lo := 0; lo < len(words); lo += chunk {
+		hi := lo + chunk
+		if hi > len(words) {
+			hi = len(words)
+		}
+		if err := tr.Send(to, Msg{Kind: MsgPlain, Round: round, Words: words[lo:hi], More: hi < len(words)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamSplitEncrypted runs splitEncrypted window by window over the
+// vector (chunk elements per window; <= 0 means one window) and hands
+// each finished window to emit on a dedicated pipeline goroutine, so
+// the AHE work on window k+1 overlaps the transmission of window k —
+// the compute/transmit pipeline of the chunk-streamed wire. emit runs
+// in window order on a single goroutine and receives the window's
+// base offset, its plaintext parts and ciphertext remainder, and
+// whether more windows follow. The deterministic Source draws happen
+// in the same element order as one unchunked splitEncrypted, so the
+// resulting shares are bit-identical at every chunk size. The
+// returned channel yields the first error once both the compute and
+// emit sides have finished.
+func streamSplitEncrypted(enc []*ahe.Ciphertext, k, chunk int, icfg Config, emit func(lo int, parts [][]uint64, rem []*ahe.Ciphertext, more bool) error) <-chan error {
+	out := make(chan error, 1)
+	n := len(enc)
+	if chunk <= 0 || chunk >= n {
+		go func() {
+			parts, rem, err := splitEncrypted(enc, k, icfg)
+			if err != nil {
+				out <- err
+				return
+			}
+			out <- emit(0, parts, rem, false)
+		}()
+		return out
+	}
+	type window struct {
+		lo    int
+		parts [][]uint64
+		rem   []*ahe.Ciphertext
+		more  bool
+	}
+	// Capacity 1: one window may be computed while one is on the wire.
+	windows := make(chan window, 1)
+	emitErr := make(chan error, 1)
+	go func() {
+		for w := range windows {
+			if err := emit(w.lo, w.parts, w.rem, w.more); err != nil {
+				emitErr <- err
+				// Drain so the compute side never blocks on a dead pipe.
+				for range windows {
+				}
+				return
+			}
+		}
+		emitErr <- nil
+	}()
+	go func() {
+		var failed error
+		for lo := 0; lo < n && failed == nil; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			parts, rem, err := splitEncrypted(enc[lo:hi], k, icfg)
+			if err != nil {
+				failed = err
+				break
+			}
+			windows <- window{lo: lo, parts: parts, rem: rem, more: hi < n}
+		}
+		close(windows)
+		if err := <-emitErr; failed == nil {
+			failed = err
+		}
+		out <- failed
+	}()
+	return out
+}
+
 func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders []int, n int, plain []uint64, enc []*ahe.Ciphertext) ([]uint64, []*ahe.Ciphertext, error) {
 	r, t, me := cfg.Parties, len(hiders), cfg.Index
 	isHider := make([]bool, r)
@@ -246,7 +399,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 				if isHider[s] {
 					continue
 				}
-				m, err := expectMsg(tr, s, round)
+				m, err := recvVector(tr, s, round, n)
 				if err != nil {
 					return err
 				}
@@ -276,38 +429,36 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 		// Fold accumulated plaintext mass into the ciphertext vector so
 		// this hider holds exactly one vector (Figure 2, "Hide").
 		if encAcc != nil {
-			if err := addPlainAll(encAcc, acc, cfg.Mod, cfg.Pub); err != nil {
+			if err := addPlainAll(encAcc, acc, cfg.Mod, cfg.Pub, icfg.Workers); err != nil {
 				return nil, nil, err
 			}
 			acc = nil
 		}
 	} else {
-		// Seeker: split and send everything away.
+		// Seeker: split and send everything away. The encrypted seeker
+		// chunk-streams: each window's AHE split goes onto the wire
+		// while the next window computes.
 		var sendErr <-chan error
 		if enc != nil {
 			target := hiders[rng.New(cfg.Source.Uint64()).Intn(t)]
-			parts, rem, err := splitEncrypted(enc, t, icfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			sendErr = sendAll(func() error {
+			sendErr = streamSplitEncrypted(enc, t, cfg.ChunkWords, icfg, func(_ int, parts [][]uint64, rem []*ahe.Ciphertext, more bool) error {
 				pi := 0
 				for _, h := range hiders {
 					if h == target {
 						continue
 					}
-					if err := tr.Send(h, Msg{Kind: MsgPlain, Round: round, Words: parts[pi]}); err != nil {
+					if err := tr.Send(h, Msg{Kind: MsgPlain, Round: round, Words: parts[pi], More: more}); err != nil {
 						return err
 					}
 					pi++
 				}
-				return tr.Send(target, Msg{Kind: MsgEnc, Round: round, Enc: rem})
+				return tr.Send(target, Msg{Kind: MsgEnc, Round: round, Enc: rem, More: more})
 			})
 		} else {
 			parts := splitPlain(plain, t, icfg)
 			sendErr = sendAll(func() error {
 				for i, h := range hiders {
-					if err := tr.Send(h, Msg{Kind: MsgPlain, Round: round, Words: parts[i]}); err != nil {
+					if err := sendVector(tr, h, round, cfg.ChunkWords, parts[i]); err != nil {
 						return err
 					}
 				}
@@ -352,7 +503,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 		} else {
 			encAcc = applyPermCipher(encAcc, perm)
 			if !cfg.SkipRerandomize {
-				if err := rerandomizeAll(encAcc, cfg.Pub); err != nil {
+				if err := rerandomizeAll(encAcc, cfg.Pub, icfg.Workers); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -361,9 +512,15 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 
 	// --- Reshare phase. ---
 	announce(tr, round, PhaseReshare)
-	// My new vector starts from the parts I keep for myself.
+	// My new vector starts from the parts I keep for myself. The
+	// ciphertext hider's kept pieces land in keep/keepEnc on the
+	// pipeline goroutine and merge after the send join — the receive
+	// loop below runs concurrently with the chunk stream and must not
+	// share newPlain with it.
 	newPlain := make([]uint64, n)
 	var newEnc []*ahe.Ciphertext
+	var keep []uint64
+	var keepEnc []*ahe.Ciphertext
 	var sendErr <-chan error
 	if isHider[me] {
 		if acc != nil {
@@ -374,7 +531,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 					if j == me {
 						continue
 					}
-					if err := tr.Send(j, Msg{Kind: MsgPlain, Round: round, Words: parts[j]}); err != nil {
+					if err := sendVector(tr, j, round, cfg.ChunkWords, parts[j]); err != nil {
 						return err
 					}
 				}
@@ -382,50 +539,28 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 			})
 		} else {
 			target := rng.New(cfg.Source.Uint64() ^ 0x5bd1e995).Intn(r)
-			parts, rem, err := splitEncrypted(encAcc, r, icfg)
-			if err != nil {
-				return nil, nil, err
-			}
+			keep = make([]uint64, n)
 			// parts[pi] walks the non-target parties in index order,
-			// mirroring the simulator's distribution.
-			var keepPlain []uint64
-			sends := make([]struct {
-				to int
-				m  Msg
-			}, 0, r)
-			pi := 0
-			for j := 0; j < r; j++ {
-				if j == target {
-					continue
-				}
-				if j == me {
-					keepPlain = parts[pi]
-				} else {
-					sends = append(sends, struct {
-						to int
-						m  Msg
-					}{j, Msg{Kind: MsgPlain, Round: round, Words: parts[pi]}})
-				}
-				pi++
-			}
-			if target == me {
-				newEnc = rem
-			} else {
-				sends = append(sends, struct {
-					to int
-					m  Msg
-				}{target, Msg{Kind: MsgEnc, Round: round, Enc: rem}})
-			}
-			if keepPlain != nil {
-				copy(newPlain, keepPlain)
-			}
-			sendErr = sendAll(func() error {
-				for _, s := range sends {
-					if err := tr.Send(s.to, s.m); err != nil {
+			// mirroring the simulator's distribution; each window's
+			// sends go out while the next window computes.
+			sendErr = streamSplitEncrypted(encAcc, r, cfg.ChunkWords, icfg, func(lo int, parts [][]uint64, rem []*ahe.Ciphertext, more bool) error {
+				pi := 0
+				for j := 0; j < r; j++ {
+					if j == target {
+						continue
+					}
+					if j == me {
+						copy(keep[lo:lo+len(rem)], parts[pi])
+					} else if err := tr.Send(j, Msg{Kind: MsgPlain, Round: round, Words: parts[pi], More: more}); err != nil {
 						return err
 					}
+					pi++
 				}
-				return nil
+				if target == me {
+					keepEnc = append(keepEnc, rem...)
+					return nil
+				}
+				return tr.Send(target, Msg{Kind: MsgEnc, Round: round, Enc: rem, More: more})
 			})
 		}
 	}
@@ -433,7 +568,7 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 		if h == me {
 			continue
 		}
-		m, err := expectMsg(tr, h, round)
+		m, err := recvVector(tr, h, round, n)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -460,12 +595,25 @@ func runPartyRound(cfg PartyConfig, icfg Config, tr Transport, round int, hiders
 			return nil, nil, err
 		}
 	}
+	// Merge the ciphertext hider's kept pieces (written by the pipeline
+	// goroutine, published by the sendErr join). Addition commutes mod
+	// 2^l, so folding them after the received parts is bit-identical to
+	// the serial engine's copy-then-accumulate order.
+	if keep != nil {
+		addInto(newPlain, keep, cfg.Mod)
+	}
+	if keepEnc != nil {
+		if newEnc != nil {
+			return nil, nil, errors.New("kept and received a ciphertext remainder in one round")
+		}
+		newEnc = keepEnc
+	}
 
 	// The new ciphertext holder folds its plaintext reshare mass into
 	// the ciphertext vector so every party exits the round holding
 	// exactly one vector.
 	if newEnc != nil {
-		if err := addPlainAll(newEnc, newPlain, cfg.Mod, cfg.Pub); err != nil {
+		if err := addPlainAll(newEnc, newPlain, cfg.Mod, cfg.Pub, icfg.Workers); err != nil {
 			return nil, nil, err
 		}
 		return nil, newEnc, nil

@@ -50,6 +50,12 @@ type PEOS struct {
 	// GOMAXPROCS. The cmd/bench PEOS suite sweeps it to separate the
 	// algorithmic AHE speedups from plain parallelism.
 	DecryptWorkers int
+	// ShuffleWorkers sets oblivious.Config.Workers: the goroutine count
+	// of the simulated shufflers' ciphertext passes (DESIGN.md §14).
+	// <=1 runs the serial reference path. Estimates are bit-identical
+	// at every setting; the randomizer pool is sized to the worker
+	// count so the parallel drain rate never starves it.
+	ShuffleWorkers int
 
 	enc *ldp.WordEncoder
 	mod secretshare.Modulus
@@ -105,7 +111,9 @@ func (p *PEOS) Run(values []int, ldpRand *rng.Rand) (*Result, error) {
 	// pairs, and the pool keeps refilling while the protocol computes.
 	// Pool randomness is crypto/rand, never p.Source, so estimates stay
 	// bit-identical with or without it.
-	if pl, ok := pub.(ahe.Pooler); ok {
+	if pn, ok := pub.(ahe.PoolerN); ok {
+		defer pn.StartRandomizerPoolN(ahe.PoolSizeFor(p.ShuffleWorkers), 0)()
+	} else if pl, ok := pub.(ahe.Pooler); ok {
 		defer pl.StartRandomizerPool(0)()
 	}
 
@@ -184,6 +192,7 @@ func (p *PEOS) Run(values []int, ldpRand *rng.Rand) (*Result, error) {
 		Pub:             pub,
 		Meter:           meter,
 		SkipRerandomize: p.FastShuffle,
+		Workers:         p.ShuffleWorkers,
 	})
 	if err != nil {
 		return nil, err
